@@ -1,0 +1,109 @@
+"""A2 (ablation) — how much hierarchy does the overlay need?
+
+Two knobs control the two-tier organisations: the super-peer ratio of
+the FastTrack-style network and the walk limit of the JXTA-style
+rendezvous network.  The ablation sweeps both and reports the message
+cost / recall frontier, locating the regime where a hierarchy beats both
+the flat flood and the single central server on robustness grounds while
+staying within a small factor of the central server's cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.rendezvous import RendezvousProtocol
+from repro.network.superpeer import SuperPeerProtocol
+from repro.storage.query import Query
+from repro.xmlkit.parser import parse
+
+PEERS = 60
+RATIOS = (0.05, 0.1, 0.2, 0.4)
+WALK_LIMITS = (1, 2, 4, None)
+
+
+def populate(network) -> int:
+    for index in range(PEERS):
+        network.create_peer(f"peer-{index:03d}")
+    if isinstance(network, SuperPeerProtocol):
+        network.elect_super_peers()
+    else:
+        network.elect_rendezvous()
+    published = 0
+    for index in range(0, PEERS, 4):
+        peer = network.peer(f"peer-{index:03d}")
+        document = parse(f"<mp3><title>Blue Train {index}</title><artist>Coltrane</artist></mp3>").root
+        metadata = {"title": [f"Blue Train {index}"], "artist": ["Coltrane"]}
+        result = peer.repository.publish("mp3s", document, metadata)
+        network.publish(peer.peer_id, "mp3s", result.resource_id, metadata)
+        published += 1
+    return published
+
+
+def measure(network, published: int) -> dict[str, float]:
+    network.stats.reset()
+    origins = [f"peer-{index:03d}" for index in (1, 11, 21, 31, 41)]
+    recall_total = 0.0
+    for origin in origins:
+        response = network.search(origin, Query.keyword("mp3s", "coltrane"), max_results=500)
+        remote_expected = published - (1 if network.peer(origin).repository.documents else 0)
+        found = len({result.resource_id for result in response.results})
+        recall_total += found / max(1, remote_expected)
+    return {
+        "recall": recall_total / len(origins),
+        "msgs_per_query": network.stats.mean_messages_per_query(),
+    }
+
+
+@pytest.fixture(scope="module")
+def superpeer_sweep():
+    outcomes = {}
+    for ratio in RATIOS:
+        network = SuperPeerProtocol(seed=3, super_peer_ratio=ratio)
+        published = populate(network)
+        outcomes[ratio] = measure(network, published)
+        outcomes[ratio]["super_peers"] = len(network.super_peer_ids())
+    return outcomes
+
+
+@pytest.fixture(scope="module")
+def rendezvous_sweep():
+    outcomes = {}
+    for limit in WALK_LIMITS:
+        network = RendezvousProtocol(seed=3, rendezvous_ratio=0.2, walk_limit=limit)
+        published = populate(network)
+        outcomes[limit] = measure(network, published)
+    return outcomes
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_bench_a2_superpeer_ratio(benchmark, ratio):
+    network = SuperPeerProtocol(seed=3, super_peer_ratio=ratio)
+    published = populate(network)
+    benchmark.pedantic(lambda: measure(network, published), rounds=1, iterations=1)
+
+
+def test_bench_a2_report(benchmark, superpeer_sweep, rendezvous_sweep, report):
+    benchmark.pedantic(lambda: (dict(superpeer_sweep), dict(rendezvous_sweep)),
+                       rounds=1, iterations=1)
+    report("A2  super-peer ratio sweep (FastTrack-style, 60 peers)",
+           ["ratio", "super-peers", "recall", "msgs/query"],
+           [[ratio, values["super_peers"], f"{values['recall']:.2f}",
+             f"{values['msgs_per_query']:.1f}"]
+            for ratio, values in superpeer_sweep.items()])
+    report("A2  rendezvous walk-limit sweep (JXTA-style, 60 peers, ratio 0.2)",
+           ["walk limit", "recall", "msgs/query"],
+           [[limit if limit is not None else "full ring", f"{values['recall']:.2f}",
+             f"{values['msgs_per_query']:.1f}"]
+            for limit, values in rendezvous_sweep.items()])
+
+    # Recall is full whenever the hierarchy covers all advertisements:
+    # every super-peer ratio achieves it, but message cost rises with the
+    # number of super-peers that must be contacted.
+    costs = [superpeer_sweep[ratio]["msgs_per_query"] for ratio in RATIOS]
+    assert costs[0] < costs[-1]
+    assert all(values["recall"] >= 0.99 for values in superpeer_sweep.values())
+    # Truncating the rendezvous walk trades recall for messages.
+    assert rendezvous_sweep[1]["recall"] < rendezvous_sweep[None]["recall"]
+    assert rendezvous_sweep[1]["msgs_per_query"] < rendezvous_sweep[None]["msgs_per_query"]
+    assert rendezvous_sweep[None]["recall"] >= 0.99

@@ -1,0 +1,112 @@
+"""A3 (ablation) — churn rate vs. search success on each organisation.
+
+The robustness claim behind the paper's Napster observation only holds
+if the system keeps answering queries while peers come and go.  The
+ablation drives the same MP3 workload under increasing churn (shorter
+sessions) over the centralized, flooding and super-peer organisations
+and reports search success, quantifying how each organisation degrades.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communities.mp3 import mp3_community
+from repro.core.application import Application
+from repro.core.servent import Servent
+from repro.network.centralized import CentralizedProtocol
+from repro.network.churn import ChurnModel
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.superpeer import SuperPeerProtocol
+
+PEERS = 40
+OBJECTS = 40
+QUERIES = 30
+#: availability = session / (session + absence); absence fixed at 2 s of
+#: virtual time, session swept downwards.
+SESSIONS_MS = (18_000.0, 6_000.0, 2_000.0)
+ABSENCE_MS = 2_000.0
+
+PROTOCOLS = {
+    "centralized": lambda: CentralizedProtocol(seed=51),
+    "gnutella": lambda: GnutellaProtocol(seed=51, degree=4, default_ttl=7),
+    "super-peer": lambda: SuperPeerProtocol(seed=51, super_peer_ratio=0.2),
+}
+
+
+def build_world(factory):
+    network = factory()
+    definition = mp3_community()
+    servents = [Servent(f"peer-{index:02d}", network) for index in range(PEERS)]
+    founder = definition.application_on(servents[0])
+    applications = [founder]
+    for servent in servents[1:12]:
+        found = [r for r in servent.search_communities("music").results
+                 if r.title == definition.name]
+        applications.append(Application(servent, servent.join_community(found[0])))
+    if isinstance(network, GnutellaProtocol):
+        network.build_overlay()
+    if isinstance(network, SuperPeerProtocol):
+        network.elect_super_peers()
+    corpus = definition.sample_corpus(OBJECTS, seed=51)
+    for index, record in enumerate(corpus):
+        applications[index % len(applications)].publish(record)
+    return network, applications, corpus
+
+
+def run_under_churn(factory, session_ms: float) -> dict[str, float]:
+    network, applications, corpus = build_world(factory)
+    # Searchers (the first 12 peers) stay up; the rest churn.
+    churn = ChurnModel(network, mean_session_ms=session_ms, mean_absence_ms=ABSENCE_MS, seed=5)
+    churn.start([f"peer-{index:02d}" for index in range(12, PEERS)])
+    network.stats.reset()
+    answered = 0
+    for number in range(QUERIES):
+        network.simulator.run(until_ms=network.simulator.now + 500)
+        searcher = applications[number % len(applications)]
+        record = corpus[number % len(corpus)]
+        response = searcher.search({"artist": str(record["artist"])}, max_results=100)
+        answered += 1 if response.result_count > 0 else 0
+    return {
+        "success": answered / QUERIES,
+        "availability": churn.observed_availability(),
+        "msgs_per_query": network.stats.mean_messages_per_query(),
+    }
+
+
+@pytest.fixture(scope="module")
+def churn_grid():
+    grid = {}
+    for protocol, factory in PROTOCOLS.items():
+        for session_ms in SESSIONS_MS:
+            grid[(protocol, session_ms)] = run_under_churn(factory, session_ms)
+    return grid
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_bench_a3_one_cell(benchmark, protocol):
+    benchmark.pedantic(lambda: run_under_churn(PROTOCOLS[protocol], SESSIONS_MS[1]),
+                       rounds=1, iterations=1)
+
+
+def test_bench_a3_report(benchmark, churn_grid, report):
+    benchmark.pedantic(lambda: dict(churn_grid), rounds=1, iterations=1)
+    rows = []
+    for (protocol, session_ms), values in churn_grid.items():
+        expected_availability = session_ms / (session_ms + ABSENCE_MS)
+        rows.append([protocol, f"{session_ms / 1000:.0f}s", f"{expected_availability:.2f}",
+                     f"{values['availability']:.2f}", f"{values['success']:.2f}",
+                     f"{values['msgs_per_query']:.1f}"])
+    report("A3  search success under churn (40 peers, 30 queries)",
+           ["protocol", "mean session", "expected avail.", "observed avail.",
+            "search success", "msgs/query"], rows)
+
+    # Under light churn every organisation answers nearly every query;
+    # heavy churn hurts, but queries keep being answered (> half) because
+    # publishers among the stable searchers still hold replicas.
+    for protocol in PROTOCOLS:
+        light = churn_grid[(protocol, SESSIONS_MS[0])]["success"]
+        heavy = churn_grid[(protocol, SESSIONS_MS[-1])]["success"]
+        assert light >= 0.85
+        assert heavy >= 0.5
+        assert light >= heavy - 0.05

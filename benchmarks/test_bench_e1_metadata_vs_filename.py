@@ -1,0 +1,127 @@
+"""E1 — meta-data search vs filename search.
+
+The paper's motivating claim (§I, §II): filename matching "acts as a
+barrier to sharing of complex objects — for example, a design patterns
+community requires the ability to search not just name but purpose,
+keywords, applications, etc."
+
+The experiment publishes the design-pattern corpus, then runs the same
+information needs twice: as U-P2P field queries over indexed meta-data,
+and as Napster/Gnutella-style substring matching over a synthetic
+filename (``<name>.pattern.xml``).  Recall of meta-data search should be
+dramatically higher for every need that refers to anything but the name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communities.design_patterns import generate_pattern_corpus
+from repro.storage.index import AttributeIndex, tokenize
+from repro.storage.query import Criterion, Operator, Query
+
+CORPUS_SIZE = 92
+
+#: (information need, field query criteria, relevant-record predicate)
+NEEDS = [
+    ("patterns about notifying dependents",
+     [("intent", "dependents notified", Operator.CONTAINS)],
+     lambda record: "notified" in record["intent"] or "notify" in record["intent"]),
+    ("creational patterns",
+     [("category", "creational", Operator.EQUALS)],
+     lambda record: record["category"] == "creational"),
+    ("patterns applicable to tree structures",
+     [("intent", "tree structures", Operator.CONTAINS)],
+     lambda record: "tree structures" in record["intent"]),
+    ("patterns about families of objects",
+     [("intent", "families", Operator.CONTAINS)],
+     lambda record: "families" in record["intent"]),
+    ("patterns named Observer",
+     [("name", "Observer", Operator.CONTAINS)],
+     lambda record: "observer" in record["name"].lower()),
+]
+
+
+def filename_of(record: dict[str, object]) -> str:
+    """The only thing a filename-matching network exposes."""
+    return f"{str(record['name']).lower().replace(' ', '_')}.pattern.xml"
+
+
+def filename_search(corpus, text: str) -> set[int]:
+    """Napster-style substring match of every query word against filenames."""
+    tokens = tokenize(text)
+    matches = set()
+    for index, record in enumerate(corpus):
+        name = filename_of(record)
+        if all(token in name for token in tokens):
+            matches.add(index)
+    return matches
+
+
+def build_index(corpus) -> AttributeIndex:
+    index = AttributeIndex()
+    for number, record in enumerate(corpus):
+        metadata = {path: [str(value)] if isinstance(value, str) else [str(v) for v in value]
+                    for path, value in record.items()}
+        index.add("patterns", f"r{number}", metadata)
+    return index
+
+
+def metadata_search(index: AttributeIndex, criteria) -> set[str]:
+    query = Query("patterns", [Criterion(path, value, operator) for path, value, operator in criteria])
+    return query.evaluate(index)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_pattern_corpus(CORPUS_SIZE, seed=5)
+
+
+def test_bench_e1_metadata_vs_filename_recall(benchmark, corpus, report):
+    index = build_index(corpus)
+
+    def run_all():
+        return [metadata_search(index, criteria) for _, criteria, _ in NEEDS]
+
+    benchmark(run_all)
+
+    rows = []
+    metadata_wins = 0
+    for need, criteria, is_relevant in NEEDS:
+        relevant = {index_ for index_, record in enumerate(corpus) if is_relevant(record)}
+        found_metadata = {int(rid[1:]) for rid in metadata_search(index, criteria)}
+        found_filename = filename_search(corpus, " ".join(value for _, value, _ in criteria))
+        recall_metadata = len(found_metadata & relevant) / max(1, len(relevant))
+        recall_filename = len(found_filename & relevant) / max(1, len(relevant))
+        rows.append([need, len(relevant), f"{recall_metadata:.2f}", f"{recall_filename:.2f}"])
+        if recall_metadata > recall_filename:
+            metadata_wins += 1
+        assert recall_metadata >= recall_filename
+    report("E1  recall: meta-data field search vs filename substring search",
+           ["information need", "relevant", "metadata recall", "filename recall"], rows)
+    # Meta-data search must win strictly for the majority of needs (everything
+    # that is not a pure name lookup).
+    assert metadata_wins >= 3
+
+
+def test_bench_e1_index_stays_small(benchmark, corpus, report):
+    """Only searchable fields are indexed, so 'only fields with small
+    portions of content [are] present in the search engine instead of the
+    entire XML object' (paper §IV-C.2)."""
+    index = benchmark.pedantic(build_index, args=(corpus,), rounds=1, iterations=1)
+    searchable_only = AttributeIndex()
+    searchable_fields = ("name", "category", "intent", "keywords", "applicability", "consequences")
+    full_bytes = 0
+    for number, record in enumerate(corpus):
+        metadata = {path: [str(value)] if isinstance(value, str) else [str(v) for v in value]
+                    for path, value in record.items()}
+        full_bytes += sum(len(path) + sum(len(v) for v in values) for path, values in metadata.items())
+        searchable_only.add("patterns", f"r{number}",
+                            {path: values for path, values in metadata.items()
+                             if path in searchable_fields})
+    report("E1  index size: searchable fields vs whole objects",
+           ["store", "bytes"],
+           [["full objects", full_bytes],
+            ["all fields indexed", index.size_bytes()],
+            ["searchable fields only", searchable_only.size_bytes()]])
+    assert searchable_only.size_bytes() < full_bytes

@@ -1,0 +1,103 @@
+"""E2 — community discovery scales like ordinary resource search.
+
+The paper's claim (§I, §IV-A, §VI): by treating a community as a shared
+resource, "the community discovery problem becomes just a specific case
+of the more general problem of resource discovery."  The experiment
+creates 10–200 communities, discovers them through root-community
+searches and measures discovery cost and precision as the population
+grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.community import ROOT_COMMUNITY_ID
+from repro.core.servent import Servent
+from repro.network.centralized import CentralizedProtocol
+from repro.schema.builder import SchemaBuilder
+
+COMMUNITY_COUNTS = (10, 50, 100, 200)
+
+_CATEGORIES = ("media", "science", "software", "teaching", "games")
+
+
+def community_schema_for(index: int) -> str:
+    builder = SchemaBuilder(f"item{index}")
+    builder.field("title", searchable=True)
+    builder.field("summary", searchable=True)
+    return builder.to_xsd()
+
+
+def build_world(community_count: int):
+    network = CentralizedProtocol(seed=7)
+    founder = Servent("founder", network)
+    seeker = Servent("seeker", network)
+    for index in range(community_count):
+        category = _CATEGORIES[index % len(_CATEGORIES)]
+        founder.create_community(
+            f"Community {index:03d} ({category})",
+            community_schema_for(index),
+            description=f"A {category} sharing community number {index}",
+            keywords=f"{category} shared resources group{index % 10}",
+            category=category,
+        )
+    return network, founder, seeker
+
+
+@pytest.mark.parametrize("community_count", COMMUNITY_COUNTS)
+def test_bench_e2_discovery_scales(benchmark, community_count):
+    network, founder, seeker = build_world(community_count)
+
+    def discover():
+        return seeker.search_communities("science")
+
+    response = benchmark(discover)
+    expected = sum(1 for index in range(community_count)
+                   if _CATEGORIES[index % len(_CATEGORIES)] == "science")
+    assert response.result_count == expected
+    assert all(result.community_id == ROOT_COMMUNITY_ID for result in response.results)
+
+
+def test_bench_e2_report(benchmark, report):
+    worlds = benchmark.pedantic(
+        lambda: {count: build_world(count) for count in COMMUNITY_COUNTS},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for community_count in COMMUNITY_COUNTS:
+        network, founder, seeker = worlds[community_count]
+        network.stats.reset()
+        browse = seeker.search_communities(max_results=1000)
+        narrowed = seeker.search_communities("science group6", max_results=1000)
+        rows.append([
+            community_count,
+            browse.result_count,
+            narrowed.result_count,
+            network.stats.mean_messages_per_query(),
+            f"{network.stats.mean_latency_ms():.1f}",
+        ])
+        assert browse.result_count == community_count
+        assert 0 < narrowed.result_count < community_count
+    report("E2  community discovery via root-community search",
+           ["communities", "browse results", "narrowed results", "msgs/query", "latency ms"], rows)
+    # Message cost per discovery query does not grow with the number of
+    # communities (it is one query + one hit, like any other search).
+    assert rows[0][3] == rows[-1][3]
+
+
+def test_bench_e2_join_after_discovery(benchmark):
+    """Joining a discovered community (download object + fetch schema) is a
+    constant-cost operation regardless of how many communities exist."""
+    network, founder, seeker = build_world(100)
+
+    discovery = seeker.search_communities("group7")
+    target = discovery.results[0]
+
+    def join():
+        community = seeker.join_community(target)
+        seeker.registry.leave(community.community_id)
+        return community
+
+    community = benchmark(join)
+    assert community.root_element_name.startswith("item")

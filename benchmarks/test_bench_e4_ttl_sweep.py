@@ -1,0 +1,67 @@
+"""E4 — TTL sweep on the Gnutella-style network.
+
+The search horizon of a flooding network is bounded by the query TTL.
+The sweep measures recall, messages and probed peers as the TTL grows
+from 1 to 7 — the knob a U-P2P deployment on Gnutella would have to
+tune, and the reason the paper lists protocol/routing attributes in the
+community schema for future use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+TTLS = (1, 2, 3, 5, 7)
+BASE = dict(protocol="gnutella", peers=80, members=30, publishers=15,
+            corpus_size=80, queries=25, community="mp3", degree=3, seed=23)
+
+
+def run_ttl(ttl: int):
+    scenario = build_scenario(ScenarioConfig(ttl=ttl, **BASE))
+    counts = scenario.run_queries(max_results=300)
+    stats = scenario.network.stats
+    recall_samples = [min(found, expected) / expected
+                      for found, expected in zip(counts, scenario.workload.expected_matches)
+                      if expected]
+    return {
+        "recall": sum(recall_samples) / len(recall_samples) if recall_samples else 0.0,
+        "msgs_per_query": stats.mean_messages_per_query(),
+        "peers_probed": sum(record.peers_probed for record in stats.queries) / len(stats.queries),
+        "latency_ms": stats.mean_latency_ms(),
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {ttl: run_ttl(ttl) for ttl in TTLS}
+
+
+@pytest.mark.parametrize("ttl", (2, 7))
+def test_bench_e4_query_phase(benchmark, ttl):
+    scenario = build_scenario(ScenarioConfig(ttl=ttl, **{**BASE, "queries": 8}))
+    benchmark(lambda: scenario.run_queries(max_results=300))
+
+
+def test_bench_e4_report(benchmark, sweep, report):
+    benchmark.pedantic(lambda: dict(sweep), rounds=1, iterations=1)
+    rows = [[ttl,
+             f"{values['recall']:.2f}",
+             f"{values['msgs_per_query']:.1f}",
+             f"{values['peers_probed']:.1f}",
+             f"{values['latency_ms']:.0f}"]
+            for ttl, values in sweep.items()]
+    report("E4  Gnutella TTL sweep (80 peers, power-law overlay, degree 3)",
+           ["TTL", "recall", "msgs/query", "peers probed", "latency ms"], rows)
+
+    recalls = [sweep[ttl]["recall"] for ttl in TTLS]
+    messages = [sweep[ttl]["msgs_per_query"] for ttl in TTLS]
+    probed = [sweep[ttl]["peers_probed"] for ttl in TTLS]
+    # Horizon and cost both grow with TTL (allowing tiny numerical jitter),
+    # and the extremes are clearly separated.
+    assert probed[0] < probed[-1]
+    assert messages[0] < messages[-1]
+    assert recalls[0] <= recalls[-1]
+    assert recalls[-1] > 0.8
+    assert recalls[0] < 0.7

@@ -1,0 +1,92 @@
+"""E5 — the case study's index filter: index size vs query capability.
+
+The design-pattern case study (§V) lets the community designer decide
+"which parts of the design pattern should be indexed" through an
+index-filter stylesheet.  The experiment publishes the same corpus under
+three filter policies and reports index size and which query classes
+remain answerable — the trade-off the community designer is making.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communities.design_patterns import generate_pattern_corpus, pattern_schema_xsd
+from repro.core.community import Community, CommunityDescriptor
+from repro.core.resource import Resource
+from repro.schema.instance import build_instance
+from repro.schema.parser import parse_schema_text
+from repro.storage.index import AttributeIndex
+from repro.storage.query import Query
+from repro.xmlkit.serializer import serialize
+
+CORPUS_SIZE = 69
+
+POLICIES = {
+    "everything": None,                                        # every leaf field indexed
+    "case-study filter": ("name", "category", "intent", "keywords",
+                          "applicability", "consequences"),
+    "name only": ("name",),
+}
+
+
+def build_index_for(policy_fields, corpus):
+    schema = parse_schema_text(pattern_schema_xsd())
+    community = Community(CommunityDescriptor(name="patterns"), pattern_schema_xsd(),
+                          index_filter_fields=policy_fields)
+    index = AttributeIndex()
+    for number, record in enumerate(corpus):
+        instance = build_instance(schema, record)
+        resource = Resource("patterns", instance)
+        metadata = community.extract_metadata(resource)
+        if policy_fields is None:
+            metadata = resource.metadata(schema, searchable_only=False)
+        index.add("patterns", f"r{number}", metadata)
+    return index
+
+
+QUERY_CLASSES = {
+    "by name": Query("patterns").where("name", "Observer"),
+    "by intent": Query("patterns").where("intent", "families of related objects"),
+    "by consequences": Query("patterns").where("consequences", "flexibility for indirection"),
+    "by participants": Query("patterns").where("solution/participants", "ConcreteObserver"),
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_pattern_corpus(CORPUS_SIZE, seed=13)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_bench_e5_indexing_cost(benchmark, policy, corpus):
+    index = benchmark(build_index_for, POLICIES[policy], corpus)
+    assert index.indexed_objects() == CORPUS_SIZE
+
+
+def test_bench_e5_report(benchmark, corpus, report):
+    indexes = benchmark.pedantic(
+        lambda: {policy: build_index_for(fields, corpus) for policy, fields in POLICIES.items()},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    answerable = {}
+    sizes = {}
+    for policy, fields in POLICIES.items():
+        index = indexes[policy]
+        sizes[policy] = index.size_bytes()
+        answered = {name for name, query in QUERY_CLASSES.items() if query.evaluate(index)}
+        answerable[policy] = answered
+        rows.append([policy, index.entry_count(), index.size_bytes(),
+                     ", ".join(sorted(answered)) or "-"])
+    report("E5  index-filter policies on the design-pattern community",
+           ["policy", "index entries", "index bytes", "answerable query classes"], rows)
+
+    # The paper's trade-off: the filter shrinks the index but narrows the
+    # answerable queries; the case-study filter keeps every meta-data
+    # query class except participant search while indexing far less than
+    # the full object.
+    assert sizes["name only"] < sizes["case-study filter"] < sizes["everything"]
+    assert answerable["everything"] == set(QUERY_CLASSES)
+    assert answerable["case-study filter"] == {"by name", "by intent", "by consequences"}
+    assert answerable["name only"] == {"by name"}

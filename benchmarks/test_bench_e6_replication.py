@@ -1,0 +1,126 @@
+"""E6 — replication of popular objects increases availability.
+
+The paper's §II observation about Napster: "by downloading popular
+files, users increased the robustness of the network by increasing the
+probability of finding a host sharing the file."  The experiment drives
+a Zipf-distributed download workload, then measures per-rank replica
+counts and the probability that an object can still be found after
+random peer departures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communities.mp3 import mp3_community
+from repro.core.application import Application
+from repro.core.servent import Servent
+from repro.network.centralized import CentralizedProtocol
+from repro.storage.query import Query
+from repro.workloads.popularity import ZipfDistribution
+
+PEERS = 30
+OBJECTS = 40
+DOWNLOADS = 150
+
+
+def build_world(seed=29):
+    network = CentralizedProtocol(seed=seed)
+    definition = mp3_community()
+    servents = [Servent(f"peer-{index:02d}", network) for index in range(PEERS)]
+    founder_app = definition.application_on(servents[0])
+    applications = [founder_app]
+    for servent in servents[1:]:
+        found = [r for r in servent.search_communities("music").results
+                 if r.title == definition.name]
+        applications.append(Application(servent, servent.join_community(found[0])))
+    corpus = definition.sample_corpus(OBJECTS, seed=seed)
+    resource_ids = []
+    for index, record in enumerate(corpus):
+        resource_ids.append(applications[index % 5].publish(record).resource_id)
+    return network, applications, resource_ids
+
+
+def run_downloads(network, applications, resource_ids, *, downloads=DOWNLOADS, seed=31):
+    zipf = ZipfDistribution(len(resource_ids), exponent=1.0, seed=seed)
+    community_id = applications[0].community.community_id
+    rng_targets = zipf.sample_many(downloads)
+    for number, rank in enumerate(rng_targets):
+        application = applications[number % len(applications)]
+        wanted = resource_ids[rank]
+        response = application.servent.network.search(
+            application.servent.peer_id, Query(community_id), max_results=2000)
+        hits = [result for result in response.results if result.resource_id == wanted]
+        if not hits:
+            continue
+        hit = next((h for h in hits if h.provider_id != application.servent.peer_id), None)
+        if hit is None:
+            continue
+        if application.servent.repository.documents.contains(wanted):
+            continue
+        application.download(hit)
+    return zipf
+
+
+def availability_after_departures(network, resource_ids, *, departures: int, seed=37):
+    """Fraction of objects still reachable after ``departures`` random peers leave."""
+    import random
+    rng = random.Random(seed)
+    online = [peer_id for peer_id in network.peers if network.peer(peer_id).online]
+    for peer_id in rng.sample(online, min(departures, len(online) - 1)):
+        network.set_online(peer_id, False)
+    available = sum(1 for resource_id in resource_ids if network.provider_count(resource_id) > 0)
+    for peer_id in network.peers:
+        network.set_online(peer_id, True)
+    return available / len(resource_ids)
+
+
+@pytest.fixture(scope="module")
+def world():
+    network, applications, resource_ids = build_world()
+    zipf = run_downloads(network, applications, resource_ids)
+    return network, applications, resource_ids, zipf
+
+
+def test_bench_e6_download_workload(benchmark):
+    network, applications, resource_ids = build_world(seed=41)
+    benchmark.pedantic(
+        lambda: run_downloads(network, applications, resource_ids, downloads=25, seed=43),
+        rounds=1, iterations=1,
+    )
+
+
+def test_bench_e6_report(benchmark, world, report):
+    network, applications, resource_ids, zipf = world
+    benchmark.pedantic(
+        lambda: [network.provider_count(resource_id) for resource_id in resource_ids],
+        rounds=1, iterations=1,
+    )
+    replica_rows = []
+    for rank in (0, 1, 4, 9, 19, 39):
+        if rank >= len(resource_ids):
+            continue
+        replica_rows.append([rank, f"{zipf.probability(rank):.3f}",
+                             network.provider_count(resource_ids[rank])])
+    report("E6  replicas per popularity rank after the download workload",
+           ["popularity rank", "request probability", "providers"], replica_rows)
+
+    popular_replicas = network.provider_count(resource_ids[0])
+    unpopular_replicas = network.provider_count(resource_ids[-1])
+    assert popular_replicas > unpopular_replicas
+    assert popular_replicas >= 3
+
+    availability_rows = []
+    for departures in (5, 10, 15, 20):
+        fraction = availability_after_departures(network, resource_ids, departures=departures)
+        top = sum(
+            1 for rank in range(5) if network.provider_count(resource_ids[rank]) > 0
+        ) / 5
+        availability_rows.append([departures, f"{fraction:.2f}", f"{top:.2f}"])
+    report("E6  availability after random departures",
+           ["departed peers", "all objects reachable", "top-5 popular reachable"],
+           availability_rows)
+    # Popular objects survive departures better than the corpus average.
+    last_all = float(availability_rows[-1][1])
+    last_top = float(availability_rows[-1][2])
+    assert last_top >= last_all

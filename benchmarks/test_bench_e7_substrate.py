@@ -1,0 +1,99 @@
+"""E7 — substrate micro-benchmarks: XML, XML Schema, XSLT, index, query.
+
+The generative architecture pays for schema parsing, validation and
+XSLT execution on the object path.  These micro-benchmarks quantify each
+substrate operation on the bundled communities so the higher-level
+experiment numbers can be interpreted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communities.design_patterns import generate_pattern_corpus, pattern_schema_xsd
+from repro.core.community import COMMUNITY_SCHEMA_XSD
+from repro.core.stylesheets import StylesheetSet
+from repro.schema.instance import build_instance
+from repro.schema.parser import parse_schema_text
+from repro.schema.validator import validate
+from repro.storage.index import AttributeIndex
+from repro.storage.query import Query
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serializer import pretty, serialize
+from repro.xmlkit.xpath import XPath
+
+
+@pytest.fixture(scope="module")
+def pattern_objects():
+    schema = parse_schema_text(pattern_schema_xsd())
+    corpus = generate_pattern_corpus(40, seed=3)
+    instances = [build_instance(schema, record) for record in corpus]
+    texts = [serialize(instance, xml_declaration=False) for instance in instances]
+    return schema, instances, texts
+
+
+def test_bench_e7_xml_parse(benchmark, pattern_objects):
+    _, _, texts = pattern_objects
+    documents = benchmark(lambda: [parse(text) for text in texts])
+    assert len(documents) == len(texts)
+
+
+def test_bench_e7_xml_serialize(benchmark, pattern_objects):
+    _, instances, _ = pattern_objects
+    outputs = benchmark(lambda: [pretty(instance) for instance in instances])
+    assert all(output.startswith("<?xml") for output in outputs)
+
+
+def test_bench_e7_schema_parse(benchmark):
+    schema = benchmark(parse_schema_text, pattern_schema_xsd())
+    assert schema.root_element().name == "pattern"
+
+
+def test_bench_e7_fig3_schema_parse(benchmark):
+    schema = benchmark(parse_schema_text, COMMUNITY_SCHEMA_XSD)
+    assert schema.root_element().name == "community"
+
+
+def test_bench_e7_validation(benchmark, pattern_objects):
+    schema, instances, _ = pattern_objects
+    reports = benchmark(lambda: [validate(schema, instance) for instance in instances])
+    assert all(report.is_valid for report in reports)
+
+
+def test_bench_e7_xpath(benchmark, pattern_objects):
+    _, instances, _ = pattern_objects
+    expression = XPath("solution/participants")
+    counts = benchmark(lambda: [len(expression.select(instance)) for instance in instances])
+    assert all(count >= 1 for count in counts)
+
+
+def test_bench_e7_view_transform(benchmark, pattern_objects):
+    _, _, texts = pattern_objects
+    styles = StylesheetSet()
+    pages = benchmark(lambda: [styles.render_view(text) for text in texts[:10]])
+    assert all("<table" in page for page in pages)
+
+
+def test_bench_e7_index_build_and_query(benchmark, pattern_objects, report):
+    schema, instances, _ = pattern_objects
+    metadata_list = []
+    from repro.core.resource import Resource
+    for instance in instances:
+        resource = Resource("patterns", instance)
+        metadata_list.append(resource.metadata(schema))
+
+    def build_and_query():
+        index = AttributeIndex()
+        for number, metadata in enumerate(metadata_list):
+            index.add("patterns", f"r{number}", metadata)
+        hits = Query.keyword("patterns", "factory").evaluate(index)
+        return index, hits
+
+    index, hits = benchmark(build_and_query)
+    assert hits
+    report("E7  substrate inventory on the pattern corpus (40 objects)",
+           ["metric", "value"],
+           [["indexed objects", index.indexed_objects()],
+            ["index entries", index.entry_count()],
+            ["index bytes", index.size_bytes()],
+            ["'factory' keyword hits", len(hits)]])

@@ -1,0 +1,72 @@
+"""F1 — Fig. 1: the shared-object model.
+
+The schema plus the stylesheet set instantiate the Create form, Search
+form, View page and the indexed attributes of a shared object.  The
+benchmark measures the cost of each generated artefact for every
+bundled community and checks that all four artefacts are produced from
+the schema alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communities import ALL_COMMUNITIES
+from repro.core.stylesheets import StylesheetSet
+from repro.schema.instance import InstanceSynthesizer
+from repro.schema.parser import parse_schema_text
+from repro.xmlkit.serializer import serialize
+
+COMMUNITIES = sorted(ALL_COMMUNITIES)
+
+
+def _artefacts_for(definition):
+    """Generate all four Fig. 1 artefacts for one community."""
+    styles = definition.stylesheets or StylesheetSet()
+    schema = parse_schema_text(definition.schema_xsd)
+    instance = InstanceSynthesizer(schema, seed=1).synthesize()
+    object_xml = serialize(instance, xml_declaration=False)
+    return {
+        "create_form": styles.render_create_form(definition.schema_xsd),
+        "search_form": styles.render_search_form(definition.schema_xsd),
+        "view_page": styles.render_view(object_xml),
+        "indexed": styles.extract_indexed_attributes(object_xml),
+    }
+
+
+@pytest.mark.parametrize("community_key", COMMUNITIES)
+def test_bench_figure1_artefact_generation(benchmark, community_key, report):
+    definition = ALL_COMMUNITIES[community_key]()
+    artefacts = benchmark(_artefacts_for, definition)
+    assert "<form" in artefacts["create_form"]
+    assert "<form" in artefacts["search_form"]
+    assert "<table" in artefacts["view_page"] or "<h1>" in artefacts["view_page"]
+    assert artefacts["indexed"], "the index filter must extract at least one attribute"
+    report(
+        f"F1  Fig.1 artefacts generated from the {definition.name!r} schema",
+        ["artefact", "size (chars)"],
+        [["create form", len(artefacts["create_form"])],
+         ["search form", len(artefacts["search_form"])],
+         ["view page", len(artefacts["view_page"])],
+         ["indexed attributes", sum(len(v) for v in artefacts["indexed"].values())]],
+    )
+
+
+def test_bench_figure1_schema_is_the_only_input(benchmark, report):
+    """The same default stylesheets serve every community: no per-community
+    code is needed, only the schema (the paper's central claim)."""
+    styles = StylesheetSet()
+    benchmark.pedantic(
+        lambda: [styles.render_create_form(ALL_COMMUNITIES[key]().schema_xsd) for key in COMMUNITIES],
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for key in COMMUNITIES:
+        definition = ALL_COMMUNITIES[key]()
+        create_html = styles.render_create_form(definition.schema_xsd)
+        schema = parse_schema_text(definition.schema_xsd)
+        field_count = len(schema.fields())
+        input_count = create_html.count("<input")
+        rows.append([definition.name, field_count, input_count])
+        assert input_count >= field_count  # one input per leaf field plus submit
+    report("F1  one stylesheet set, every community", ["community", "schema fields", "form inputs"], rows)

@@ -1,0 +1,68 @@
+"""F3 — Fig. 3: the community bootstrap schema.
+
+Checks that the verbatim Fig. 3 schema drives the whole bootstrap
+machinery (parse, validate community objects, generate the community
+create/search forms) and measures those operations.
+"""
+
+from __future__ import annotations
+
+from repro.core.community import (
+    COMMUNITY_SCHEMA_XSD,
+    CommunityDescriptor,
+    KNOWN_PROTOCOLS,
+    community_schema,
+    root_community,
+)
+from repro.core.stylesheets import StylesheetSet
+from repro.schema.parser import parse_schema_text
+from repro.schema.validator import validate
+
+FIG3_FIELDS = [
+    "name", "description", "keywords", "category", "security",
+    "protocol", "schema", "displaystyle", "createstyle", "searchstyle",
+]
+
+
+def test_bench_figure3_schema_parse(benchmark, report):
+    schema = benchmark(parse_schema_text, COMMUNITY_SCHEMA_XSD)
+    assert [info.path for info in schema.fields()] == FIG3_FIELDS
+    assert schema.field_by_path("protocol").enumeration == list(KNOWN_PROTOCOLS)
+    report("F3  Fig. 3 community schema",
+           ["field", "type", "enumerated values"],
+           [[info.path, info.type_name, ", ".join(info.enumeration) or "-"]
+            for info in schema.fields()])
+
+
+def test_bench_figure3_community_object_validation(benchmark):
+    schema = community_schema()
+    descriptor = CommunityDescriptor(
+        name="MP3 community", description="songs", keywords="music mp3",
+        category="media", protocol="Gnutella", schema_uri="up2p:mp3/schema.xsd",
+    )
+    document = descriptor.to_xml()
+    report_outcome = benchmark(validate, schema, document)
+    assert report_outcome.is_valid
+
+
+def test_bench_figure3_bootstrap_forms(benchmark, report):
+    """The root community's own Create/Search forms are generated from the
+    Fig. 3 schema by the same default stylesheets (the metaclass move)."""
+    styles = StylesheetSet()
+
+    def generate():
+        return (styles.render_create_form(COMMUNITY_SCHEMA_XSD),
+                styles.render_search_form(COMMUNITY_SCHEMA_XSD))
+
+    create_html, search_html = benchmark(generate)
+    for field in FIG3_FIELDS:
+        assert f'name="{field}"' in create_html
+    assert "up2p-search" in search_html
+    root = root_community()
+    report("F3  root community bootstrap",
+           ["property", "value"],
+           [["community id", root.community_id],
+            ["root element", root.root_element_name],
+            ["searchable fields", len(root.searchable_field_paths())],
+            ["create form chars", len(create_html)],
+            ["search form chars", len(search_html)]])

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Community discovery: communities are just shared resources.
+
+The metaclass move of the paper (§I):
+
+    metaclass : class : object   =   Community : mp3-community : mp3
+
+This script creates every bundled community (plus artist-narrowed MP3
+sub-communities), then shows a newcomer discovering them through root-
+community searches, joining one, and searching inside it — the same
+Create/Search/View machinery at both levels.
+
+Run with:  python examples/community_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.communities import ALL_COMMUNITIES
+from repro.communities.mp3 import narrowed_mp3_community
+from repro.core.application import Application
+from repro.core.servent import Servent
+from repro.network.superpeer import SuperPeerProtocol
+
+
+def main() -> None:
+    network = SuperPeerProtocol(seed=3, super_peer_ratio=0.25)
+    curator = Servent("curator", network)
+    newcomer = Servent("newcomer", network)
+    for index in range(10):
+        Servent(f"member-{index}", network)
+    network.elect_super_peers()
+
+    # The curator creates every bundled community plus two narrowed ones.
+    definitions = [factory() for factory in ALL_COMMUNITIES.values()]
+    definitions.append(narrowed_mp3_community("Miles Davis"))
+    definitions.append(narrowed_mp3_community("Kraftwerk"))
+    applications = {}
+    for definition in definitions:
+        applications[definition.name] = definition.application_on(curator)
+    print(f"curator created {len(definitions)} communities\n")
+
+    # The newcomer browses the root community: every community is an object.
+    browse = newcomer.search_communities()
+    print("--- browsing the root community ---------------------------------")
+    for result in browse.results:
+        descriptor = dict(result.metadata)
+        print(f"  {result.title:32s} category={descriptor.get('category', ('?',))[0]:22s} "
+              f"keywords={descriptor.get('keywords', ('',))[0][:40]}")
+
+    # Discovery is just search: narrow by keyword, category, protocol...
+    print("\n--- keyword discovery: 'music' -----------------------------------")
+    for result in newcomer.search_communities("music").results:
+        print(f"  {result.title}")
+    print("\n--- field discovery: category = science ---------------------------")
+    for result in newcomer.search_communities({"category": "science"}).results:
+        print(f"  {result.title}")
+
+    # Join one and use it: the same search machinery one level down.
+    target = next(result for result in newcomer.search_communities("genome").results)
+    community = newcomer.join_community(target)
+    app = Application(newcomer, community)
+    print(f"\nnewcomer joined {community.name!r} (object type <{app.object_name}>)")
+
+    corpus = ALL_COMMUNITIES["genes"]().sample_corpus(12, seed=4)
+    curator_app = applications["Genome Annotations"]
+    for record in corpus:
+        curator_app.publish(record)
+    response = app.search({"organism": "Homo sapiens"}, max_results=50)
+    print(f"search organism='Homo sapiens' -> {response.result_count} gene records")
+    if response.results:
+        downloaded = app.download(response.results[0])
+        print("\n--- first downloaded record, rendered by the View function ---")
+        print(app.view(downloaded.resource_id)[:400], "…")
+
+    print("\nmemberships of the newcomer:",
+          [community.name for community in newcomer.joined_communities()])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The paper's §V case study: a peer-to-peer design-pattern repository.
+
+A group of researchers share the 23 GoF patterns (plus domain-specific
+variations) over a Gnutella-style network, using the pattern community's
+custom view stylesheet and index filter.  The script then runs the rich
+queries the paper says filename search cannot answer.
+
+Run with:  python examples/design_patterns_repository.py
+"""
+
+from __future__ import annotations
+
+from repro.communities.design_patterns import (
+    design_pattern_community,
+    generate_pattern_corpus,
+)
+from repro.core.application import Application
+from repro.core.servent import Servent
+from repro.network.gnutella import GnutellaProtocol
+from repro.storage.query import Operator, Query
+
+
+def main() -> None:
+    network = GnutellaProtocol(seed=7, degree=4, default_ttl=8)
+    researchers = [Servent(f"researcher-{index}", network) for index in range(6)]
+
+    definition = design_pattern_community()
+    founder_app = definition.application_on(researchers[0])
+    applications = [founder_app]
+    for servent in researchers[1:]:
+        discovery = servent.search_communities("design patterns")
+        community = servent.join_community(discovery.results[0])
+        applications.append(Application(servent, community))
+    network.build_overlay()
+
+    corpus = generate_pattern_corpus(46, seed=7)
+    for index, record in enumerate(corpus):
+        applications[index % len(applications)].publish(record)
+    print(f"published {len(corpus)} patterns across {len(applications)} researchers")
+
+    searcher = applications[-1]
+
+    print("\n--- queries that go beyond filename matching -------------------")
+    queries = {
+        "intent mentions 'families of related objects'":
+            {"intent": "families of related objects"},
+        "category = creational":
+            {"category": "creational"},
+        "consequences mention 'indirection'":
+            {"consequences": "indirection"},
+    }
+    for label, criteria in queries.items():
+        response = searcher.search(criteria, max_results=100)
+        names = sorted({result.metadata["name"][0] for result in response.results})[:6]
+        print(f"{label:55s} -> {response.result_count:3d} hits  e.g. {', '.join(names[:3])}")
+
+    print("\n--- a conjunctive query ----------------------------------------")
+    query = (Query(searcher.community.community_id)
+             .where("category", "behavioral", Operator.EQUALS)
+             .where("intent", "one-to-many"))
+    response = searcher.search(query)
+    print(f"behavioral AND 'one-to-many' -> "
+          f"{[result.metadata['name'][0] for result in response.results]}")
+
+    print("\n--- download and view with the custom stylesheet ---------------")
+    hit = searcher.search({"name": "Observer"}).results[0]
+    downloaded = searcher.download(hit)
+    html = searcher.view(downloaded.resource_id)
+    print(html[:600], "…")
+
+    print("\n--- index filter at work ----------------------------------------")
+    community_id = searcher.community.community_id
+    for application in applications[:2]:
+        fields = application.servent.repository.index.fields_for(community_id)
+        print(f"{application.servent.peer_id}: indexed fields = {fields}")
+
+    print("\n--- network cost of this session --------------------------------")
+    for metric, value in network.stats.summary().items():
+        print(f"{metric:28s} {value:10.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A durable pattern repository: persistence, rich queries and a web snapshot.
+
+Exercises the §VI future-work features implemented as extensions:
+
+* the richer XML query language (``for … where … return``) evaluated
+  over full objects rather than the attribute index,
+* saving a servent's repository to disk and reloading it,
+* exporting the servent's web interface as a static HTML site.
+
+Run with:  python examples/durable_repository.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.communities.design_patterns import design_pattern_community
+from repro.core.servent import Servent
+from repro.core.webui import WebUI
+from repro.network.rendezvous import RendezvousProtocol
+from repro.storage.persistence import load_repository, save_repository
+from repro.storage.xquery import xquery
+
+
+def main() -> None:
+    # The JXTA-style rendezvous layer — the network the paper proposed next.
+    network = RendezvousProtocol(seed=2, rendezvous_ratio=0.34)
+    curator = Servent("curator", network)
+    for index in range(5):
+        Servent(f"member-{index}", network)
+    network.elect_rendezvous()
+
+    definition = design_pattern_community()
+    app = definition.application_on(curator)
+    for record in definition.sample_corpus(23, seed=1):
+        app.publish(record)
+    community_id = app.community.community_id
+    print(f"curator shares {len(app.shared_objects())} patterns "
+          f"over the {network.protocol_name} layer "
+          f"({network.advertisement_count()} live advertisements)\n")
+
+    # --- richer queries than the attribute index can answer ----------------
+    print("--- XQuery-lite: reaching fields the index filter left out --------")
+    queries = [
+        "for $p in pattern where $p/category = 'creational' return $p/name",
+        "for $p in pattern where contains($p/intent, 'violating encapsulation') return $p/name",
+        "for $p in pattern where count($p/solution/participants) >= 5 return $p/name",
+    ]
+    for text in queries:
+        results = xquery(curator.repository, community_id, text)
+        print(f"  {text}")
+        print(f"    -> {[result.as_text() for result in results]}")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        # --- persistence ----------------------------------------------------
+        store_dir = Path(workdir) / "repository"
+        count = save_repository(curator.repository, store_dir)
+        reloaded = load_repository(store_dir)
+        print(f"\nsaved {count} objects to {store_dir.name}/ and reloaded "
+              f"{len(reloaded.documents)} of them; index rebuilt with "
+              f"{reloaded.index.entry_count()} entries")
+
+        # --- static web snapshot ---------------------------------------------
+        site_dir = Path(workdir) / "site"
+        files = WebUI(curator, title="Carleton Pattern Repository").export_site(site_dir)
+        print(f"exported a browsable snapshot: {len(files)} HTML pages "
+              f"(index.html, communities.html, one view page per pattern)")
+        index_html = (site_dir / "index.html").read_text(encoding="utf-8")
+        print("\n--- index.html (first 300 chars) ---")
+        print(index_html[:300], "…")
+
+
+if __name__ == "__main__":
+    main()

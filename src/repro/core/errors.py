@@ -1,0 +1,23 @@
+"""Error types for the U-P2P core."""
+
+from __future__ import annotations
+
+
+class UP2PError(Exception):
+    """Base class for core-layer errors."""
+
+
+class CommunityError(UP2PError):
+    """Raised for malformed or unknown communities."""
+
+
+class NotAMemberError(UP2PError):
+    """Raised when an operation requires community membership.
+
+    The paper: "a user must join a community by downloading its schema
+    in order to conduct searches in that community."
+    """
+
+
+class InvalidObjectError(UP2PError):
+    """Raised when a created object does not validate against its schema."""

@@ -1,0 +1,159 @@
+"""Static HTML pages for a servent — the web-application face of U-P2P.
+
+The original prototype was "a web-based application: any browser can be
+used to interface to a U-P2P servent" (§IV-B).  This module renders the
+pages that interface consisted of — a home page listing communities, and
+per-community Create, Search, Results and View pages — as plain HTML
+strings, so a downstream user can serve them from any web framework (or
+dump them to disk) without the library depending on one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.community import Community, ROOT_COMMUNITY_ID
+from repro.core.servent import Servent
+from repro.network.base import SearchResponse
+from repro.xmlkit.dom import Element
+from repro.xmlkit.escape import escape_text
+from repro.xslt.html import render_html
+
+_STYLE = (
+    "body{font-family:sans-serif;margin:2em;}table{border-collapse:collapse;}"
+    "td,th{border:1px solid #999;padding:4px 8px;}h1{color:#223;}"
+    ".nav a{margin-right:1em;}"
+)
+
+
+class WebUI:
+    """Renders a servent's pages as static HTML."""
+
+    def __init__(self, servent: Servent, *, title: str = "U-P2P") -> None:
+        self.servent = servent
+        self.title = title
+
+    # ------------------------------------------------------------------
+    # Page skeleton
+    # ------------------------------------------------------------------
+    def _page(self, heading: str, body_html: str) -> str:
+        nav = (
+            '<div class="nav"><a href="index.html">Home</a>'
+            '<a href="communities.html">Communities</a></div>'
+        )
+        return (
+            "<!DOCTYPE html>\n"
+            f"<html><head><meta charset=\"utf-8\"><title>{escape_text(self.title)} — "
+            f"{escape_text(heading)}</title><style>{_STYLE}</style></head>"
+            f"<body><h1>{escape_text(heading)}</h1>{nav}{body_html}</body></html>"
+        )
+
+    # ------------------------------------------------------------------
+    # Pages
+    # ------------------------------------------------------------------
+    def home_page(self) -> str:
+        """The servent's home page: identity, statistics, memberships."""
+        stats = self.servent.statistics()
+        table = Element("table")
+        for key in sorted(stats):
+            row = table.make_child("tr")
+            row.make_child("th", text=key.replace("_", " "))
+            row.make_child("td", text=str(stats[key]))
+        memberships = Element("ul")
+        for community in self.servent.joined_communities():
+            item = memberships.make_child("li")
+            item.make_child("a", text=community.name,
+                            attributes={"href": f"community-{community.community_id}.html"})
+        body = (f"<p>Servent <strong>{escape_text(self.servent.peer_id)}</strong> on the "
+                f"<em>{escape_text(self.servent.network.protocol_name)}</em> network layer.</p>"
+                + render_html([table]) + "<h2>Joined communities</h2>" + render_html([memberships]))
+        return self._page(f"Servent {self.servent.peer_id}", body)
+
+    def communities_page(self, discovery: Optional[SearchResponse] = None) -> str:
+        """The community browser: the root community's search results."""
+        response = discovery or self.servent.search_communities()
+        table = Element("table")
+        header = table.make_child("tr")
+        for column in ("name", "description", "keywords", "category", "protocol", ""):
+            header.make_child("th", text=column)
+        for result in response.results:
+            metadata = {path: values[0] if values else "" for path, values in result.metadata.items()}
+            row = table.make_child("tr")
+            row.make_child("td", text=metadata.get("name", result.title))
+            row.make_child("td", text=metadata.get("description", ""))
+            row.make_child("td", text=metadata.get("keywords", ""))
+            row.make_child("td", text=metadata.get("category", ""))
+            row.make_child("td", text=metadata.get("protocol", "") or "(any)")
+            cell = row.make_child("td")
+            cell.make_child("a", text="join", attributes={"href": f"join-{result.resource_id}.html"})
+        body = (f"<p>{len(response.results)} communities discovered in the root community.</p>"
+                + render_html([table]))
+        return self._page("Community discovery", body)
+
+    def community_page(self, community_id: str) -> str:
+        """One community's landing page with its Create and Search forms."""
+        community = self.servent.registry.require_joined(community_id)
+        create_html = self.servent.render_create_form(community_id)
+        search_html = self.servent.render_search_form(community_id)
+        shared = self.servent.local_objects(community_id)
+        listing = Element("ul")
+        for stored in shared:
+            item = listing.make_child("li")
+            item.make_child("a", text=stored.title or stored.resource_id,
+                            attributes={"href": f"view-{stored.resource_id}.html"})
+        body = (f"<p>{escape_text(community.descriptor.description)}</p>"
+                f"<h2>Create</h2>{create_html}<h2>Search</h2>{search_html}"
+                f"<h2>Locally shared objects ({len(shared)})</h2>" + render_html([listing]))
+        return self._page(f"Community: {community.name}", body)
+
+    def results_page(self, community: Community, response: SearchResponse) -> str:
+        """Search results: title, provider, hops, download link."""
+        table = Element("table")
+        header = table.make_child("tr")
+        for column in ("title", "provider", "hops", ""):
+            header.make_child("th", text=column)
+        for result in response.results:
+            row = table.make_child("tr")
+            row.make_child("td", text=result.title)
+            row.make_child("td", text=result.provider_id)
+            row.make_child("td", text=str(result.hops))
+            cell = row.make_child("td")
+            cell.make_child("a", text="download",
+                            attributes={"href": f"download-{result.resource_id}.html"})
+        summary = (f"<p>{response.result_count} results for <code>"
+                   f"{escape_text(response.query.describe())}</code> "
+                   f"({response.messages_sent} messages, "
+                   f"{response.latency_ms:.0f} ms simulated).</p>")
+        return self._page(f"Search results — {community.name}", summary + render_html([table]))
+
+    def view_page(self, resource_id: str) -> str:
+        """The View function's page for one locally available object."""
+        rendered = self.servent.view(resource_id)
+        stored = self.servent.repository.retrieve(resource_id)
+        return self._page(f"View: {stored.title or resource_id}", rendered)
+
+    # ------------------------------------------------------------------
+    def export_site(self, directory: Union[str, Path]) -> list[str]:
+        """Write a browsable static snapshot of this servent to ``directory``.
+
+        Returns the list of files written (relative names).
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        written: list[str] = []
+
+        def write(name: str, content: str) -> None:
+            (target / name).write_text(content, encoding="utf-8")
+            written.append(name)
+
+        write("index.html", self.home_page())
+        write("communities.html", self.communities_page())
+        for community in self.servent.joined_communities():
+            if community.community_id == ROOT_COMMUNITY_ID:
+                continue
+            write(f"community-{community.community_id}.html",
+                  self.community_page(community.community_id))
+        for stored in self.servent.repository.documents:
+            write(f"view-{stored.resource_id}.html", self.view_page(stored.resource_id))
+        return written

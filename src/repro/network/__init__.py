@@ -1,0 +1,55 @@
+"""Peer-to-peer network substrate.
+
+The paper deliberately leaves the network layer pluggable: "U-P2P does
+not focus on the underlying network architecture or discriminate
+between centralized or distributed approaches to searching, peer
+discovery, message routing or security" (§IV-B), and the community
+schema of Fig. 3 enumerates Napster, Gnutella and FastTrack as protocol
+values.  This package provides those three network organisations behind
+one interface, on top of a small discrete-event simulator, so the rest
+of the system (and the experiments) can swap them freely:
+
+* :class:`repro.network.centralized.CentralizedProtocol` — a Napster-
+  style central index server.
+* :class:`repro.network.gnutella.GnutellaProtocol` — TTL-scoped query
+  flooding with duplicate suppression.
+* :class:`repro.network.superpeer.SuperPeerProtocol` — a FastTrack-
+  style two-tier network of super-peers and leaves.
+* :class:`repro.network.rendezvous.RendezvousProtocol` — a JXTA-style
+  rendezvous/advertisement overlay with leases (the §VI future-work
+  network layer).
+"""
+
+from repro.network.base import PeerNetwork, SearchResponse, SearchResult
+from repro.network.centralized import CentralizedProtocol
+from repro.network.churn import ChurnModel
+from repro.network.errors import NetworkError, PeerOfflineError, UnknownPeerError
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.messages import Message, MessageType
+from repro.network.peers import Peer
+from repro.network.rendezvous import RendezvousProtocol
+from repro.network.simulator import NetworkSimulator
+from repro.network.stats import NetworkStats
+from repro.network.superpeer import SuperPeerProtocol
+from repro.network.topology import Topology, build_topology
+
+__all__ = [
+    "PeerNetwork",
+    "SearchResult",
+    "SearchResponse",
+    "CentralizedProtocol",
+    "GnutellaProtocol",
+    "SuperPeerProtocol",
+    "RendezvousProtocol",
+    "Peer",
+    "NetworkSimulator",
+    "NetworkStats",
+    "Message",
+    "MessageType",
+    "Topology",
+    "build_topology",
+    "ChurnModel",
+    "NetworkError",
+    "UnknownPeerError",
+    "PeerOfflineError",
+]

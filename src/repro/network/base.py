@@ -1,0 +1,240 @@
+"""The abstract peer-network interface.
+
+The paper's future-work section proposes modelling "the peer-to-peer
+layer as providing a generic interface with primitives for create,
+search and retrieve".  :class:`PeerNetwork` is exactly that interface;
+the three protocol adapters implement it, and the U-P2P core is written
+against it only — which is the protocol-independence property the
+experiments test.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.errors import PeerOfflineError, UnknownPeerError
+from repro.network.messages import Message, download_request, download_response
+from repro.network.peers import Peer
+from repro.network.simulator import NetworkSimulator
+from repro.network.stats import NetworkStats
+from repro.storage.document_store import StoredObject
+from repro.storage.query import Query
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One hit returned by a network search.
+
+    The paper specifies that "results will be returned from the network
+    and will consist of full meta-data for each search result", so the
+    result carries the provider, the resource id and the searchable
+    metadata (not the full object — that is what retrieve is for).
+    """
+
+    provider_id: str
+    resource_id: str
+    community_id: str
+    title: str
+    metadata: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    hops: int = 0
+
+    @classmethod
+    def from_stored(cls, provider_id: str, stored: StoredObject, *, hops: int = 0) -> "SearchResult":
+        return cls(
+            provider_id=provider_id,
+            resource_id=stored.resource_id,
+            community_id=stored.community_id,
+            title=stored.title,
+            metadata={path: tuple(values) for path, values in stored.metadata.items()},
+            hops=hops,
+        )
+
+    def metadata_bytes(self) -> int:
+        """Approximate wire size of the carried metadata."""
+        return sum(
+            len(path) + sum(len(value) for value in values)
+            for path, values in self.metadata.items()
+        )
+
+
+@dataclass
+class SearchResponse:
+    """Everything a search produced, including its cost."""
+
+    query: Query
+    results: list[SearchResult] = field(default_factory=list)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    peers_probed: int = 0
+    latency_ms: float = 0.0
+
+    @property
+    def result_count(self) -> int:
+        return len(self.results)
+
+    def providers_of(self, resource_id: str) -> list[str]:
+        """Every peer offering ``resource_id`` (replication degree)."""
+        return [result.provider_id for result in self.results if result.resource_id == resource_id]
+
+    def distinct_resources(self) -> set[str]:
+        return {result.resource_id for result in self.results}
+
+    def best(self) -> Optional[SearchResult]:
+        """The closest (fewest hops) result, if any."""
+        return min(self.results, key=lambda result: result.hops, default=None)
+
+
+@dataclass
+class RetrieveResult:
+    """Outcome of downloading one object (plus attachments) from a provider."""
+
+    stored: StoredObject
+    provider_id: str
+    transfer_bytes: int
+    latency_ms: float
+    attachments_transferred: int = 0
+
+
+class PeerNetwork(ABC):
+    """Common behaviour of all network organisations."""
+
+    protocol_name = "abstract"
+
+    def __init__(self, *, simulator: Optional[NetworkSimulator] = None,
+                 stats: Optional[NetworkStats] = None, seed: int = 0) -> None:
+        self.simulator = simulator or NetworkSimulator(seed=seed)
+        self.stats = stats or NetworkStats()
+        self.peers: dict[str, Peer] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_peer(self, peer: Peer) -> Peer:
+        """Add ``peer`` to the network and wire it into the overlay."""
+        if peer.peer_id in self.peers:
+            raise UnknownPeerError(f"peer id {peer.peer_id!r} is already in the network")
+        self.peers[peer.peer_id] = peer
+        self._on_peer_added(peer)
+        return peer
+
+    def create_peer(self, peer_id: str) -> Peer:
+        """Convenience: create, add and return a new peer."""
+        return self.add_peer(Peer(peer_id=peer_id))
+
+    def remove_peer(self, peer_id: str) -> None:
+        """Remove a peer entirely (it will not come back)."""
+        peer = self._require_peer(peer_id, allow_offline=True)
+        self._on_peer_removed(peer)
+        del self.peers[peer_id]
+
+    def set_online(self, peer_id: str, online: bool) -> None:
+        """Toggle a peer's availability (used by the churn model)."""
+        peer = self._require_peer(peer_id, allow_offline=True)
+        if peer.online == online:
+            return
+        peer.online = online
+        if online:
+            self._on_peer_returned(peer)
+        else:
+            self._on_peer_departed(peer)
+
+    def online_peers(self) -> list[Peer]:
+        return [peer for peer in self.peers.values() if peer.online]
+
+    def peer(self, peer_id: str) -> Peer:
+        return self._require_peer(peer_id, allow_offline=True)
+
+    def _require_peer(self, peer_id: str, *, allow_offline: bool = False) -> Peer:
+        peer = self.peers.get(peer_id)
+        if peer is None:
+            raise UnknownPeerError(f"unknown peer {peer_id!r}")
+        if not peer.online and not allow_offline:
+            raise PeerOfflineError(f"peer {peer_id!r} is offline")
+        return peer
+
+    # ------------------------------------------------------------------
+    # The three primitives (create / search / retrieve)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def publish(self, peer_id: str, community_id: str, resource_id: str,
+                metadata: dict[str, list[str]], *, title: str = "") -> None:
+        """Announce a locally stored object to the network."""
+
+    @abstractmethod
+    def search(self, origin_id: str, query: Query, *, max_results: int = 100) -> SearchResponse:
+        """Search the network on behalf of ``origin_id``."""
+
+    def retrieve(self, requester_id: str, provider_id: str, resource_id: str,
+                 *, bandwidth_kbps: float = 512.0) -> RetrieveResult:
+        """Download the full object (and attachments) from ``provider_id``.
+
+        The object is replicated into the requester's repository, which
+        is how popular objects gain availability (paper §II).
+        """
+        requester = self._require_peer(requester_id)
+        provider = self._require_peer(provider_id)
+        stored = provider.repository.retrieve(resource_id)
+
+        request = download_request(requester_id, provider_id, resource_id)
+        self._account(request)
+        payload = len(stored.to_xml_text().encode("utf-8"))
+        response = download_response(provider_id, requester_id, resource_id,
+                                     payload_bytes=payload, message_id=request.message_id)
+        self._account(response)
+
+        latency = 2 * self.simulator.link_latency(requester_id, provider_id)
+        latency += self.simulator.transfer_time(provider_id, requester_id, payload,
+                                                bandwidth_kbps=bandwidth_kbps)
+        transferred = payload
+        attachments = 0
+        for entry in stored.metadata.get("__attachments__", []):
+            if provider.repository.attachments.has(entry):
+                attachment = provider.repository.attachments.serve(entry)
+                requester.repository.attachments.receive(attachment)
+                latency += self.simulator.transfer_time(provider_id, requester_id,
+                                                        attachment.size_bytes,
+                                                        bandwidth_kbps=bandwidth_kbps)
+                transferred += attachment.size_bytes
+                attachments += 1
+        self.simulator.advance(latency)
+        self.stats.record_download(transferred)
+
+        replica = requester.repository.publish(
+            stored.community_id, stored.document, dict(stored.metadata), title=stored.title
+        )
+        # The new replica is announced so later searches can find it here.
+        self.publish(requester_id, stored.community_id, replica.resource_id,
+                     dict(stored.metadata), title=stored.title)
+        return RetrieveResult(
+            stored=stored,
+            provider_id=provider_id,
+            transfer_bytes=transferred,
+            latency_ms=latency,
+            attachments_transferred=attachments,
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _on_peer_added(self, peer: Peer) -> None:
+        """Subclass hook: wire a new peer into the overlay."""
+
+    def _on_peer_removed(self, peer: Peer) -> None:
+        """Subclass hook: unwire a removed peer."""
+
+    def _on_peer_departed(self, peer: Peer) -> None:
+        """Subclass hook: a peer went offline (churn)."""
+
+    def _on_peer_returned(self, peer: Peer) -> None:
+        """Subclass hook: a peer came back online (churn)."""
+
+    # ------------------------------------------------------------------
+    def _account(self, message: Message) -> None:
+        """Record one message in the statistics."""
+        self.stats.record_message(message)
+
+    def describe(self) -> str:
+        online = len(self.online_peers())
+        return f"{self.protocol_name} network: {online}/{len(self.peers)} peers online"

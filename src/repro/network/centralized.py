@@ -1,0 +1,169 @@
+"""Napster-style centralized network organisation.
+
+A single index server holds the searchable metadata of every shared
+object.  Publishing uploads metadata to the server (one REGISTER
+message); searching is one QUERY to the server and one QUERY-HIT back;
+object transfer still happens directly between peers.  This is the
+organisation the U-P2P prototype effectively had (a central Magenta
+database), and it is the baseline of the protocol-comparison
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.base import PeerNetwork, SearchResponse, SearchResult
+from repro.network.messages import (
+    Message,
+    MessageType,
+    next_message_id,
+    query_hit_message,
+    query_message,
+    register_message,
+)
+from repro.network.peers import Peer
+from repro.network.stats import QueryRecord
+from repro.storage.index import AttributeIndex
+from repro.storage.query import Query
+
+INDEX_SERVER_ID = "index-server"
+
+
+@dataclass
+class _CatalogEntry:
+    """The server's record of one published object replica."""
+
+    resource_id: str
+    community_id: str
+    title: str
+    metadata: dict[str, list[str]]
+    providers: set[str] = field(default_factory=set)
+
+
+class CentralizedProtocol(PeerNetwork):
+    """A central index server plus ordinary peers."""
+
+    protocol_name = "centralized"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._index = AttributeIndex()
+        self._catalog: dict[str, _CatalogEntry] = {}
+
+    # ------------------------------------------------------------------
+    def publish(self, peer_id: str, community_id: str, resource_id: str,
+                metadata: dict[str, list[str]], *, title: str = "") -> None:
+        peer = self._require_peer(peer_id)
+        metadata_bytes = sum(len(p) + sum(len(v) for v in values) for p, values in metadata.items())
+        message = register_message(peer_id, INDEX_SERVER_ID, community_id=community_id,
+                                   resource_id=resource_id, metadata_bytes=metadata_bytes)
+        self._account(message)
+        self.simulator.advance(self.simulator.link_latency(peer_id, INDEX_SERVER_ID))
+        self.stats.registrations += 1
+
+        entry = self._catalog.get(resource_id)
+        if entry is None:
+            entry = _CatalogEntry(resource_id=resource_id, community_id=community_id,
+                                  title=title, metadata=dict(metadata))
+            self._catalog[resource_id] = entry
+            self._index.add(community_id, resource_id, metadata)
+        entry.providers.add(peer.peer_id)
+
+    def withdraw(self, peer_id: str, resource_id: str) -> None:
+        """Remove one provider of an object from the central catalog."""
+        entry = self._catalog.get(resource_id)
+        if entry is None:
+            return
+        entry.providers.discard(peer_id)
+        if not entry.providers:
+            self._index.remove(resource_id)
+            del self._catalog[resource_id]
+
+    # ------------------------------------------------------------------
+    def search(self, origin_id: str, query: Query, *, max_results: int = 100) -> SearchResponse:
+        self._require_peer(origin_id)
+        response = SearchResponse(query=query)
+        query_xml = query.to_xml_text()
+        request = query_message(origin_id, INDEX_SERVER_ID, query_xml,
+                                community_id=query.community_id)
+        self._account(request)
+        response.messages_sent += 1
+        response.bytes_sent += request.size_bytes
+        response.peers_probed = 1
+
+        matched_ids = self._matching_ids(query)
+        results: list[SearchResult] = []
+        for resource_id in sorted(matched_ids):
+            entry = self._catalog[resource_id]
+            for provider_id in sorted(entry.providers):
+                provider = self.peers.get(provider_id)
+                if provider is None or not provider.online:
+                    continue
+                results.append(SearchResult(
+                    provider_id=provider_id,
+                    resource_id=resource_id,
+                    community_id=entry.community_id,
+                    title=entry.title,
+                    metadata={path: tuple(values) for path, values in entry.metadata.items()},
+                    hops=1,
+                ))
+                if len(results) >= max_results:
+                    break
+            if len(results) >= max_results:
+                break
+        metadata_bytes = sum(result.metadata_bytes() for result in results)
+        hit = query_hit_message(INDEX_SERVER_ID, origin_id, result_count=len(results),
+                                metadata_bytes=metadata_bytes, message_id=request.message_id)
+        self._account(hit)
+        response.messages_sent += 1
+        response.bytes_sent += hit.size_bytes
+        response.results = results
+        response.latency_ms = 2 * self.simulator.link_latency(origin_id, INDEX_SERVER_ID)
+        self.simulator.advance(response.latency_ms)
+        self.stats.record_query(QueryRecord(
+            query_id=request.message_id,
+            origin=origin_id,
+            community_id=query.community_id,
+            results=len(results),
+            messages=response.messages_sent,
+            bytes=response.bytes_sent,
+            peers_probed=1,
+            latency_ms=response.latency_ms,
+            hops_to_first_result=1 if results else None,
+        ))
+        return response
+
+    # ------------------------------------------------------------------
+    def _matching_ids(self, query: Query) -> set[str]:
+        if query.is_empty:
+            return {
+                resource_id
+                for resource_id, entry in self._catalog.items()
+                if entry.community_id == query.community_id
+            }
+        return query.evaluate(self._index)
+
+    # ------------------------------------------------------------------
+    # Churn hooks: the catalog keeps entries of offline peers but search
+    # filters them out; a peer that is removed permanently is withdrawn.
+    # ------------------------------------------------------------------
+    def _on_peer_removed(self, peer: Peer) -> None:
+        for resource_id in list(self._catalog):
+            self.withdraw(peer.peer_id, resource_id)
+
+    # ------------------------------------------------------------------
+    def catalog_size(self) -> int:
+        """Number of distinct objects known to the server."""
+        return len(self._catalog)
+
+    def provider_count(self, resource_id: str) -> int:
+        """How many peers currently provide ``resource_id`` (replication)."""
+        entry = self._catalog.get(resource_id)
+        if entry is None:
+            return 0
+        return sum(
+            1 for provider in entry.providers
+            if provider in self.peers and self.peers[provider].online
+        )

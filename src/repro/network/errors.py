@@ -1,0 +1,19 @@
+"""Error types for the network substrate."""
+
+from __future__ import annotations
+
+
+class NetworkError(Exception):
+    """Base class for network-layer failures."""
+
+
+class UnknownPeerError(NetworkError):
+    """Raised when a peer id is not part of the network."""
+
+
+class PeerOfflineError(NetworkError):
+    """Raised when an operation targets a peer that has left the network."""
+
+
+class TransferError(NetworkError):
+    """Raised when an object or attachment transfer cannot complete."""

@@ -1,0 +1,188 @@
+"""Gnutella-style flooding network organisation.
+
+Queries are flooded along the overlay with a TTL and duplicate
+suppression; every peer evaluates the query against its own local
+repository and routes hits back along the reverse path, exactly the
+Gnutella 0.4 behaviour the paper refers to.  Publishing costs no
+messages (objects stay local until somebody downloads them), which is
+the trade-off against the centralized organisation that experiment E3
+quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.network.base import PeerNetwork, SearchResponse, SearchResult
+from repro.network.messages import query_hit_message, query_message
+from repro.network.peers import Peer
+from repro.network.stats import QueryRecord
+from repro.network.topology import Topology, build_topology
+from repro.storage.query import Query
+
+
+class GnutellaProtocol(PeerNetwork):
+    """TTL-scoped query flooding over an unstructured overlay."""
+
+    protocol_name = "gnutella"
+
+    def __init__(self, *, default_ttl: int = 7, topology_kind: str = "power-law",
+                 degree: int = 4, seed: int = 0, **kwargs) -> None:
+        super().__init__(seed=seed, **kwargs)
+        if default_ttl < 1:
+            raise ValueError("TTL must be at least 1")
+        self.default_ttl = default_ttl
+        self.topology_kind = topology_kind
+        self.degree = degree
+        self._seed = seed
+        self.topology = Topology()
+
+    # ------------------------------------------------------------------
+    # Overlay maintenance
+    # ------------------------------------------------------------------
+    def build_overlay(self) -> None:
+        """(Re)build the neighbour graph over the current peer set."""
+        self.topology = build_topology(
+            self.peers, kind=self.topology_kind, degree=self.degree, seed=self._seed
+        )
+        for peer in self.peers.values():
+            peer.neighbors = set(self.topology.neighbors(peer.peer_id))
+
+    def _on_peer_added(self, peer: Peer) -> None:
+        # Attach the newcomer to a few random online peers; experiments
+        # that want a specific topology call build_overlay() afterwards.
+        others = [candidate for candidate in self.online_peers() if candidate.peer_id != peer.peer_id]
+        if not others:
+            return
+        sample_size = min(self.degree, len(others))
+        for neighbor in self.simulator.random.sample(others, sample_size):
+            self.topology.add_edge(peer.peer_id, neighbor.peer_id)
+            peer.connect(neighbor.peer_id)
+            neighbor.connect(peer.peer_id)
+
+    def _on_peer_removed(self, peer: Peer) -> None:
+        self.topology.remove_peer(peer.peer_id)
+        for other in self.peers.values():
+            other.disconnect(peer.peer_id)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def publish(self, peer_id: str, community_id: str, resource_id: str,
+                metadata: dict[str, list[str]], *, title: str = "") -> None:
+        """Publishing is free in Gnutella: the object simply sits in the
+        peer's repository waiting for queries to reach it."""
+        self._require_peer(peer_id)
+
+    def search(self, origin_id: str, query: Query, *, max_results: int = 100,
+               ttl: Optional[int] = None) -> SearchResponse:
+        origin = self._require_peer(origin_id)
+        ttl = ttl if ttl is not None else self.default_ttl
+        response = SearchResponse(query=query)
+        query_xml = query.to_xml_text()
+
+        # Breadth-first flood with duplicate suppression.  arrival[peer]
+        # is the virtual time the query reached that peer; hops[peer] the
+        # hop count, used for latency and horizon accounting.
+        visited: set[str] = {origin_id}
+        arrival: dict[str, float] = {origin_id: 0.0}
+        hops: dict[str, int] = {origin_id: 0}
+        queue: deque[tuple[str, int]] = deque([(origin_id, ttl)])
+        results: list[SearchResult] = []
+        first_hit_hops: Optional[int] = None
+        completion_time = 0.0
+
+        # The origin searches its own repository first (no messages).
+        local_hits = origin.repository.search(query)
+        for stored in local_hits[:max_results]:
+            results.append(SearchResult.from_stored(origin_id, stored, hops=0))
+            first_hit_hops = 0
+
+        while queue:
+            current_id, remaining_ttl = queue.popleft()
+            if remaining_ttl <= 0:
+                continue
+            current = self.peers.get(current_id)
+            if current is None or not current.online:
+                continue
+            for neighbor_id in sorted(current.neighbors):
+                neighbor = self.peers.get(neighbor_id)
+                if neighbor is None or not neighbor.online:
+                    continue
+                message = query_message(current_id, neighbor_id, query_xml,
+                                        ttl=remaining_ttl, community_id=query.community_id)
+                message.hops = hops[current_id] + 1
+                self._account(message)
+                response.messages_sent += 1
+                response.bytes_sent += message.size_bytes
+                if neighbor_id in visited:
+                    continue
+                visited.add(neighbor_id)
+                hops[neighbor_id] = hops[current_id] + 1
+                arrival[neighbor_id] = (
+                    arrival[current_id] + self.simulator.link_latency(current_id, neighbor_id)
+                )
+                queue.append((neighbor_id, remaining_ttl - 1))
+
+                hits = neighbor.repository.search(query)
+                if hits and len(results) < max_results:
+                    taken = hits[: max_results - len(results)]
+                    metadata_bytes = 0
+                    for stored in taken:
+                        result = SearchResult.from_stored(neighbor_id, stored, hops=hops[neighbor_id])
+                        results.append(result)
+                        metadata_bytes += result.metadata_bytes()
+                    if first_hit_hops is None or hops[neighbor_id] < first_hit_hops:
+                        first_hit_hops = hops[neighbor_id]
+                    # The query hit travels back along the reverse path:
+                    # one message per hop.
+                    hit = query_hit_message(neighbor_id, origin_id, result_count=len(taken),
+                                            metadata_bytes=metadata_bytes,
+                                            message_id=message.message_id)
+                    for _ in range(hops[neighbor_id]):
+                        self._account(hit)
+                        response.messages_sent += 1
+                        response.bytes_sent += hit.size_bytes
+                    completion_time = max(completion_time, 2 * arrival[neighbor_id])
+
+        if not results:
+            # Even with no hits the flood takes as long as its deepest probe.
+            completion_time = max(arrival.values(), default=0.0)
+        response.results = results
+        response.peers_probed = len(visited) - 1
+        response.latency_ms = completion_time
+        self.simulator.advance(completion_time)
+        self.stats.record_query(QueryRecord(
+            query_id=query.query_id or f"flood-{len(self.stats.queries) + 1}",
+            origin=origin_id,
+            community_id=query.community_id,
+            results=len(results),
+            messages=response.messages_sent,
+            bytes=response.bytes_sent,
+            peers_probed=response.peers_probed,
+            latency_ms=response.latency_ms,
+            hops_to_first_result=first_hit_hops,
+        ))
+        return response
+
+    # ------------------------------------------------------------------
+    def reachable_peers(self, origin_id: str, ttl: Optional[int] = None) -> int:
+        """How many online peers a flood from ``origin_id`` can reach."""
+        ttl = ttl if ttl is not None else self.default_ttl
+        visited = {origin_id}
+        queue: deque[tuple[str, int]] = deque([(origin_id, ttl)])
+        while queue:
+            current_id, remaining = queue.popleft()
+            if remaining <= 0:
+                continue
+            current = self.peers.get(current_id)
+            if current is None or not current.online:
+                continue
+            for neighbor_id in current.neighbors:
+                neighbor = self.peers.get(neighbor_id)
+                if neighbor is None or not neighbor.online or neighbor_id in visited:
+                    continue
+                visited.add(neighbor_id)
+                queue.append((neighbor_id, remaining - 1))
+        return len(visited) - 1

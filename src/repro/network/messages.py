@@ -1,0 +1,140 @@
+"""Protocol messages exchanged between peers.
+
+The message vocabulary follows the Gnutella 0.4 descriptor set (ping,
+pong, query, query-hit, push) extended with the registration and
+download messages the centralized and super-peer organisations need.
+Only the fields that influence routing and cost accounting are
+modelled; payload size is estimated from the carried XML so the
+message-cost experiments report realistic byte counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class MessageType(Enum):
+    """Kinds of protocol message."""
+
+    PING = "ping"
+    PONG = "pong"
+    QUERY = "query"
+    QUERY_HIT = "query-hit"
+    PUSH = "push"
+    REGISTER = "register"          # centralized / super-peer metadata upload
+    UNREGISTER = "unregister"
+    DOWNLOAD_REQUEST = "download-request"
+    DOWNLOAD_RESPONSE = "download-response"
+
+
+_HEADER_BYTES = 23  # Gnutella descriptor header size
+_message_counter = itertools.count(1)
+
+
+def next_message_id() -> str:
+    """Globally unique message identifier (for duplicate suppression)."""
+    return f"msg-{next(_message_counter):08d}"
+
+
+@dataclass
+class Message:
+    """One protocol message in flight."""
+
+    type: MessageType
+    sender: str
+    recipient: str
+    message_id: str = field(default_factory=next_message_id)
+    ttl: int = 7
+    hops: int = 0
+    payload_bytes: int = 0
+    query_xml: str = ""
+    resource_id: str = ""
+    community_id: str = ""
+
+    def forwarded(self, sender: str, recipient: str) -> "Message":
+        """A copy of this message forwarded one hop further."""
+        return Message(
+            type=self.type,
+            sender=sender,
+            recipient=recipient,
+            message_id=self.message_id,
+            ttl=self.ttl - 1,
+            hops=self.hops + 1,
+            payload_bytes=self.payload_bytes,
+            query_xml=self.query_xml,
+            resource_id=self.resource_id,
+            community_id=self.community_id,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-the-wire size (header plus payload)."""
+        return _HEADER_BYTES + self.payload_bytes
+
+    @property
+    def expired(self) -> bool:
+        return self.ttl <= 0
+
+
+def query_message(sender: str, recipient: str, query_xml: str, *, ttl: int = 7,
+                  community_id: str = "") -> Message:
+    """Build a QUERY message carrying a serialized structured query."""
+    return Message(
+        type=MessageType.QUERY,
+        sender=sender,
+        recipient=recipient,
+        ttl=ttl,
+        payload_bytes=len(query_xml.encode("utf-8")),
+        query_xml=query_xml,
+        community_id=community_id,
+    )
+
+
+def query_hit_message(sender: str, recipient: str, *, result_count: int,
+                      metadata_bytes: int, message_id: str) -> Message:
+    """Build a QUERY-HIT carrying ``result_count`` results back to the origin."""
+    return Message(
+        type=MessageType.QUERY_HIT,
+        sender=sender,
+        recipient=recipient,
+        message_id=message_id,
+        payload_bytes=11 + metadata_bytes + 8 * result_count,
+    )
+
+
+def register_message(sender: str, recipient: str, *, community_id: str,
+                     resource_id: str, metadata_bytes: int) -> Message:
+    """Build a REGISTER message uploading one object's searchable metadata."""
+    return Message(
+        type=MessageType.REGISTER,
+        sender=sender,
+        recipient=recipient,
+        community_id=community_id,
+        resource_id=resource_id,
+        payload_bytes=metadata_bytes,
+    )
+
+
+def download_request(sender: str, recipient: str, resource_id: str) -> Message:
+    return Message(
+        type=MessageType.DOWNLOAD_REQUEST,
+        sender=sender,
+        recipient=recipient,
+        resource_id=resource_id,
+        payload_bytes=len(resource_id.encode("utf-8")),
+    )
+
+
+def download_response(sender: str, recipient: str, resource_id: str, *,
+                      payload_bytes: int, message_id: Optional[str] = None) -> Message:
+    return Message(
+        type=MessageType.DOWNLOAD_RESPONSE,
+        sender=sender,
+        recipient=recipient,
+        resource_id=resource_id,
+        message_id=message_id or next_message_id(),
+        payload_bytes=payload_bytes,
+    )

@@ -1,0 +1,61 @@
+"""The peer: a network participant with its local repository."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.storage.repository import LocalRepository
+
+
+@dataclass
+class Peer:
+    """One participant in the peer-to-peer network.
+
+    A peer owns a :class:`~repro.storage.repository.LocalRepository`
+    (its shared objects and local index), a set of neighbour links
+    (meaningful for the decentralized organisations) and an online
+    flag toggled by the churn model.
+    """
+
+    peer_id: str
+    repository: LocalRepository = field(default_factory=LocalRepository)
+    neighbors: set[str] = field(default_factory=set)
+    online: bool = True
+    is_super_peer: bool = False
+    super_peer_id: Optional[str] = None
+    joined_communities: set[str] = field(default_factory=set)
+    uptime_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.peer_id:
+            raise ValueError("a peer needs a non-empty id")
+        if not self.repository.owner:
+            self.repository.owner = self.peer_id
+
+    # ------------------------------------------------------------------
+    def connect(self, other_id: str) -> None:
+        """Add a neighbour link (undirected links are added on both ends
+        by the network, not here)."""
+        if other_id != self.peer_id:
+            self.neighbors.add(other_id)
+
+    def disconnect(self, other_id: str) -> None:
+        self.neighbors.discard(other_id)
+
+    def join_community(self, community_id: str) -> None:
+        self.joined_communities.add(community_id)
+
+    def leave_community(self, community_id: str) -> None:
+        self.joined_communities.discard(community_id)
+
+    def is_member_of(self, community_id: str) -> bool:
+        return community_id in self.joined_communities
+
+    def shared_object_count(self) -> int:
+        return len(self.repository.documents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "super" if self.is_super_peer else "leaf"
+        status = "online" if self.online else "offline"
+        return f"<Peer {self.peer_id} {role} {status} objects={self.shared_object_count()}>"

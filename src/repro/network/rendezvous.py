@@ -1,0 +1,313 @@
+"""JXTA-style rendezvous network organisation (paper §VI future work).
+
+The paper proposes JXTA as a future network layer: peers publish
+*advertisements* of their shared resources to rendezvous peers, and
+queries are resolved by walking the rendezvous overlay.  The adapter
+below models the parts that matter for U-P2P:
+
+* a subset of peers act as **rendezvous peers** holding advertisement
+  indexes for the edge peers attached to them;
+* advertisements carry the object's searchable metadata and **expire**
+  after a lease, so edge peers must re-publish periodically (the JXTA
+  lease model) — stale objects disappear from search without any
+  explicit withdrawal;
+* queries go edge → rendezvous and then along a deterministic walk of
+  the rendezvous ring (JXTA's rendezvous propagation), stopping early
+  once enough results are found.
+
+Compared with :class:`~repro.network.superpeer.SuperPeerProtocol` the
+interesting differences are the lease/expiry behaviour and the bounded
+walk instead of a full broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.base import PeerNetwork, SearchResponse, SearchResult
+from repro.network.messages import query_hit_message, query_message, register_message
+from repro.network.peers import Peer
+from repro.network.stats import QueryRecord
+from repro.storage.index import AttributeIndex
+from repro.storage.query import Query
+
+
+@dataclass
+class Advertisement:
+    """One advertised object replica held by a rendezvous peer."""
+
+    resource_id: str
+    community_id: str
+    title: str
+    metadata: dict[str, list[str]]
+    provider_id: str
+    expires_at_ms: float
+
+
+@dataclass
+class _RendezvousState:
+    """Advertisement index of one rendezvous peer."""
+
+    index: AttributeIndex = field(default_factory=AttributeIndex)
+    advertisements: dict[str, Advertisement] = field(default_factory=dict)
+    edges: set[str] = field(default_factory=set)
+
+
+class RendezvousProtocol(PeerNetwork):
+    """A JXTA-flavoured rendezvous/advertisement organisation."""
+
+    protocol_name = "rendezvous"
+
+    def __init__(self, *, rendezvous_ratio: float = 0.15, lease_ms: float = 30 * 60 * 1000.0,
+                 walk_limit: Optional[int] = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if not 0.0 < rendezvous_ratio <= 1.0:
+            raise ValueError("rendezvous_ratio must be in (0, 1]")
+        if lease_ms <= 0:
+            raise ValueError("the advertisement lease must be positive")
+        self.rendezvous_ratio = rendezvous_ratio
+        self.lease_ms = lease_ms
+        self.walk_limit = walk_limit
+        self._states: dict[str, _RendezvousState] = {}
+
+    # ------------------------------------------------------------------
+    # Role assignment
+    # ------------------------------------------------------------------
+    def elect_rendezvous(self, count: Optional[int] = None) -> list[str]:
+        """Promote peers to rendezvous and attach every edge peer."""
+        online = self.online_peers()
+        if not online:
+            return []
+        if count is None:
+            count = max(1, round(len(online) * self.rendezvous_ratio))
+        count = min(count, len(online))
+        chosen = sorted(online, key=lambda peer: peer.peer_id)[:count]
+        chosen_ids = {peer.peer_id for peer in chosen}
+        self._states = {peer_id: self._states.get(peer_id, _RendezvousState())
+                        for peer_id in chosen_ids}
+        for peer in self.peers.values():
+            peer.is_super_peer = peer.peer_id in chosen_ids
+            peer.super_peer_id = peer.peer_id if peer.is_super_peer else None
+        for peer in self.online_peers():
+            if not peer.is_super_peer:
+                self._attach_edge(peer)
+        return sorted(chosen_ids)
+
+    def rendezvous_ids(self) -> list[str]:
+        return sorted(self._states)
+
+    def _attach_edge(self, peer: Peer) -> None:
+        online = [peer_id for peer_id in self._states if self.peers[peer_id].online]
+        if not online:
+            peer.super_peer_id = None
+            return
+        # Deterministic assignment: hash of the peer id picks the rendezvous.
+        target = online[hash(peer.peer_id) % len(online)]
+        peer.super_peer_id = target
+        self._states[target].edges.add(peer.peer_id)
+
+    # ------------------------------------------------------------------
+    # Churn hooks
+    # ------------------------------------------------------------------
+    def _on_peer_departed(self, peer: Peer) -> None:
+        if peer.is_super_peer:
+            state = self._states.pop(peer.peer_id, None)
+            peer.is_super_peer = False
+            if state is not None:
+                for edge_id in state.edges:
+                    edge = self.peers.get(edge_id)
+                    if edge is not None and edge.online:
+                        self._attach_edge(edge)
+        elif peer.super_peer_id in self._states:
+            self._states[peer.super_peer_id].edges.discard(peer.peer_id)
+
+    def _on_peer_returned(self, peer: Peer) -> None:
+        if not self._states:
+            self.elect_rendezvous()
+            return
+        self._attach_edge(peer)
+
+    def _on_peer_removed(self, peer: Peer) -> None:
+        self._on_peer_departed(peer)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def publish(self, peer_id: str, community_id: str, resource_id: str,
+                metadata: dict[str, list[str]], *, title: str = "") -> None:
+        """Publish an advertisement with a lease to the peer's rendezvous."""
+        peer = self._require_peer(peer_id)
+        if not self._states:
+            self.elect_rendezvous()
+        target = peer.peer_id if peer.is_super_peer else peer.super_peer_id
+        if target is None or target not in self._states:
+            self._attach_edge(peer)
+            target = peer.super_peer_id
+        if target is None:
+            return
+        state = self._states[target]
+        metadata_bytes = sum(len(p) + sum(len(v) for v in values) for p, values in metadata.items())
+        if peer_id != target:
+            message = register_message(peer_id, target, community_id=community_id,
+                                       resource_id=resource_id, metadata_bytes=metadata_bytes)
+            self._account(message)
+            self.stats.registrations += 1
+            self.simulator.advance(self.simulator.link_latency(peer_id, target))
+        key = f"{resource_id}@{peer_id}"
+        state.advertisements[key] = Advertisement(
+            resource_id=resource_id,
+            community_id=community_id,
+            title=title,
+            metadata=dict(metadata),
+            provider_id=peer_id,
+            expires_at_ms=self.simulator.now + self.lease_ms,
+        )
+        state.index.add(community_id, key, metadata)
+
+    def renew(self, peer_id: str) -> int:
+        """Re-advertise every object a peer shares (lease renewal).
+
+        Returns the number of advertisements renewed.
+        """
+        peer = self._require_peer(peer_id)
+        renewed = 0
+        for stored in peer.repository.documents:
+            self.publish(peer_id, stored.community_id, stored.resource_id,
+                         dict(stored.metadata), title=stored.title)
+            renewed += 1
+        return renewed
+
+    def expire_advertisements(self) -> int:
+        """Drop expired advertisements everywhere; returns how many died."""
+        expired = 0
+        now = self.simulator.now
+        for state in self._states.values():
+            dead = [key for key, advertisement in state.advertisements.items()
+                    if advertisement.expires_at_ms <= now]
+            for key in dead:
+                state.index.remove(key)
+                del state.advertisements[key]
+                expired += 1
+        return expired
+
+    def search(self, origin_id: str, query: Query, *, max_results: int = 100) -> SearchResponse:
+        origin = self._require_peer(origin_id)
+        if not self._states:
+            self.elect_rendezvous()
+        self.expire_advertisements()
+        response = SearchResponse(query=query)
+        query_xml = query.to_xml_text()
+        results: list[SearchResult] = []
+        first_hit: Optional[int] = None
+        latency = 0.0
+
+        for stored in origin.repository.search(query)[:max_results]:
+            results.append(SearchResult.from_stored(origin_id, stored, hops=0))
+            first_hit = 0
+
+        entry = origin.peer_id if origin.is_super_peer else origin.super_peer_id
+        if entry is None or entry not in self._states:
+            self._attach_edge(origin)
+            entry = origin.super_peer_id
+        if entry is None:
+            response.results = results
+            return response
+
+        hop_to_entry = 0 if origin.is_super_peer else 1
+        if hop_to_entry:
+            message = query_message(origin_id, entry, query_xml, community_id=query.community_id)
+            self._account(message)
+            response.messages_sent += 1
+            response.bytes_sent += message.size_bytes
+            latency += self.simulator.link_latency(origin_id, entry)
+
+        # Walk the rendezvous ring starting at the entry point.
+        ring = sorted(peer_id for peer_id in self._states if self.peers[peer_id].online)
+        if entry in ring:
+            start = ring.index(entry)
+            ordered = ring[start:] + ring[:start]
+        else:
+            ordered = ring
+        limit = self.walk_limit if self.walk_limit is not None else len(ordered)
+        probed = 0
+        previous = entry
+        walk_latency = latency
+        for position, rendezvous_id in enumerate(ordered[:limit]):
+            probed += 1
+            hops = hop_to_entry + position
+            if rendezvous_id != entry:
+                relay = query_message(previous, rendezvous_id, query_xml,
+                                      community_id=query.community_id)
+                self._account(relay)
+                response.messages_sent += 1
+                response.bytes_sent += relay.size_bytes
+                walk_latency += self.simulator.link_latency(previous, rendezvous_id)
+            taken = self._collect_results(rendezvous_id, query, origin_id, hops, results, max_results)
+            if taken:
+                metadata_bytes = sum(result.metadata_bytes() for result in results[-taken:])
+                hit = query_hit_message(rendezvous_id, origin_id, result_count=taken,
+                                        metadata_bytes=metadata_bytes,
+                                        message_id=f"rdv-{len(self.stats.queries)}")
+                self._account(hit)
+                response.messages_sent += 1
+                response.bytes_sent += hit.size_bytes
+                if first_hit is None or hops + 1 < first_hit:
+                    first_hit = hops + 1
+            previous = rendezvous_id
+            if len(results) >= max_results:
+                break
+        latency = 2 * walk_latency
+
+        response.results = results
+        response.peers_probed = probed
+        response.latency_ms = latency
+        self.simulator.advance(latency)
+        self.stats.record_query(QueryRecord(
+            query_id=query.query_id or f"rdv-{len(self.stats.queries) + 1}",
+            origin=origin_id,
+            community_id=query.community_id,
+            results=len(results),
+            messages=response.messages_sent,
+            bytes=response.bytes_sent,
+            peers_probed=probed,
+            latency_ms=latency,
+            hops_to_first_result=first_hit,
+        ))
+        return response
+
+    # ------------------------------------------------------------------
+    def _collect_results(self, rendezvous_id: str, query: Query, origin_id: str,
+                         hops: int, results: list[SearchResult], max_results: int) -> int:
+        state = self._states.get(rendezvous_id)
+        if state is None:
+            return 0
+        if query.is_empty:
+            keys = sorted(key for key, advertisement in state.advertisements.items()
+                          if advertisement.community_id == query.community_id)
+        else:
+            keys = sorted(query.evaluate(state.index))
+        taken = 0
+        for key in keys:
+            advertisement = state.advertisements.get(key)
+            if advertisement is None:
+                continue
+            provider = self.peers.get(advertisement.provider_id)
+            if provider is None or not provider.online or advertisement.provider_id == origin_id:
+                continue
+            results.append(SearchResult(
+                provider_id=advertisement.provider_id,
+                resource_id=advertisement.resource_id,
+                community_id=advertisement.community_id,
+                title=advertisement.title,
+                metadata={path: tuple(values) for path, values in advertisement.metadata.items()},
+                hops=hops + 1,
+            ))
+            taken += 1
+            if len(results) >= max_results:
+                break
+        return taken
+
+    def advertisement_count(self) -> int:
+        """Live advertisements across all rendezvous peers."""
+        return sum(len(state.advertisements) for state in self._states.values())

@@ -1,0 +1,143 @@
+"""A small discrete-event simulator for the peer-to-peer substrate.
+
+The simulator provides a virtual clock, an event queue and a latency
+model between peers.  Protocols use it in two ways:
+
+* *event style* — schedule callbacks (used by the churn model and by
+  periodic maintenance such as super-peer re-election), then ``run``;
+* *accounting style* — ask for link latencies while executing a search
+  synchronously, accumulating the virtual time a real deployment would
+  have spent.
+
+Both styles share the same clock, so experiments can mix churn events
+with query workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`NetworkSimulator.schedule`; allows cancelling."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class LatencyModel:
+    """Pairwise link latency: a base plus deterministic per-pair jitter.
+
+    Latencies are symmetric and stable for a given seed, so repeated
+    searches over the same path cost the same virtual time.
+    """
+
+    def __init__(self, *, base_ms: float = 20.0, jitter_ms: float = 30.0, seed: int = 0) -> None:
+        if base_ms < 0 or jitter_ms < 0:
+            raise ValueError("latencies must be non-negative")
+        self.base_ms = base_ms
+        self.jitter_ms = jitter_ms
+        self._seed = seed
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def latency(self, source: str, target: str) -> float:
+        """Latency in milliseconds of the link ``source`` ↔ ``target``."""
+        if source == target:
+            return 0.0
+        key = (source, target) if source <= target else (target, source)
+        cached = self._cache.get(key)
+        if cached is None:
+            rng = random.Random(f"{self._seed}:{key[0]}:{key[1]}")
+            cached = self.base_ms + rng.random() * self.jitter_ms
+            self._cache[key] = cached
+        return cached
+
+
+class NetworkSimulator:
+    """Virtual clock + event queue + latency model."""
+
+    def __init__(self, *, latency: Optional[LatencyModel] = None, seed: int = 0) -> None:
+        self.latency_model = latency or LatencyModel(seed=seed)
+        self.random = random.Random(seed)
+        self._now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay_ms`` from now."""
+        if delay_ms < 0:
+            raise ValueError("cannot schedule events in the past")
+        event = _ScheduledEvent(self._now + delay_ms, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time_ms: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time_ms``."""
+        return self.schedule(max(0.0, time_ms - self._now), callback)
+
+    def run(self, until_ms: Optional[float] = None, *, max_events: int = 1_000_000) -> int:
+        """Process events until the queue is empty or ``until_ms`` is reached.
+
+        Returns the number of events processed in this call.
+        """
+        processed = 0
+        while self._queue and processed < max_events:
+            if until_ms is not None and self._queue[0].time > until_ms:
+                break
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+        if until_ms is not None and self._now < until_ms:
+            self._now = until_ms
+        return processed
+
+    def advance(self, delta_ms: float) -> None:
+        """Advance the clock without processing events (accounting style)."""
+        if delta_ms < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += delta_ms
+
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    def link_latency(self, source: str, target: str) -> float:
+        """Latency of one link, in virtual milliseconds."""
+        return self.latency_model.latency(source, target)
+
+    def transfer_time(self, source: str, target: str, size_bytes: int, *, bandwidth_kbps: float = 512.0) -> float:
+        """Virtual time to move ``size_bytes`` across one link."""
+        if bandwidth_kbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        transmission_ms = (size_bytes * 8) / (bandwidth_kbps * 1000) * 1000
+        return self.link_latency(source, target) + transmission_ms

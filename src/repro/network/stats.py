@@ -1,0 +1,105 @@
+"""Network statistics collection for the experiment harness."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.messages import Message, MessageType
+
+
+@dataclass
+class QueryRecord:
+    """Outcome of one search operation (a row in the experiment tables)."""
+
+    query_id: str
+    origin: str
+    community_id: str
+    results: int
+    messages: int
+    bytes: int
+    peers_probed: int
+    latency_ms: float
+    hops_to_first_result: Optional[int] = None
+
+
+@dataclass
+class NetworkStats:
+    """Counters accumulated while a protocol runs."""
+
+    messages_by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
+    queries: list[QueryRecord] = field(default_factory=list)
+    downloads: int = 0
+    download_bytes: int = 0
+    registrations: int = 0
+
+    # ------------------------------------------------------------------
+    def record_message(self, message: Message) -> None:
+        self.messages_by_type[message.type.value] += 1
+        self.bytes_by_type[message.type.value] += message.size_bytes
+
+    def record_query(self, record: QueryRecord) -> None:
+        self.queries.append(record)
+
+    def record_download(self, size_bytes: int) -> None:
+        self.downloads += 1
+        self.download_bytes += size_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_type.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_type.values())
+
+    def messages_of(self, message_type: MessageType) -> int:
+        return self.messages_by_type[message_type.value]
+
+    def mean_messages_per_query(self) -> float:
+        if not self.queries:
+            return 0.0
+        return sum(record.messages for record in self.queries) / len(self.queries)
+
+    def mean_latency_ms(self) -> float:
+        if not self.queries:
+            return 0.0
+        return sum(record.latency_ms for record in self.queries) / len(self.queries)
+
+    def mean_results_per_query(self) -> float:
+        if not self.queries:
+            return 0.0
+        return sum(record.results for record in self.queries) / len(self.queries)
+
+    def success_rate(self) -> float:
+        """Fraction of queries that returned at least one result."""
+        if not self.queries:
+            return 0.0
+        return sum(1 for record in self.queries if record.results > 0) / len(self.queries)
+
+    def summary(self) -> dict[str, float]:
+        """A flat dictionary used by the benchmark reports."""
+        return {
+            "queries": float(len(self.queries)),
+            "total_messages": float(self.total_messages),
+            "total_bytes": float(self.total_bytes),
+            "mean_messages_per_query": self.mean_messages_per_query(),
+            "mean_latency_ms": self.mean_latency_ms(),
+            "mean_results_per_query": self.mean_results_per_query(),
+            "success_rate": self.success_rate(),
+            "downloads": float(self.downloads),
+            "download_bytes": float(self.download_bytes),
+            "registrations": float(self.registrations),
+        }
+
+    def reset(self) -> None:
+        """Clear all counters (between experiment phases)."""
+        self.messages_by_type.clear()
+        self.bytes_by_type.clear()
+        self.queries.clear()
+        self.downloads = 0
+        self.download_bytes = 0
+        self.registrations = 0

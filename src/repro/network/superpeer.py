@@ -1,0 +1,300 @@
+"""FastTrack-style super-peer network organisation.
+
+A fraction of well-connected peers are promoted to *super-peers*.  Leaf
+peers attach to one super-peer and upload the searchable metadata of
+their shared objects to it (exactly what FastTrack and later Gnutella
+ultrapeers did).  A query travels from the leaf to its super-peer and
+is then flooded only among super-peers, each of which answers from its
+aggregated index — far fewer messages than full flooding while keeping
+much better coverage than a TTL-limited flood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.base import PeerNetwork, SearchResponse, SearchResult
+from repro.network.messages import query_hit_message, query_message, register_message
+from repro.network.peers import Peer
+from repro.network.stats import QueryRecord
+from repro.storage.index import AttributeIndex
+from repro.storage.query import Query
+
+
+@dataclass
+class _SuperPeerState:
+    """Index and bookkeeping one super-peer maintains for its leaves."""
+
+    index: AttributeIndex = field(default_factory=AttributeIndex)
+    records: dict[str, tuple[str, str, dict[str, list[str]], str]] = field(default_factory=dict)
+    # resource_id -> (community_id, title, metadata, provider_id)
+    leaves: set[str] = field(default_factory=set)
+
+
+class SuperPeerProtocol(PeerNetwork):
+    """Two-tier super-peer / leaf organisation."""
+
+    protocol_name = "super-peer"
+
+    def __init__(self, *, super_peer_ratio: float = 0.1, max_leaves: int = 50, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if not 0.0 < super_peer_ratio <= 1.0:
+            raise ValueError("super_peer_ratio must be in (0, 1]")
+        self.super_peer_ratio = super_peer_ratio
+        self.max_leaves = max_leaves
+        self._states: dict[str, _SuperPeerState] = {}
+
+    # ------------------------------------------------------------------
+    # Role assignment and attachment
+    # ------------------------------------------------------------------
+    def elect_super_peers(self, count: Optional[int] = None) -> list[str]:
+        """Promote ``count`` peers (default: ratio of population) to super-peers
+        and (re)attach every leaf to the least-loaded online super-peer."""
+        online = self.online_peers()
+        if not online:
+            return []
+        if count is None:
+            count = max(1, round(len(online) * self.super_peer_ratio))
+        count = min(count, len(online))
+        # Stable election: lowest peer ids become super-peers, which keeps
+        # experiments deterministic across runs.
+        chosen = sorted(online, key=lambda peer: peer.peer_id)[:count]
+        chosen_ids = {peer.peer_id for peer in chosen}
+        for peer in self.peers.values():
+            peer.is_super_peer = peer.peer_id in chosen_ids
+            if peer.is_super_peer:
+                peer.super_peer_id = peer.peer_id
+                self._states.setdefault(peer.peer_id, _SuperPeerState())
+        for super_id in list(self._states):
+            if super_id not in chosen_ids:
+                del self._states[super_id]
+        for peer in self.online_peers():
+            if not peer.is_super_peer:
+                self._attach_leaf(peer)
+        return sorted(chosen_ids)
+
+    def _attach_leaf(self, leaf: Peer) -> None:
+        candidates = [
+            (len(state.leaves), super_id)
+            for super_id, state in self._states.items()
+            if self.peers[super_id].online and len(state.leaves) < self.max_leaves
+        ]
+        if not candidates:
+            # Everything full: attach to the globally least loaded anyway.
+            candidates = [
+                (len(state.leaves), super_id)
+                for super_id, state in self._states.items()
+                if self.peers[super_id].online
+            ]
+        if not candidates:
+            leaf.super_peer_id = None
+            return
+        _, super_id = min(candidates)
+        previous = leaf.super_peer_id
+        if previous and previous in self._states:
+            self._detach_leaf(leaf, previous)
+        leaf.super_peer_id = super_id
+        state = self._states[super_id]
+        state.leaves.add(leaf.peer_id)
+        # The leaf re-uploads its metadata to its new super-peer.
+        for stored in leaf.repository.documents:
+            self._register(leaf.peer_id, super_id, stored.community_id, stored.resource_id,
+                           stored.metadata, stored.title)
+
+    def _detach_leaf(self, leaf: Peer, super_id: str) -> None:
+        state = self._states.get(super_id)
+        if state is None:
+            return
+        state.leaves.discard(leaf.peer_id)
+        for resource_id in [rid for rid, record in state.records.items() if record[3] == leaf.peer_id]:
+            state.index.remove(resource_id)
+            del state.records[resource_id]
+
+    # ------------------------------------------------------------------
+    # Churn hooks
+    # ------------------------------------------------------------------
+    def _on_peer_departed(self, peer: Peer) -> None:
+        if peer.is_super_peer:
+            orphans = list(self._states.get(peer.peer_id, _SuperPeerState()).leaves)
+            self._states.pop(peer.peer_id, None)
+            peer.is_super_peer = False
+            for orphan_id in orphans:
+                orphan = self.peers.get(orphan_id)
+                if orphan is not None and orphan.online:
+                    self._attach_leaf(orphan)
+        elif peer.super_peer_id:
+            self._detach_leaf(peer, peer.super_peer_id)
+
+    def _on_peer_returned(self, peer: Peer) -> None:
+        if not self._states:
+            self.elect_super_peers()
+            return
+        self._attach_leaf(peer)
+
+    def _on_peer_removed(self, peer: Peer) -> None:
+        self._on_peer_departed(peer)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def publish(self, peer_id: str, community_id: str, resource_id: str,
+                metadata: dict[str, list[str]], *, title: str = "") -> None:
+        peer = self._require_peer(peer_id)
+        if not self._states:
+            self.elect_super_peers()
+        target = peer.peer_id if peer.is_super_peer else peer.super_peer_id
+        if target is None:
+            self._attach_leaf(peer)
+            target = peer.super_peer_id
+        if target is None:
+            return
+        self._register(peer_id, target, community_id, resource_id, metadata, title,
+                       count_message=not peer.is_super_peer)
+
+    def _register(self, peer_id: str, super_id: str, community_id: str, resource_id: str,
+                  metadata: dict[str, list[str]], title: str, *, count_message: bool = True) -> None:
+        state = self._states.setdefault(super_id, _SuperPeerState())
+        if count_message and peer_id != super_id:
+            metadata_bytes = sum(len(p) + sum(len(v) for v in values) for p, values in metadata.items())
+            message = register_message(peer_id, super_id, community_id=community_id,
+                                       resource_id=resource_id, metadata_bytes=metadata_bytes)
+            self._account(message)
+            self.stats.registrations += 1
+            self.simulator.advance(self.simulator.link_latency(peer_id, super_id))
+        replica_key = f"{resource_id}@{peer_id}"
+        state.records[replica_key] = (community_id, title, dict(metadata), peer_id)
+        state.index.add(community_id, replica_key, metadata)
+
+    # ------------------------------------------------------------------
+    def search(self, origin_id: str, query: Query, *, max_results: int = 100) -> SearchResponse:
+        origin = self._require_peer(origin_id)
+        if not self._states:
+            self.elect_super_peers()
+        response = SearchResponse(query=query)
+        query_xml = query.to_xml_text()
+        results: list[SearchResult] = []
+        latency = 0.0
+        first_hit_hops: Optional[int] = None
+
+        # Local repository is always consulted first.
+        for stored in origin.repository.search(query)[:max_results]:
+            results.append(SearchResult.from_stored(origin_id, stored, hops=0))
+            first_hit_hops = 0
+
+        entry_super = origin.peer_id if origin.is_super_peer else origin.super_peer_id
+        if entry_super is None:
+            self._attach_leaf(origin)
+            entry_super = origin.super_peer_id
+        probed = 0
+        if entry_super is not None:
+            hop_to_super = 0 if origin.is_super_peer else 1
+            if hop_to_super:
+                message = query_message(origin_id, entry_super, query_xml,
+                                        community_id=query.community_id)
+                self._account(message)
+                response.messages_sent += 1
+                response.bytes_sent += message.size_bytes
+                latency += self.simulator.link_latency(origin_id, entry_super)
+            online_supers = [super_id for super_id in self._states
+                             if self.peers[super_id].online]
+            slowest_super = latency
+            for super_id in sorted(online_supers):
+                probed += 1
+                hop_count = hop_to_super if super_id == entry_super else hop_to_super + 1
+                super_latency = latency
+                if super_id != entry_super:
+                    relay = query_message(entry_super, super_id, query_xml,
+                                          community_id=query.community_id)
+                    self._account(relay)
+                    response.messages_sent += 1
+                    response.bytes_sent += relay.size_bytes
+                    super_latency += self.simulator.link_latency(entry_super, super_id)
+                matches = self._matches_at(super_id, query)
+                if matches and len(results) < max_results:
+                    metadata_bytes = 0
+                    taken = 0
+                    for resource_id, community_id, title, metadata, provider_id in matches:
+                        provider = self.peers.get(provider_id)
+                        if provider is None or not provider.online:
+                            continue
+                        if provider_id == origin_id:
+                            continue
+                        result = SearchResult(
+                            provider_id=provider_id,
+                            resource_id=resource_id,
+                            community_id=community_id,
+                            title=title,
+                            metadata={path: tuple(values) for path, values in metadata.items()},
+                            hops=hop_count + 1,
+                        )
+                        results.append(result)
+                        metadata_bytes += result.metadata_bytes()
+                        taken += 1
+                        if first_hit_hops is None or result.hops < first_hit_hops:
+                            first_hit_hops = result.hops
+                        if len(results) >= max_results:
+                            break
+                    if taken:
+                        hit = query_hit_message(super_id, origin_id, result_count=taken,
+                                                metadata_bytes=metadata_bytes,
+                                                message_id=f"sp-{len(self.stats.queries)}")
+                        for _ in range(hop_count or 1):
+                            self._account(hit)
+                            response.messages_sent += 1
+                            response.bytes_sent += hit.size_bytes
+                slowest_super = max(slowest_super, 2 * super_latency)
+            latency = slowest_super
+
+        response.results = results
+        response.peers_probed = probed
+        response.latency_ms = latency
+        self.simulator.advance(latency)
+        self.stats.record_query(QueryRecord(
+            query_id=query.query_id or f"sp-{len(self.stats.queries) + 1}",
+            origin=origin_id,
+            community_id=query.community_id,
+            results=len(results),
+            messages=response.messages_sent,
+            bytes=response.bytes_sent,
+            peers_probed=probed,
+            latency_ms=latency,
+            hops_to_first_result=first_hit_hops,
+        ))
+        return response
+
+    # ------------------------------------------------------------------
+    def _matches_at(
+        self, super_id: str, query: Query
+    ) -> list[tuple[str, str, str, dict[str, list[str]], str]]:
+        """Matching records at one super-peer.
+
+        Returns tuples ``(resource_id, community_id, title, metadata,
+        provider_id)``.  The aggregated index keys replicas as
+        ``"<resource_id>@<provider>"`` so the same object shared by two
+        leaves stays distinguishable; the bare id is recovered here.
+        """
+        state = self._states.get(super_id)
+        if state is None:
+            return []
+        if query.is_empty:
+            keys = sorted(key for key, record in state.records.items()
+                          if record[0] == query.community_id)
+        else:
+            keys = sorted(query.evaluate(state.index))
+        matches = []
+        for key in keys:
+            record = state.records.get(key)
+            if record is None:
+                continue
+            community_id, title, metadata, provider_id = record
+            bare_id = key.rsplit("@", 1)[0]
+            matches.append((bare_id, community_id, title, metadata, provider_id))
+        return matches
+
+    def super_peer_ids(self) -> list[str]:
+        return sorted(self._states)
+
+    def leaves_of(self, super_id: str) -> set[str]:
+        state = self._states.get(super_id)
+        return set(state.leaves) if state else set()

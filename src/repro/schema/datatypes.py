@@ -1,0 +1,156 @@
+"""Built-in XML Schema simple datatypes.
+
+Only the lexical checking that U-P2P relies on is implemented: the
+datatypes used by the community schema of the paper (``string``,
+``anyURI``) plus the numeric, boolean, date and token types that the
+bundled example communities (molecules, genes, species, MP3s, design
+patterns) need for their attributes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+XSD_PREFIX = "xsd"
+
+_INTEGER_RE = re.compile(r"^[+-]?\d+$")
+_DECIMAL_RE = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)$")
+_FLOAT_RE = re.compile(r"^([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|INF|-INF|NaN)$")
+_DATE_RE = re.compile(r"^-?\d{4,}-\d{2}-\d{2}(Z|[+-]\d{2}:\d{2})?$")
+_TIME_RE = re.compile(r"^\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$")
+_DATETIME_RE = re.compile(
+    r"^-?\d{4,}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$"
+)
+_GYEAR_RE = re.compile(r"^-?\d{4,}(Z|[+-]\d{2}:\d{2})?$")
+_DURATION_RE = re.compile(
+    r"^-?P(?=.)(\d+Y)?(\d+M)?(\d+D)?(T(?=.)(\d+H)?(\d+M)?(\d+(\.\d+)?S)?)?$"
+)
+_NCNAME_RE = re.compile(r"^[A-Za-z_][\w.\-]*$")
+_NMTOKEN_RE = re.compile(r"^[\w.\-:]+$")
+_LANGUAGE_RE = re.compile(r"^[a-zA-Z]{1,8}(-[a-zA-Z0-9]{1,8})*$")
+_BASE64_RE = re.compile(r"^[A-Za-z0-9+/=\s]*$")
+_HEX_RE = re.compile(r"^([0-9a-fA-F]{2})*$")
+# Deliberately permissive: anyURI allows almost anything non-space per the spec.
+_ANYURI_RE = re.compile(r"^\S*$")
+
+
+@dataclass(frozen=True)
+class BuiltinType:
+    """One built-in simple type: a name plus a lexical check."""
+
+    name: str
+    check: Callable[[str], bool]
+    description: str = ""
+    example: str = ""
+
+    def is_valid(self, value: str) -> bool:
+        """Return True if ``value`` is a legal lexical form of this type."""
+        try:
+            return bool(self.check(value))
+        except (ValueError, TypeError):
+            return False
+
+
+def _check_boolean(value: str) -> bool:
+    return value.strip() in ("true", "false", "1", "0")
+
+
+def _bounded_integer(low: Optional[int], high: Optional[int]) -> Callable[[str], bool]:
+    def check(value: str) -> bool:
+        value = value.strip()
+        if not _INTEGER_RE.match(value):
+            return False
+        number = int(value)
+        if low is not None and number < low:
+            return False
+        if high is not None and number > high:
+            return False
+        return True
+
+    return check
+
+
+def _regex_check(pattern: re.Pattern[str]) -> Callable[[str], bool]:
+    return lambda value: bool(pattern.match(value.strip()))
+
+
+_BUILTINS: dict[str, BuiltinType] = {}
+
+
+def _register(name: str, check: Callable[[str], bool], description: str, example: str) -> None:
+    _BUILTINS[name] = BuiltinType(name, check, description, example)
+
+
+_register("string", lambda value: True, "any character data", "Design Patterns")
+_register("normalizedString", lambda value: "\n" not in value and "\t" not in value,
+          "string without tabs or newlines", "Gamma et al.")
+_register("token", lambda value: value == " ".join(value.split()),
+          "whitespace-collapsed string", "creational pattern")
+_register("language", _regex_check(_LANGUAGE_RE), "RFC 3066 language code", "en-CA")
+_register("boolean", _check_boolean, "true/false/1/0", "true")
+_register("decimal", _regex_check(_DECIMAL_RE), "arbitrary precision decimal", "3.14")
+_register("integer", _regex_check(_INTEGER_RE), "arbitrary precision integer", "42")
+_register("nonNegativeInteger", _bounded_integer(0, None), "integer >= 0", "7")
+_register("positiveInteger", _bounded_integer(1, None), "integer >= 1", "1")
+_register("nonPositiveInteger", _bounded_integer(None, 0), "integer <= 0", "-3")
+_register("negativeInteger", _bounded_integer(None, -1), "integer <= -1", "-1")
+_register("long", _bounded_integer(-(2 ** 63), 2 ** 63 - 1), "64-bit integer", "1024")
+_register("int", _bounded_integer(-(2 ** 31), 2 ** 31 - 1), "32-bit integer", "1999")
+_register("short", _bounded_integer(-(2 ** 15), 2 ** 15 - 1), "16-bit integer", "128")
+_register("byte", _bounded_integer(-128, 127), "8-bit integer", "16")
+_register("unsignedLong", _bounded_integer(0, 2 ** 64 - 1), "unsigned 64-bit integer", "10")
+_register("unsignedInt", _bounded_integer(0, 2 ** 32 - 1), "unsigned 32-bit integer", "10")
+_register("unsignedShort", _bounded_integer(0, 2 ** 16 - 1), "unsigned 16-bit integer", "10")
+_register("unsignedByte", _bounded_integer(0, 255), "unsigned 8-bit integer", "10")
+_register("float", _regex_check(_FLOAT_RE), "32-bit float", "6.02e23")
+_register("double", _regex_check(_FLOAT_RE), "64-bit float", "2.5e-3")
+_register("date", _regex_check(_DATE_RE), "ISO 8601 date", "2002-02-14")
+_register("time", _regex_check(_TIME_RE), "ISO 8601 time", "12:30:00")
+_register("dateTime", _regex_check(_DATETIME_RE), "ISO 8601 timestamp", "2002-02-14T12:30:00Z")
+_register("gYear", _regex_check(_GYEAR_RE), "Gregorian year", "2002")
+_register("duration", _regex_check(_DURATION_RE), "ISO 8601 duration", "P1Y2M3DT4H")
+_register("anyURI", _regex_check(_ANYURI_RE), "URI reference", "http://example.org/pattern.xsd")
+_register("QName", _regex_check(_NMTOKEN_RE), "qualified name", "xsd:string")
+_register("NCName", _regex_check(_NCNAME_RE), "non-colonized name", "community")
+_register("ID", _regex_check(_NCNAME_RE), "document-unique identifier", "node-1")
+_register("IDREF", _regex_check(_NCNAME_RE), "reference to an ID", "node-1")
+_register("NMTOKEN", _regex_check(_NMTOKEN_RE), "name token", "creational")
+_register("Name", _regex_check(_NMTOKEN_RE), "XML name", "pattern")
+_register("base64Binary", _regex_check(_BASE64_RE), "base64-encoded bytes", "aGVsbG8=")
+_register("hexBinary", _regex_check(_HEX_RE), "hex-encoded bytes", "cafebabe")
+_register("anySimpleType", lambda value: True, "any simple value", "anything")
+
+
+def builtin_type_names() -> list[str]:
+    """Return the names of every supported built-in type."""
+    return sorted(_BUILTINS)
+
+
+def is_builtin(name: str) -> bool:
+    """Return True if ``name`` (with or without prefix) is a built-in type."""
+    return strip_prefix(name) in _BUILTINS
+
+
+def get_builtin(name: str) -> Optional[BuiltinType]:
+    """Look up a built-in type by (possibly prefixed) name."""
+    return _BUILTINS.get(strip_prefix(name))
+
+
+def check_builtin(name: str, value: str) -> bool:
+    """Validate ``value`` against built-in type ``name``.
+
+    Unknown type names are treated as ``string`` — the paper's prototype
+    was similarly lenient so that hand-written schemas with typos still
+    produced working communities.
+    """
+    builtin = get_builtin(name)
+    if builtin is None:
+        return True
+    return builtin.is_valid(value)
+
+
+def strip_prefix(name: str) -> str:
+    """Remove a namespace prefix (``xsd:string`` → ``string``)."""
+    return name.split(":", 1)[1] if ":" in name else name

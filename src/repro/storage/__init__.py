@@ -1,0 +1,45 @@
+"""Local object storage substrate (the Magenta substitute).
+
+The original U-P2P stored object meta-data in a database built on the
+Magenta agent framework and queried it with CMIP-formatted requests.
+This package plays that role:
+
+* :mod:`repro.storage.document_store` — a content-addressed store of
+  XML objects, partitioned by community.
+* :mod:`repro.storage.index` — an inverted index over the *searchable*
+  attribute values of stored objects.
+* :mod:`repro.storage.query` — the structured (CMIP-like) query model
+  that travels between servents, with an XML wire form.
+* :mod:`repro.storage.attachments` — simulated storage of the binary
+  files attached to shared objects.
+* :mod:`repro.storage.repository` — the per-peer façade combining the
+  three: publish, search, retrieve.
+"""
+
+from repro.storage.attachments import Attachment, AttachmentStore
+from repro.storage.document_store import DocumentStore, StoredObject
+from repro.storage.errors import StorageError
+from repro.storage.index import AttributeIndex, IndexEntry
+from repro.storage.persistence import load_repository, save_repository
+from repro.storage.query import Criterion, Operator, Query
+from repro.storage.repository import LocalRepository
+from repro.storage.xquery import XQueryLite, XQueryResult, xquery
+
+__all__ = [
+    "DocumentStore",
+    "StoredObject",
+    "AttributeIndex",
+    "IndexEntry",
+    "Query",
+    "Criterion",
+    "Operator",
+    "Attachment",
+    "AttachmentStore",
+    "LocalRepository",
+    "XQueryLite",
+    "XQueryResult",
+    "xquery",
+    "save_repository",
+    "load_repository",
+    "StorageError",
+]

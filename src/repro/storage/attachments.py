@@ -1,0 +1,74 @@
+"""Simulated storage and transfer of file attachments.
+
+A shared object "may or may not have links to network accessible files
+that are flagged as attachments.  Attachments are only downloaded when
+the object is retrieved from a peer on the network" (paper §IV-C.1).
+Real U-P2P moved MP3s and diagrams; the reproduction keeps synthetic
+blobs whose only observable properties are their URI, size and content
+hash — enough to account for transfer cost and verify integrity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.errors import ObjectNotFoundError
+
+
+@dataclass(frozen=True)
+class Attachment:
+    """One attached file: a URI plus simulated content."""
+
+    uri: str
+    size_bytes: int
+    content_hash: str
+
+    @classmethod
+    def synthesize(cls, uri: str, *, size_bytes: Optional[int] = None, seed: int = 0) -> "Attachment":
+        """Create a synthetic attachment with deterministic pseudo-content."""
+        rng = random.Random(f"{uri}:{seed}")
+        size = size_bytes if size_bytes is not None else rng.randint(16 * 1024, 4 * 1024 * 1024)
+        digest = hashlib.sha1(f"{uri}:{size}:{seed}".encode("utf-8")).hexdigest()
+        return cls(uri=uri, size_bytes=size, content_hash=digest)
+
+
+class AttachmentStore:
+    """Per-peer storage of attachment blobs, keyed by URI."""
+
+    def __init__(self) -> None:
+        self._attachments: dict[str, Attachment] = {}
+        self.bytes_received = 0
+        self.bytes_served = 0
+
+    def put(self, attachment: Attachment) -> None:
+        """Store an attachment this peer shares or has downloaded."""
+        self._attachments[attachment.uri] = attachment
+
+    def has(self, uri: str) -> bool:
+        return uri in self._attachments
+
+    def get(self, uri: str) -> Attachment:
+        attachment = self._attachments.get(uri)
+        if attachment is None:
+            raise ObjectNotFoundError(f"no attachment stored for {uri!r}")
+        return attachment
+
+    def serve(self, uri: str) -> Attachment:
+        """Return an attachment to a downloading peer, counting bytes served."""
+        attachment = self.get(uri)
+        self.bytes_served += attachment.size_bytes
+        return attachment
+
+    def receive(self, attachment: Attachment) -> None:
+        """Store an attachment downloaded from another peer, counting bytes."""
+        self.bytes_received += attachment.size_bytes
+        self.put(attachment)
+
+    def __len__(self) -> int:
+        return len(self._attachments)
+
+    def total_bytes(self) -> int:
+        return sum(attachment.size_bytes for attachment in self._attachments.values())

@@ -1,0 +1,123 @@
+"""Content-addressed storage of shared XML objects.
+
+Every shared object in U-P2P is an XML document conforming to its
+community's schema.  The store keeps those documents partitioned by
+community and assigns each a stable *resource id* derived from its
+canonical form, so that the same object published by two peers gets the
+same identity — which is what makes replication counting possible in
+the availability experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.storage.errors import ObjectNotFoundError
+from repro.xmlkit.dom import Element
+from repro.xmlkit.serializer import canonical, serialize
+
+
+def resource_id_for(community_id: str, document: Element) -> str:
+    """Compute the stable resource id of ``document`` within a community."""
+    digest = hashlib.sha1()
+    digest.update(community_id.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(canonical(document).encode("utf-8"))
+    return digest.hexdigest()[:20]
+
+
+@dataclass
+class StoredObject:
+    """One stored XML object plus its bookkeeping meta-data."""
+
+    resource_id: str
+    community_id: str
+    document: Element
+    title: str = ""
+    publisher: str = ""
+    size_bytes: int = 0
+    metadata: dict[str, list[str]] = field(default_factory=dict)
+
+    def to_xml_text(self) -> str:
+        """Serialize the stored document (used for transfer size accounting)."""
+        return serialize(self.document, xml_declaration=False)
+
+
+class DocumentStore:
+    """In-memory store of XML objects, partitioned by community."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, StoredObject] = {}
+        self._by_community: dict[str, dict[str, StoredObject]] = {}
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        community_id: str,
+        document: Element,
+        *,
+        title: str = "",
+        publisher: str = "",
+        metadata: Optional[dict[str, list[str]]] = None,
+    ) -> StoredObject:
+        """Store ``document`` and return its record.
+
+        Publishing the same document to the same community twice is
+        idempotent: the existing record is returned unchanged, mirroring
+        how downloading an already-shared file does not duplicate it.
+        """
+        resource_id = resource_id_for(community_id, document)
+        existing = self._objects.get(resource_id)
+        if existing is not None:
+            return existing
+        record = StoredObject(
+            resource_id=resource_id,
+            community_id=community_id,
+            document=document.copy(),
+            title=title or document.text_content().strip()[:64],
+            publisher=publisher,
+            size_bytes=len(serialize(document, xml_declaration=False).encode("utf-8")),
+            metadata=dict(metadata or {}),
+        )
+        self._objects[resource_id] = record
+        self._by_community.setdefault(community_id, {})[resource_id] = record
+        return record
+
+    def get(self, resource_id: str) -> StoredObject:
+        """Return the stored object with ``resource_id`` or raise."""
+        record = self._objects.get(resource_id)
+        if record is None:
+            raise ObjectNotFoundError(f"no object with resource id {resource_id!r}")
+        return record
+
+    def contains(self, resource_id: str) -> bool:
+        return resource_id in self._objects
+
+    def delete(self, resource_id: str) -> None:
+        """Remove an object (a peer un-sharing a file)."""
+        record = self._objects.pop(resource_id, None)
+        if record is None:
+            raise ObjectNotFoundError(f"no object with resource id {resource_id!r}")
+        community = self._by_community.get(record.community_id, {})
+        community.pop(resource_id, None)
+
+    # ------------------------------------------------------------------
+    def objects_in(self, community_id: str) -> list[StoredObject]:
+        """All objects stored for one community."""
+        return list(self._by_community.get(community_id, {}).values())
+
+    def communities(self) -> list[str]:
+        """Community ids that have at least one stored object."""
+        return [community for community, objects in self._by_community.items() if objects]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[StoredObject]:
+        return iter(self._objects.values())
+
+    def total_bytes(self) -> int:
+        """Total size of all stored documents (index-size experiments)."""
+        return sum(record.size_bytes for record in self._objects.values())

@@ -1,0 +1,159 @@
+"""Inverted index over searchable attribute values.
+
+The paper requires that "fields defined in a community schema must be
+marked searchable for them to form part of a search query.  This allows
+only fields with small portions of content to be present in the search
+engine instead of the entire XML object."  The :class:`AttributeIndex`
+is that search engine: it stores, per community and field path, both
+the exact value and its word tokens, so queries can do exact matching
+(enumerations, identifiers) and keyword matching (descriptions).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokens of ``text``."""
+    return [token.lower() for token in _TOKEN_RE.findall(text)]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One indexed (field, value) pair of one object."""
+
+    community_id: str
+    resource_id: str
+    field_path: str
+    value: str
+
+
+class AttributeIndex:
+    """Inverted index: (community, field, token/value) → resource ids."""
+
+    def __init__(self) -> None:
+        # community -> field path -> token -> set of resource ids
+        self._tokens: dict[str, dict[str, dict[str, set[str]]]] = {}
+        # community -> field path -> exact value (lowered) -> set of resource ids
+        self._values: dict[str, dict[str, dict[str, set[str]]]] = {}
+        # resource id -> its entries (for removal and size accounting)
+        self._entries: dict[str, list[IndexEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, community_id: str, resource_id: str, fields: dict[str, list[str]]) -> int:
+        """Index ``fields`` (path → values) for one object.
+
+        Returns the number of (field, value) pairs indexed.  Re-adding an
+        already indexed object replaces its previous entries.
+        """
+        if resource_id in self._entries:
+            self.remove(resource_id)
+        entries: list[IndexEntry] = []
+        for field_path, values in fields.items():
+            for value in values:
+                value = value.strip()
+                if not value:
+                    continue
+                entry = IndexEntry(community_id, resource_id, field_path, value)
+                entries.append(entry)
+                field_values = self._values.setdefault(community_id, {}).setdefault(field_path, {})
+                field_values.setdefault(value.lower(), set()).add(resource_id)
+                field_tokens = self._tokens.setdefault(community_id, {}).setdefault(field_path, {})
+                for token in tokenize(value):
+                    field_tokens.setdefault(token, set()).add(resource_id)
+        self._entries[resource_id] = entries
+        return len(entries)
+
+    def remove(self, resource_id: str) -> None:
+        """Remove every entry of ``resource_id`` (peer un-sharing)."""
+        for entry in self._entries.pop(resource_id, []):
+            values = self._values.get(entry.community_id, {}).get(entry.field_path, {})
+            bucket = values.get(entry.value.lower())
+            if bucket is not None:
+                bucket.discard(resource_id)
+                if not bucket:
+                    values.pop(entry.value.lower(), None)
+            tokens = self._tokens.get(entry.community_id, {}).get(entry.field_path, {})
+            for token in tokenize(entry.value):
+                token_bucket = tokens.get(token)
+                if token_bucket is not None:
+                    token_bucket.discard(resource_id)
+                    if not token_bucket:
+                        tokens.pop(token, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def exact(self, community_id: str, field_path: str, value: str) -> set[str]:
+        """Resource ids whose field equals ``value`` (case-insensitive)."""
+        return set(
+            self._values.get(community_id, {}).get(field_path, {}).get(value.strip().lower(), set())
+        )
+
+    def keyword(self, community_id: str, field_path: str, text: str) -> set[str]:
+        """Resource ids whose field contains every word of ``text``."""
+        tokens = tokenize(text)
+        if not tokens:
+            return set()
+        field_tokens = self._tokens.get(community_id, {}).get(field_path, {})
+        result: Optional[set[str]] = None
+        for token in tokens:
+            bucket = field_tokens.get(token, set())
+            result = set(bucket) if result is None else result & bucket
+            if not result:
+                return set()
+        return result or set()
+
+    def prefix(self, community_id: str, field_path: str, stem: str) -> set[str]:
+        """Resource ids whose field has a token starting with ``stem``."""
+        stem = stem.strip().lower()
+        if not stem:
+            return set()
+        matches: set[str] = set()
+        for token, bucket in self._tokens.get(community_id, {}).get(field_path, {}).items():
+            if token.startswith(stem):
+                matches.update(bucket)
+        return matches
+
+    def any_field_keyword(self, community_id: str, text: str) -> set[str]:
+        """Keyword match across every indexed field of a community."""
+        matches: set[str] = set()
+        for field_path in self._tokens.get(community_id, {}):
+            matches.update(self.keyword(community_id, field_path, text))
+        return matches
+
+    def fields_for(self, community_id: str) -> list[str]:
+        """Field paths that have at least one indexed value."""
+        return sorted(self._tokens.get(community_id, {}).keys())
+
+    def values_for(self, community_id: str, field_path: str) -> list[str]:
+        """Distinct indexed values of one field (drives search-form dropdowns)."""
+        return sorted(self._values.get(community_id, {}).get(field_path, {}).keys())
+
+    # ------------------------------------------------------------------
+    # Size accounting (experiment E5: index filtering)
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Total number of indexed (field, value) pairs."""
+        return sum(len(entries) for entries in self._entries.values())
+
+    def indexed_objects(self) -> int:
+        return len(self._entries)
+
+    def size_bytes(self) -> int:
+        """Approximate memory footprint of the indexed strings."""
+        total = 0
+        for entries in self._entries.values():
+            for entry in entries:
+                total += len(entry.field_path) + len(entry.value)
+        return total
+
+    def entries_for(self, resource_id: str) -> Iterable[IndexEntry]:
+        return tuple(self._entries.get(resource_id, ()))

@@ -1,0 +1,86 @@
+"""Disk persistence for a peer's repository.
+
+The original servent kept its objects in a database so they survived
+restarts; a downstream user of this library needs the same.  The format
+is deliberately transparent: one directory per community, one XML file
+per object, plus a small XML manifest carrying titles, publishers and
+the indexed metadata so the attribute index can be rebuilt without
+re-deriving searchable fields from schemas.
+
+Layout::
+
+    <root>/
+      manifest.xml
+      <community-id>/
+        <resource-id>.xml
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.storage.errors import StorageError
+from repro.storage.repository import LocalRepository
+from repro.xmlkit.dom import Element
+from repro.xmlkit.parser import parse_file
+from repro.xmlkit.serializer import pretty
+
+
+def save_repository(repository: LocalRepository, root: Union[str, Path]) -> int:
+    """Write every stored object under ``root``; returns the object count."""
+    root_path = Path(root)
+    root_path.mkdir(parents=True, exist_ok=True)
+    manifest = Element("repository", {"owner": repository.owner or ""})
+    count = 0
+    for stored in repository.documents:
+        community_dir = root_path / stored.community_id
+        community_dir.mkdir(parents=True, exist_ok=True)
+        object_path = community_dir / f"{stored.resource_id}.xml"
+        object_path.write_text(pretty(stored.document), encoding="utf-8")
+        entry = manifest.make_child("object", attributes={
+            "resource-id": stored.resource_id,
+            "community": stored.community_id,
+            "title": stored.title,
+            "publisher": stored.publisher,
+        })
+        for field_path, values in sorted(stored.metadata.items()):
+            for value in values:
+                entry.make_child("field", text=value, attributes={"path": field_path})
+        count += 1
+    (root_path / "manifest.xml").write_text(pretty(manifest), encoding="utf-8")
+    return count
+
+
+def load_repository(root: Union[str, Path], *, owner: str = "") -> LocalRepository:
+    """Rebuild a repository (store + index) from a saved directory."""
+    root_path = Path(root)
+    manifest_path = root_path / "manifest.xml"
+    if not manifest_path.exists():
+        raise StorageError(f"{root_path} does not contain a repository manifest")
+    manifest = parse_file(manifest_path).root
+    repository = LocalRepository(owner=owner or manifest.get("owner", ""))
+    for entry in manifest.find_all("object"):
+        resource_id = entry.get("resource-id", "")
+        community_id = entry.get("community", "")
+        object_path = root_path / community_id / f"{resource_id}.xml"
+        if not object_path.exists():
+            raise StorageError(f"manifest references missing object file {object_path}")
+        document = parse_file(object_path, keep_whitespace_text=False).root
+        metadata: dict[str, list[str]] = {}
+        for field in entry.find_all("field"):
+            metadata.setdefault(field.get("path", ""), []).append(field.text_content().strip())
+        attachments = metadata.get("__attachments__", [])
+        stored = repository.publish(
+            community_id,
+            document,
+            metadata,
+            title=entry.get("title", ""),
+            attachment_uris=list(attachments),
+        )
+        if stored.resource_id != resource_id:
+            raise StorageError(
+                f"object {object_path} no longer matches its recorded resource id "
+                f"({stored.resource_id} != {resource_id}); the file was modified"
+            )
+    return repository

@@ -1,0 +1,109 @@
+"""The per-peer repository: store + index + attachments behind one API.
+
+This is what a U-P2P servent talks to locally: publish an object (store
+it and index its searchable fields), evaluate a query against the local
+index, and retrieve a full object with its attachments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.storage.attachments import Attachment, AttachmentStore
+from repro.storage.document_store import DocumentStore, StoredObject
+from repro.storage.index import AttributeIndex
+from repro.storage.query import Query
+from repro.xmlkit.dom import Element
+
+
+@dataclass
+class PublishResult:
+    """What came out of publishing one object locally."""
+
+    stored: StoredObject
+    indexed_fields: int
+    attachments: list[Attachment] = field(default_factory=list)
+
+    @property
+    def resource_id(self) -> str:
+        return self.stored.resource_id
+
+
+class LocalRepository:
+    """Store, index and attachments of one peer."""
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self.documents = DocumentStore()
+        self.index = AttributeIndex()
+        self.attachments = AttachmentStore()
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        community_id: str,
+        document: Element,
+        metadata: dict[str, list[str]],
+        *,
+        title: str = "",
+        attachment_uris: Optional[list[str]] = None,
+    ) -> PublishResult:
+        """Store ``document``, index ``metadata`` and register attachments.
+
+        ``metadata`` holds only the searchable field values — the caller
+        (the servent) applies the community's index filter before calling
+        this, which is exactly the split the paper describes.
+        """
+        stored = self.documents.put(
+            community_id,
+            document,
+            title=title,
+            publisher=self.owner,
+            metadata=metadata,
+        )
+        indexed = self.index.add(community_id, stored.resource_id, metadata)
+        created: list[Attachment] = []
+        for uri in attachment_uris or []:
+            if not uri.strip():
+                continue
+            attachment = Attachment.synthesize(uri)
+            self.attachments.put(attachment)
+            created.append(attachment)
+        return PublishResult(stored=stored, indexed_fields=indexed, attachments=created)
+
+    def unpublish(self, resource_id: str) -> None:
+        """Remove an object and its index entries."""
+        self.index.remove(resource_id)
+        self.documents.delete(resource_id)
+
+    # ------------------------------------------------------------------
+    def search(self, query: Query) -> list[StoredObject]:
+        """Evaluate ``query`` against the local index.
+
+        An empty query returns every object of the community (browsing).
+        """
+        if query.is_empty:
+            return self.documents.objects_in(query.community_id)
+        ids = query.evaluate(self.index)
+        return [self.documents.get(resource_id) for resource_id in sorted(ids)]
+
+    def retrieve(self, resource_id: str) -> StoredObject:
+        """Return the full stored object (the download path)."""
+        return self.documents.get(resource_id)
+
+    def serve_attachment(self, uri: str) -> Attachment:
+        return self.attachments.serve(uri)
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, int]:
+        """Counters used by the experiment harness."""
+        return {
+            "objects": len(self.documents),
+            "communities": len(self.documents.communities()),
+            "index_entries": self.index.entry_count(),
+            "index_bytes": self.index.size_bytes(),
+            "document_bytes": self.documents.total_bytes(),
+            "attachments": len(self.attachments),
+            "attachment_bytes": self.attachments.total_bytes(),
+        }

@@ -1,0 +1,129 @@
+"""Query workload generation from a community corpus.
+
+The experiments need query streams with a controlled hit structure:
+*field queries* that match a known subset of the corpus (so recall can
+be computed), *keyword queries* drawn from corpus vocabulary, and
+*miss queries* that match nothing (to measure the cost of unsuccessful
+floods).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.storage.index import tokenize
+from repro.storage.query import Criterion, Operator, Query
+from repro.workloads.popularity import ZipfDistribution
+
+
+@dataclass
+class QueryWorkload:
+    """A reusable stream of queries plus their expected matches."""
+
+    community_id: str
+    queries: list[Query] = field(default_factory=list)
+    expected_matches: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def mean_expected_matches(self) -> float:
+        if not self.expected_matches:
+            return 0.0
+        return sum(self.expected_matches) / len(self.expected_matches)
+
+
+def build_query_workload(
+    community_id: str,
+    corpus: Sequence[dict[str, object]],
+    *,
+    count: int = 50,
+    searchable_fields: Optional[Sequence[str]] = None,
+    miss_fraction: float = 0.1,
+    zipf_exponent: float = 0.8,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Build ``count`` queries against ``corpus``.
+
+    Queries target values drawn from the corpus itself, skewed by a Zipf
+    distribution over records so that popular objects are asked for more
+    often; a ``miss_fraction`` of queries use vocabulary guaranteed not
+    to occur in the corpus.
+    """
+    if not corpus:
+        raise ValueError("cannot build a query workload from an empty corpus")
+    if not 0.0 <= miss_fraction <= 1.0:
+        raise ValueError("miss_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    fields = list(searchable_fields) if searchable_fields else _text_fields(corpus)
+    popularity = ZipfDistribution(len(corpus), exponent=zipf_exponent, seed=seed)
+    workload = QueryWorkload(community_id=community_id)
+
+    for query_index in range(count):
+        if rng.random() < miss_fraction:
+            query = Query.keyword(community_id, f"zzqx{query_index:04d} nothing matches this")
+            workload.queries.append(query)
+            workload.expected_matches.append(0)
+            continue
+        record = corpus[popularity.sample()]
+        field_path = rng.choice(fields)
+        value = _value_of(record, field_path)
+        if not value:
+            query = Query.keyword(community_id, "shared")
+            workload.queries.append(query)
+            workload.expected_matches.append(_count_keyword_matches(corpus, "shared"))
+            continue
+        if rng.random() < 0.5:
+            # Field-scoped query on the full value.
+            query = Query(community_id, [Criterion(field_path, value, Operator.CONTAINS)])
+            expected = sum(1 for other in corpus if _contains(other, field_path, value))
+        else:
+            # Keyword query on a word of the value.
+            tokens = tokenize(value)
+            token = rng.choice(tokens) if tokens else value
+            query = Query.keyword(community_id, token)
+            expected = _count_keyword_matches(corpus, token)
+        workload.queries.append(query)
+        workload.expected_matches.append(expected)
+    return workload
+
+
+# ----------------------------------------------------------------------
+def _text_fields(corpus: Sequence[dict[str, object]]) -> list[str]:
+    fields = [
+        path for path, value in corpus[0].items()
+        if isinstance(value, str) and not value.startswith("http")
+    ]
+    return fields or list(corpus[0].keys())
+
+
+def _value_of(record: dict[str, object], field_path: str) -> str:
+    value = record.get(field_path, "")
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (list, tuple)) and value:
+        return str(value[0])
+    return str(value) if value else ""
+
+
+def _contains(record: dict[str, object], field_path: str, value: str) -> bool:
+    wanted = set(tokenize(value))
+    present = set(tokenize(_value_of(record, field_path)))
+    return bool(wanted) and wanted.issubset(present)
+
+
+def _count_keyword_matches(corpus: Sequence[dict[str, object]], token: str) -> int:
+    count = 0
+    for record in corpus:
+        text = " ".join(
+            value if isinstance(value, str) else " ".join(str(item) for item in value)
+            for value in record.values()
+        )
+        if token.lower() in tokenize(text):
+            count += 1
+    return count

@@ -1,0 +1,170 @@
+"""Scenario builders: a full experiment setup in one call.
+
+A *scenario* is a network of a chosen protocol, a population of
+servents, one or more bundled communities created and joined, a corpus
+published across the peers, and a query workload — everything a
+benchmark needs to measure a claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.communities import ALL_COMMUNITIES
+from repro.communities.base import CommunityDefinition
+from repro.core.application import Application
+from repro.core.servent import Servent
+from repro.network.base import PeerNetwork
+from repro.network.centralized import CentralizedProtocol
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.rendezvous import RendezvousProtocol
+from repro.network.superpeer import SuperPeerProtocol
+from repro.workloads.queries import QueryWorkload, build_query_workload
+
+PROTOCOLS = {
+    "centralized": CentralizedProtocol,
+    "gnutella": GnutellaProtocol,
+    "super-peer": SuperPeerProtocol,
+    "rendezvous": RendezvousProtocol,
+}
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters of one experiment scenario."""
+
+    protocol: str = "gnutella"
+    peers: int = 50
+    community: str = "design-patterns"
+    corpus_size: int = 100
+    publishers: int = 10
+    members: int = 25
+    queries: int = 50
+    ttl: int = 7
+    degree: int = 4
+    super_peer_ratio: float = 0.1
+    miss_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; choose from {sorted(PROTOCOLS)}")
+        if self.community not in ALL_COMMUNITIES:
+            raise ValueError(f"unknown community {self.community!r}; choose from {sorted(ALL_COMMUNITIES)}")
+        if self.peers < 2:
+            raise ValueError("a scenario needs at least two peers")
+        if not 1 <= self.publishers <= self.peers:
+            raise ValueError("publishers must be between 1 and the peer count")
+        if not self.publishers <= self.members <= self.peers:
+            raise ValueError("members must be between publishers and the peer count")
+
+
+@dataclass
+class Scenario:
+    """A fully built experiment scenario."""
+
+    config: ScenarioConfig
+    network: PeerNetwork
+    servents: list[Servent]
+    definition: CommunityDefinition
+    applications: list[Application]
+    corpus: list[dict[str, object]]
+    workload: QueryWorkload
+    resource_ids: list[str] = field(default_factory=list)
+
+    @property
+    def community_id(self) -> str:
+        return self.applications[0].community.community_id
+
+    def members(self) -> list[Servent]:
+        """Servents that joined the community (searchers)."""
+        return self.servents[: self.config.members]
+
+    def run_queries(self, *, max_results: int = 100) -> list[int]:
+        """Run the whole query workload round-robin over members.
+
+        Returns the result count of each query (recall analysis happens
+        against ``workload.expected_matches``).
+        """
+        members = self.members()
+        counts: list[int] = []
+        for index, query in enumerate(self.workload):
+            searcher = members[index % len(members)]
+            response = searcher.search(self.community_id, query, max_results=max_results)
+            counts.append(response.result_count)
+        return counts
+
+
+def build_network(config: ScenarioConfig) -> PeerNetwork:
+    """Instantiate the protocol named by ``config`` with its knobs."""
+    if config.protocol == "gnutella":
+        return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, seed=config.seed)
+    if config.protocol == "super-peer":
+        return SuperPeerProtocol(super_peer_ratio=config.super_peer_ratio, seed=config.seed)
+    if config.protocol == "rendezvous":
+        return RendezvousProtocol(rendezvous_ratio=config.super_peer_ratio, seed=config.seed)
+    return CentralizedProtocol(seed=config.seed)
+
+
+def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scenario:
+    """Build a complete scenario from ``config`` (or keyword overrides)."""
+    if config is None:
+        config = ScenarioConfig(**overrides)
+    network = build_network(config)
+    servents = [Servent(f"peer-{index:04d}", network) for index in range(config.peers)]
+
+    definition = ALL_COMMUNITIES[config.community]()
+    founder_app = definition.application_on(servents[0])
+
+    # Members 1..members-1 discover the community in the root community
+    # and join it; the remaining peers only relay traffic.
+    applications = [founder_app]
+    for servent in servents[1:config.members]:
+        discovery = servent.search_communities(definition.keywords.split()[0])
+        matches = [result for result in discovery.results if result.title == definition.name]
+        if not matches:
+            community = founder_app.community
+            servent.join_community(community)
+        else:
+            community = servent.join_community(matches[0])
+        applications.append(Application(servent, community))
+
+    if isinstance(network, GnutellaProtocol):
+        network.build_overlay()
+    if isinstance(network, SuperPeerProtocol):
+        network.elect_super_peers()
+    if isinstance(network, RendezvousProtocol):
+        network.elect_rendezvous()
+
+    corpus = definition.sample_corpus(config.corpus_size, seed=config.seed)
+    publishers = applications[: config.publishers]
+    resource_ids: list[str] = []
+    for index, record in enumerate(corpus):
+        application = publishers[index % len(publishers)]
+        resource = application.publish(record)
+        resource_ids.append(resource.resource_id)
+
+    community_id = founder_app.community.community_id
+    searchable = [info.path for info in founder_app.community.schema.searchable_fields()]
+    workload = build_query_workload(
+        community_id,
+        corpus,
+        count=config.queries,
+        searchable_fields=[path for path in searchable if "/" not in path] or None,
+        miss_fraction=config.miss_fraction,
+        seed=config.seed,
+    )
+    # Reset the statistics so experiments measure the query phase only,
+    # not community creation and publishing.
+    network.stats.reset()
+    return Scenario(
+        config=config,
+        network=network,
+        servents=servents,
+        definition=definition,
+        applications=applications,
+        corpus=corpus,
+        workload=workload,
+        resource_ids=resource_ids,
+    )

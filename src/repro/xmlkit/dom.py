@@ -1,0 +1,281 @@
+"""A small, namespace-aware XML element tree.
+
+The tree intentionally mirrors the subset of the W3C DOM that U-P2P
+needs: elements with attributes, namespace declarations, text and child
+elements, plus a document wrapper.  Mixed content is supported by
+storing text in ``text`` / ``tail`` slots, the same model used by
+``ElementTree`` so the API feels familiar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+XML_NAMESPACE = "http://www.w3.org/XML/1998/namespace"
+XMLNS_NAMESPACE = "http://www.w3.org/2000/xmlns/"
+XSD_NAMESPACE = "http://www.w3.org/2001/XMLSchema"
+XSI_NAMESPACE = "http://www.w3.org/2001/XMLSchema-instance"
+XSLT_NAMESPACE = "http://www.w3.org/1999/XSL/Transform"
+
+
+@dataclass(frozen=True)
+class QName:
+    """A qualified name: an optional namespace URI plus a local name."""
+
+    namespace: Optional[str]
+    local: str
+
+    @classmethod
+    def parse(cls, name: str, resolver: Optional[Callable[[str], Optional[str]]] = None) -> "QName":
+        """Split ``prefix:local`` using ``resolver`` to map prefixes to URIs.
+
+        Without a resolver the prefix is preserved inside ``namespace`` as
+        ``None`` and the full string becomes the local name; this keeps
+        unprefixed usage trivially correct.
+        """
+        if ":" in name:
+            prefix, local = name.split(":", 1)
+            if resolver is not None:
+                return cls(resolver(prefix), local)
+            return cls(None, name)
+        if resolver is not None:
+            return cls(resolver(""), name)
+        return cls(None, name)
+
+    def clark(self) -> str:
+        """Return Clark notation ``{uri}local`` (or just ``local``)."""
+        if self.namespace:
+            return "{%s}%s" % (self.namespace, self.local)
+        return self.local
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.clark()
+
+
+class Element:
+    """An XML element node.
+
+    Parameters
+    ----------
+    tag:
+        The element name as written in the document (possibly prefixed,
+        e.g. ``xsd:element``).
+    attributes:
+        Attribute name → value mapping.  Namespace declarations
+        (``xmlns`` / ``xmlns:p``) live here too, exactly as parsed.
+    """
+
+    __slots__ = ("tag", "attributes", "children", "text", "tail", "parent", "nsmap")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[dict[str, str]] = None,
+        *,
+        text: str = "",
+        nsmap: Optional[dict[str, str]] = None,
+    ) -> None:
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list["Element"] = []
+        self.text: str = text
+        self.tail: str = ""
+        self.parent: Optional["Element"] = None
+        # Namespace declarations made *on this element* (prefix -> uri).
+        # "" is the default namespace.
+        self.nsmap: dict[str, str] = dict(nsmap or {})
+        for name, value in self.attributes.items():
+            if name == "xmlns":
+                self.nsmap.setdefault("", value)
+            elif name.startswith("xmlns:"):
+                self.nsmap.setdefault(name[6:], value)
+
+    # ------------------------------------------------------------------
+    # Naming helpers
+    # ------------------------------------------------------------------
+    @property
+    def prefix(self) -> str:
+        """The namespace prefix of the tag ('' when unprefixed)."""
+        return self.tag.split(":", 1)[0] if ":" in self.tag else ""
+
+    @property
+    def local_name(self) -> str:
+        """The tag name with any namespace prefix stripped."""
+        return self.tag.split(":", 1)[1] if ":" in self.tag else self.tag
+
+    def resolve_prefix(self, prefix: str) -> Optional[str]:
+        """Resolve ``prefix`` to a namespace URI by walking up the tree."""
+        if prefix == "xml":
+            return XML_NAMESPACE
+        node: Optional[Element] = self
+        while node is not None:
+            if prefix in node.nsmap:
+                return node.nsmap[prefix]
+            node = node.parent
+        return None
+
+    @property
+    def namespace(self) -> Optional[str]:
+        """The namespace URI this element's tag resolves to, if any."""
+        return self.resolve_prefix(self.prefix)
+
+    def qname(self) -> QName:
+        """The element name as a resolved :class:`QName`."""
+        return QName(self.namespace, self.local_name)
+
+    # ------------------------------------------------------------------
+    # Attribute access
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return an attribute value by its literal (possibly prefixed) name."""
+        return self.attributes.get(name, default)
+
+    def set(self, name: str, value: str) -> None:
+        """Set an attribute, tracking namespace declarations."""
+        self.attributes[name] = value
+        if name == "xmlns":
+            self.nsmap[""] = value
+        elif name.startswith("xmlns:"):
+            self.nsmap[name[6:]] = value
+
+    def has(self, name: str) -> bool:
+        """Return True if the attribute is present."""
+        return name in self.attributes
+
+    def get_local(self, local_name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return an attribute by local name regardless of prefix."""
+        for name, value in self.attributes.items():
+            bare = name.split(":", 1)[1] if ":" in name else name
+            if bare == local_name and not name.startswith("xmlns"):
+                return value
+        return default
+
+    # ------------------------------------------------------------------
+    # Tree construction / navigation
+    # ------------------------------------------------------------------
+    def append(self, child: "Element") -> "Element":
+        """Append ``child`` and return it (for chaining)."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def extend(self, children: Iterable["Element"]) -> None:
+        for child in children:
+            self.append(child)
+
+    def remove(self, child: "Element") -> None:
+        self.children.remove(child)
+        child.parent = None
+
+    def make_child(self, tag: str, text: str = "", attributes: Optional[dict[str, str]] = None) -> "Element":
+        """Create, append and return a new child element."""
+        return self.append(Element(tag, attributes, text=text))
+
+    def __iter__(self) -> Iterator["Element"]:
+        return iter(self.children)
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def iter(self, local_name: Optional[str] = None) -> Iterator["Element"]:
+        """Depth-first iteration over this element and its descendants."""
+        if local_name is None or self.local_name == local_name:
+            yield self
+        for child in self.children:
+            yield from child.iter(local_name)
+
+    def find(self, local_name: str) -> Optional["Element"]:
+        """Return the first direct child with the given local name."""
+        for child in self.children:
+            if child.local_name == local_name:
+                return child
+        return None
+
+    def find_all(self, local_name: str) -> list["Element"]:
+        """Return all direct children with the given local name."""
+        return [child for child in self.children if child.local_name == local_name]
+
+    def child_text(self, local_name: str, default: str = "") -> str:
+        """Return the text content of the first matching child."""
+        child = self.find(local_name)
+        return child.text_content() if child is not None else default
+
+    def text_content(self) -> str:
+        """Return the concatenation of all descendant text."""
+        parts = [self.text]
+        for child in self.children:
+            parts.append(child.text_content())
+            parts.append(child.tail)
+        return "".join(parts)
+
+    def path_from_root(self) -> str:
+        """Return a ``/``-separated path of local names from the root."""
+        names: list[str] = []
+        node: Optional[Element] = self
+        while node is not None:
+            names.append(node.local_name)
+            node = node.parent
+        return "/".join(reversed(names))
+
+    def depth(self) -> int:
+        """Return the number of ancestors of this element."""
+        count = 0
+        node = self.parent
+        while node is not None:
+            count += 1
+            node = node.parent
+        return count
+
+    # ------------------------------------------------------------------
+    # Copying and equality
+    # ------------------------------------------------------------------
+    def copy(self) -> "Element":
+        """Return a deep copy of this subtree (parent link cleared)."""
+        clone = Element(self.tag, dict(self.attributes), text=self.text, nsmap=dict(self.nsmap))
+        clone.tail = self.tail
+        for child in self.children:
+            clone.append(child.copy())
+        return clone
+
+    def structurally_equal(self, other: "Element") -> bool:
+        """Structural equality: tag, attributes, normalized text, children."""
+        if self.local_name != other.local_name:
+            return False
+        mine = {k: v for k, v in self.attributes.items() if not k.startswith("xmlns")}
+        theirs = {k: v for k, v in other.attributes.items() if not k.startswith("xmlns")}
+        if mine != theirs:
+            return False
+        if self.text.strip() != other.text.strip():
+            return False
+        if len(self.children) != len(other.children):
+            return False
+        return all(a.structurally_equal(b) for a, b in zip(self.children, other.children))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.tag} attrs={len(self.attributes)} children={len(self.children)}>"
+
+
+class Document:
+    """A parsed XML document: a root element plus prolog information."""
+
+    __slots__ = ("root", "version", "encoding", "standalone")
+
+    def __init__(
+        self,
+        root: Element,
+        *,
+        version: str = "1.0",
+        encoding: str = "UTF-8",
+        standalone: Optional[bool] = None,
+    ) -> None:
+        self.root = root
+        self.version = version
+        self.encoding = encoding
+        self.standalone = standalone
+
+    def iter(self, local_name: Optional[str] = None) -> Iterator[Element]:
+        return self.root.iter(local_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Document root={self.root.tag!r}>"

@@ -1,0 +1,30 @@
+"""Error types for the XML substrate."""
+
+from __future__ import annotations
+
+
+class XMLError(Exception):
+    """Base class for all XML substrate errors."""
+
+
+class XMLParseError(XMLError):
+    """Raised when a document is not well-formed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position so callers (and tests) can report precise locations.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XMLSerializeError(XMLError):
+    """Raised when a tree cannot be serialized (e.g. illegal characters)."""
+
+
+class XPathError(XMLError):
+    """Raised for unsupported or malformed XPath expressions."""

@@ -1,0 +1,173 @@
+"""Tree-building XML parser on top of :mod:`repro.xmlkit.tokenizer`.
+
+The parser enforces the well-formedness constraints that matter for
+U-P2P documents: a single root element, balanced tags, no content after
+the root, legal names and (optionally) namespace prefix resolvability.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.xmlkit.dom import Document, Element
+from repro.xmlkit.errors import XMLParseError
+from repro.xmlkit.escape import is_valid_name
+from repro.xmlkit.tokenizer import Token, Tokenizer, TokenType
+
+
+class XMLParser:
+    """Builds a :class:`~repro.xmlkit.dom.Document` from text.
+
+    Parameters
+    ----------
+    check_namespaces:
+        When true (the default) every prefixed element or attribute name
+        must resolve to a declared namespace, mirroring what Xerces
+        enforced for the original implementation.
+    keep_whitespace_text:
+        When false, text nodes that consist purely of whitespace between
+        elements are dropped.  Schema and stylesheet parsing uses this to
+        ignore indentation.
+    """
+
+    def __init__(self, *, check_namespaces: bool = True, keep_whitespace_text: bool = True) -> None:
+        self._check_namespaces = check_namespaces
+        self._keep_whitespace_text = keep_whitespace_text
+
+    def parse(self, text: str) -> Document:
+        """Parse ``text`` and return the document tree."""
+        if not text or not text.strip():
+            raise XMLParseError("document is empty")
+        root: Optional[Element] = None
+        version = "1.0"
+        encoding = "UTF-8"
+        standalone: Optional[bool] = None
+        stack: list[Element] = []
+        seen_declaration = False
+        seen_any = False
+
+        for token in Tokenizer(text).tokens():
+            if token.type == TokenType.DECLARATION:
+                if seen_any or seen_declaration:
+                    raise XMLParseError(
+                        "XML declaration must be the first thing in the document",
+                        token.line,
+                        token.column,
+                    )
+                seen_declaration = True
+                version = token.attributes.get("version", "1.0")
+                encoding = token.attributes.get("encoding", "UTF-8")
+                if "standalone" in token.attributes:
+                    standalone = token.attributes["standalone"] == "yes"
+                continue
+            if token.type in (TokenType.COMMENT, TokenType.PROCESSING, TokenType.DOCTYPE):
+                seen_any = True
+                continue
+            if token.type == TokenType.TEXT:
+                self._handle_text(token, token.value, stack, root)
+                continue
+            if token.type == TokenType.CDATA:
+                self._handle_text(token, token.value, stack, root, is_cdata=True)
+                continue
+            seen_any = True
+            if token.type in (TokenType.START_TAG, TokenType.EMPTY_TAG):
+                element = self._make_element(token)
+                if stack:
+                    stack[-1].append(element)
+                elif root is None:
+                    root = element
+                else:
+                    raise XMLParseError(
+                        "document must have exactly one root element",
+                        token.line,
+                        token.column,
+                    )
+                if token.type == TokenType.START_TAG:
+                    stack.append(element)
+                elif self._check_namespaces:
+                    self._verify_namespaces(element, token)
+                continue
+            if token.type == TokenType.END_TAG:
+                if not stack:
+                    raise XMLParseError(
+                        f"unexpected end tag </{token.value}>", token.line, token.column
+                    )
+                open_element = stack.pop()
+                if open_element.tag != token.value:
+                    raise XMLParseError(
+                        f"end tag </{token.value}> does not match <{open_element.tag}>",
+                        token.line,
+                        token.column,
+                    )
+                if self._check_namespaces:
+                    self._verify_namespaces(open_element, token)
+                continue
+
+        if stack:
+            raise XMLParseError(f"unclosed element <{stack[-1].tag}>")
+        if root is None:
+            raise XMLParseError("document has no root element")
+        return Document(root, version=version, encoding=encoding, standalone=standalone)
+
+    # ------------------------------------------------------------------
+    def _handle_text(
+        self,
+        token: Token,
+        value: str,
+        stack: list[Element],
+        root: Optional[Element],
+        *,
+        is_cdata: bool = False,
+    ) -> None:
+        if not stack:
+            if value.strip():
+                raise XMLParseError(
+                    "character data outside the root element", token.line, token.column
+                )
+            return
+        if not self._keep_whitespace_text and not value.strip() and not is_cdata:
+            return
+        target = stack[-1]
+        if target.children:
+            target.children[-1].tail += value
+        else:
+            target.text += value
+
+    def _make_element(self, token: Token) -> Element:
+        if not is_valid_name(token.value):
+            raise XMLParseError(f"illegal element name {token.value!r}", token.line, token.column)
+        for name in token.attributes:
+            bare = name[6:] if name.startswith("xmlns:") else name
+            if bare and not is_valid_name(bare.replace(":", "_")):
+                raise XMLParseError(f"illegal attribute name {name!r}", token.line, token.column)
+        return Element(token.value, token.attributes)
+
+    def _verify_namespaces(self, element: Element, token: Token) -> None:
+        if ":" in element.tag and element.namespace is None:
+            raise XMLParseError(
+                f"undeclared namespace prefix {element.prefix!r}", token.line, token.column
+            )
+        for name in element.attributes:
+            if ":" in name and not name.startswith("xmlns:") and name.split(":", 1)[0] != "xml":
+                prefix = name.split(":", 1)[0]
+                if element.resolve_prefix(prefix) is None:
+                    raise XMLParseError(
+                        f"undeclared namespace prefix {prefix!r} on attribute {name!r}",
+                        token.line,
+                        token.column,
+                    )
+
+
+def parse(text: str, *, check_namespaces: bool = True, keep_whitespace_text: bool = True) -> Document:
+    """Parse an XML string into a :class:`Document`."""
+    parser = XMLParser(
+        check_namespaces=check_namespaces, keep_whitespace_text=keep_whitespace_text
+    )
+    return parser.parse(text)
+
+
+def parse_file(path: Union[str, Path], **options: bool) -> Document:
+    """Parse the XML file at ``path``."""
+    data = Path(path).read_text(encoding="utf-8")
+    return parse(data, **options)

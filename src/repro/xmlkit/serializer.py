@@ -1,0 +1,112 @@
+"""Serialization of the element tree back to XML (and canonical forms)."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmlkit.dom import Document, Element
+from repro.xmlkit.escape import escape_attribute, escape_text
+
+Node = Union[Document, Element]
+
+
+def serialize(node: Node, *, xml_declaration: bool = True) -> str:
+    """Serialize a document or element to a compact XML string."""
+    element, declaration = _unwrap(node, xml_declaration)
+    parts: list[str] = []
+    if declaration:
+        parts.append(declaration)
+    _write_element(element, parts, indent=None, level=0)
+    return "".join(parts)
+
+
+def pretty(node: Node, *, indent: str = "  ", xml_declaration: bool = True) -> str:
+    """Serialize with indentation, suitable for humans and docs.
+
+    Elements that contain non-whitespace text keep their text inline so
+    mixed content is not corrupted by added whitespace.
+    """
+    element, declaration = _unwrap(node, xml_declaration)
+    parts: list[str] = []
+    if declaration:
+        parts.append(declaration + "\n")
+    _write_element(element, parts, indent=indent, level=0)
+    parts.append("\n")
+    return "".join(parts)
+
+
+def canonical(node: Node) -> str:
+    """A canonical-ish form used for hashing and structural comparison.
+
+    Attributes are emitted in sorted order, whitespace-only text is
+    dropped and no XML declaration is included.  Two structurally equal
+    trees produce identical canonical strings.
+    """
+    element = node.root if isinstance(node, Document) else node
+    parts: list[str] = []
+    _write_canonical(element, parts)
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+def _unwrap(node: Node, xml_declaration: bool) -> tuple[Element, str]:
+    if isinstance(node, Document):
+        declaration = ""
+        if xml_declaration:
+            declaration = f'<?xml version="{node.version}" encoding="{node.encoding}"?>'
+        return node.root, declaration
+    declaration = '<?xml version="1.0" encoding="UTF-8"?>' if xml_declaration else ""
+    return node, declaration
+
+
+def _open_tag(element: Element) -> str:
+    chunks = [f"<{element.tag}"]
+    for name, value in element.attributes.items():
+        chunks.append(f' {name}="{escape_attribute(value)}"')
+    return "".join(chunks)
+
+
+def _write_element(element: Element, parts: list[str], *, indent: Union[str, None], level: int) -> None:
+    pad = "" if indent is None else "\n" + indent * level if parts else indent * level
+    if indent is not None:
+        if parts and not parts[-1].endswith("\n"):
+            parts.append("\n")
+        parts.append(indent * level)
+    parts.append(_open_tag(element))
+    has_text = bool(element.text.strip())
+    if not element.children and not has_text:
+        parts.append("/>")
+        return
+    parts.append(">")
+    if has_text or indent is None:
+        parts.append(escape_text(element.text))
+    for child in element.children:
+        _write_element(child, parts, indent=indent, level=level + 1)
+        if indent is None or child.tail.strip():
+            parts.append(escape_text(child.tail))
+    if element.children and indent is not None and not has_text:
+        parts.append("\n")
+        parts.append(indent * level)
+    parts.append(f"</{element.tag}>")
+    del pad  # kept for readability of the indenting logic above
+
+
+def _write_canonical(element: Element, parts: list[str]) -> None:
+    parts.append(f"<{element.local_name}")
+    attributes = {
+        name: value
+        for name, value in element.attributes.items()
+        if not name.startswith("xmlns")
+    }
+    for name in sorted(attributes):
+        parts.append(f' {name.split(":", 1)[-1]}="{escape_attribute(attributes[name])}"')
+    parts.append(">")
+    text = element.text.strip()
+    if text:
+        parts.append(escape_text(text))
+    for child in element.children:
+        _write_canonical(child, parts)
+        tail = child.tail.strip()
+        if tail:
+            parts.append(escape_text(tail))
+    parts.append(f"</{element.local_name}>")

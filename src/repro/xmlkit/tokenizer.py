@@ -1,0 +1,237 @@
+"""A hand-written tokenizer for XML 1.0 documents.
+
+The tokenizer turns an input string into a stream of tokens that the
+parser assembles into a tree.  It tracks line and column numbers so
+that :class:`~repro.xmlkit.errors.XMLParseError` can point at the exact
+input position — important for schema authors debugging hand-written
+community descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Iterator, Optional
+
+from repro.xmlkit.errors import XMLParseError
+from repro.xmlkit.escape import decode_entities, is_name_char, is_name_start_char
+
+
+class TokenType(Enum):
+    """Kinds of token produced by the tokenizer."""
+
+    DECLARATION = auto()      # <?xml ... ?>
+    PROCESSING = auto()       # <?target data?>
+    DOCTYPE = auto()          # <!DOCTYPE ...>
+    COMMENT = auto()          # <!-- ... -->
+    START_TAG = auto()        # <name attr="v">
+    EMPTY_TAG = auto()        # <name attr="v"/>
+    END_TAG = auto()          # </name>
+    TEXT = auto()             # character data
+    CDATA = auto()            # <![CDATA[ ... ]]>
+
+
+@dataclass
+class Token:
+    """One lexical token.
+
+    ``value`` holds the tag name (for tags), target (for PIs) or text
+    content.  ``attributes`` is populated for start/empty tags.
+    """
+
+    type: TokenType
+    value: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    line: int = 0
+    column: int = 0
+
+
+class Tokenizer:
+    """Streaming tokenizer over a full in-memory document string."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # ------------------------------------------------------------------
+    # Low-level cursor helpers
+    # ------------------------------------------------------------------
+    def _error(self, message: str) -> XMLParseError:
+        return XMLParseError(message, self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self._text[self._pos:self._pos + count]
+        for char in chunk:
+            if char == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return chunk
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._text)
+
+    def _starts_with(self, prefix: str) -> bool:
+        return self._text.startswith(prefix, self._pos)
+
+    def _consume_until(self, terminator: str, context: str) -> str:
+        end = self._text.find(terminator, self._pos)
+        if end == -1:
+            raise self._error(f"unterminated {context}")
+        chunk = self._text[self._pos:end]
+        self._advance(len(chunk) + len(terminator))
+        return chunk
+
+    def _skip_whitespace(self) -> None:
+        while not self._at_end() and self._peek() in " \t\r\n":
+            self._advance()
+
+    def _read_name(self) -> str:
+        start_char = self._peek()
+        if not start_char or not is_name_start_char(start_char):
+            raise self._error(f"expected a name, found {start_char!r}")
+        chars = [self._advance()]
+        while not self._at_end() and is_name_char(self._peek()):
+            chars.append(self._advance())
+        return "".join(chars)
+
+    # ------------------------------------------------------------------
+    # Token production
+    # ------------------------------------------------------------------
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until the input is exhausted."""
+        while not self._at_end():
+            token = self._next_token()
+            if token is not None:
+                yield token
+
+    def _next_token(self) -> Optional[Token]:
+        line, column = self._line, self._column
+        if self._peek() != "<":
+            return self._read_text(line, column)
+        if self._starts_with("<?xml") and self._peek(5) in (" ", "\t", "?"):
+            return self._read_declaration(line, column)
+        if self._starts_with("<?"):
+            return self._read_processing(line, column)
+        if self._starts_with("<!--"):
+            return self._read_comment(line, column)
+        if self._starts_with("<![CDATA["):
+            return self._read_cdata(line, column)
+        if self._starts_with("<!DOCTYPE"):
+            return self._read_doctype(line, column)
+        if self._starts_with("</"):
+            return self._read_end_tag(line, column)
+        return self._read_start_tag(line, column)
+
+    def _read_text(self, line: int, column: int) -> Optional[Token]:
+        end = self._text.find("<", self._pos)
+        if end == -1:
+            end = len(self._text)
+        raw = self._text[self._pos:end]
+        self._advance(len(raw))
+        if "]]>" in raw:
+            raise XMLParseError("']]>' not allowed in character data", line, column)
+        decoded = decode_entities(raw, line, column)
+        return Token(TokenType.TEXT, decoded, line=line, column=column)
+
+    def _read_declaration(self, line: int, column: int) -> Token:
+        self._advance(len("<?xml"))
+        attributes = self._read_attributes(allow_question=True)
+        if not self._starts_with("?>"):
+            raise self._error("expected '?>' to close XML declaration")
+        self._advance(2)
+        return Token(TokenType.DECLARATION, "xml", attributes, line, column)
+
+    def _read_processing(self, line: int, column: int) -> Token:
+        self._advance(2)
+        target = self._read_name()
+        data = self._consume_until("?>", "processing instruction")
+        return Token(TokenType.PROCESSING, target, {"data": data.strip()}, line, column)
+
+    def _read_comment(self, line: int, column: int) -> Token:
+        self._advance(4)
+        body = self._consume_until("-->", "comment")
+        if "--" in body:
+            raise XMLParseError("'--' not allowed inside comments", line, column)
+        return Token(TokenType.COMMENT, body, line=line, column=column)
+
+    def _read_cdata(self, line: int, column: int) -> Token:
+        self._advance(len("<![CDATA["))
+        body = self._consume_until("]]>", "CDATA section")
+        return Token(TokenType.CDATA, body, line=line, column=column)
+
+    def _read_doctype(self, line: int, column: int) -> Token:
+        self._advance(len("<!DOCTYPE"))
+        depth = 1
+        chars: list[str] = []
+        while depth > 0:
+            if self._at_end():
+                raise self._error("unterminated DOCTYPE")
+            char = self._advance()
+            if char == "<":
+                depth += 1
+            elif char == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            chars.append(char)
+        return Token(TokenType.DOCTYPE, "".join(chars).strip(), line=line, column=column)
+
+    def _read_end_tag(self, line: int, column: int) -> Token:
+        self._advance(2)
+        name = self._read_name()
+        self._skip_whitespace()
+        if self._peek() != ">":
+            raise self._error(f"malformed end tag </{name}")
+        self._advance()
+        return Token(TokenType.END_TAG, name, line=line, column=column)
+
+    def _read_start_tag(self, line: int, column: int) -> Token:
+        self._advance(1)
+        name = self._read_name()
+        attributes = self._read_attributes()
+        if self._starts_with("/>"):
+            self._advance(2)
+            return Token(TokenType.EMPTY_TAG, name, attributes, line, column)
+        if self._peek() == ">":
+            self._advance()
+            return Token(TokenType.START_TAG, name, attributes, line, column)
+        raise self._error(f"malformed start tag <{name}")
+
+    def _read_attributes(self, allow_question: bool = False) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            char = self._peek()
+            if char in (">", "/", "") or (allow_question and char == "?"):
+                return attributes
+            line, column = self._line, self._column
+            name = self._read_name()
+            self._skip_whitespace()
+            if self._peek() != "=":
+                raise self._error(f"attribute {name!r} is missing '='")
+            self._advance()
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise self._error(f"attribute {name!r} value must be quoted")
+            self._advance()
+            value = self._consume_until(quote, f"attribute {name!r}")
+            if "<" in value:
+                raise XMLParseError(f"'<' not allowed in attribute {name!r}", line, column)
+            if name in attributes:
+                raise XMLParseError(f"duplicate attribute {name!r}", line, column)
+            attributes[name] = decode_entities(value, line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` and return the full token list."""
+    return list(Tokenizer(text).tokens())

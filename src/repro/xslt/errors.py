@@ -1,0 +1,15 @@
+"""Error types for the XSLT substrate."""
+
+from __future__ import annotations
+
+
+class XSLTError(Exception):
+    """Raised for malformed stylesheets or failures during transformation."""
+
+
+class XSLTParseError(XSLTError):
+    """Raised when a stylesheet document cannot be interpreted."""
+
+
+class XSLTRuntimeError(XSLTError):
+    """Raised when a transformation cannot be completed."""

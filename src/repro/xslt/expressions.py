@@ -1,0 +1,313 @@
+"""Expression evaluation for ``select`` and ``test`` attributes.
+
+This is the value-expression half of XPath (the location-path half lives
+in :mod:`repro.xmlkit.xpath`).  Supported forms:
+
+* location paths (delegated to :class:`repro.xmlkit.xpath.XPath`),
+* ``.`` (the context node) and ``@attr``,
+* string literals (``'text'`` / ``"text"``) and numbers,
+* variable references ``$name``,
+* functions: ``concat``, ``name``, ``local-name``, ``position``,
+  ``last``, ``count``, ``string-length``, ``normalize-space``, ``not``,
+  ``contains``, ``starts-with``, ``translate``, ``substring``,
+* comparisons ``=``, ``!=``, ``<``, ``>``, ``<=``, ``>=`` and the
+  boolean connectives ``and`` / ``or``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.xmlkit.dom import Element
+from repro.xmlkit.errors import XPathError
+from repro.xmlkit.xpath import XPath
+from repro.xslt.errors import XSLTRuntimeError
+
+Value = Union[str, float, bool, list]
+
+
+@dataclass
+class EvalContext:
+    """The dynamic context of one expression evaluation."""
+
+    node: Element
+    position: int = 1
+    size: int = 1
+    variables: dict[str, str] = field(default_factory=dict)
+
+    def with_node(self, node: Element, position: int, size: int) -> "EvalContext":
+        return EvalContext(node=node, position=position, size=size, variables=self.variables)
+
+
+_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?$")
+_FUNCTION_RE = re.compile(r"^([a-zA-Z][\w-]*)\((.*)\)$", re.DOTALL)
+
+
+def evaluate(expression: str, context: EvalContext) -> Value:
+    """Evaluate ``expression`` and return a string, number, boolean or node list."""
+    expression = expression.strip()
+    if not expression:
+        return ""
+    lowered = _split_top_level(expression, " or ")
+    if len(lowered) > 1:
+        return any(to_boolean(evaluate(part, context)) for part in lowered)
+    parts = _split_top_level(expression, " and ")
+    if len(parts) > 1:
+        return all(to_boolean(evaluate(part, context)) for part in parts)
+    for operator in ("!=", "<=", ">=", "=", "<", ">"):
+        sides = _split_top_level(expression, operator)
+        if len(sides) == 2:
+            return _compare(evaluate(sides[0], context), evaluate(sides[1], context), operator)
+    return _evaluate_primary(expression, context)
+
+
+def evaluate_string(expression: str, context: EvalContext) -> str:
+    """Evaluate and coerce to a string."""
+    return to_string(evaluate(expression, context))
+
+
+def evaluate_boolean(expression: str, context: EvalContext) -> bool:
+    """Evaluate and coerce to a boolean."""
+    return to_boolean(evaluate(expression, context))
+
+
+def evaluate_nodes(expression: str, context: EvalContext) -> list[Union[Element, str]]:
+    """Evaluate an expression expected to produce a node set."""
+    value = evaluate(expression, context)
+    if isinstance(value, list):
+        return value
+    if value == "":
+        return []
+    return [to_string(value)]
+
+
+# ----------------------------------------------------------------------
+def _evaluate_primary(expression: str, context: EvalContext) -> Value:
+    expression = expression.strip()
+    if (expression.startswith("'") and expression.endswith("'")) or (
+        expression.startswith('"') and expression.endswith('"')
+    ):
+        return expression[1:-1]
+    if _NUMBER_RE.match(expression):
+        return float(expression)
+    if expression.startswith("$"):
+        name = expression[1:]
+        if name not in context.variables:
+            raise XSLTRuntimeError(f"reference to undefined variable ${name}")
+        return context.variables[name]
+    match = _FUNCTION_RE.match(expression)
+    if match and _balanced(match.group(2)):
+        return _call_function(match.group(1), _split_arguments(match.group(2)), context)
+    # Otherwise: a location path.
+    try:
+        return XPath(expression).select(context.node)
+    except XPathError as error:
+        raise XSLTRuntimeError(f"cannot evaluate expression {expression!r}: {error}") from error
+
+
+def _call_function(name: str, arguments: list[str], context: EvalContext) -> Value:
+    if name == "concat":
+        return "".join(evaluate_string(argument, context) for argument in arguments)
+    if name == "name" or name == "local-name":
+        if arguments and arguments[0].strip():
+            nodes = evaluate_nodes(arguments[0], context)
+            node = nodes[0] if nodes else None
+            if isinstance(node, Element):
+                return node.local_name if name == "local-name" else node.tag
+            return ""
+        return context.node.local_name if name == "local-name" else context.node.tag
+    if name == "position":
+        return float(context.position)
+    if name == "last":
+        return float(context.size)
+    if name == "count":
+        return float(len(evaluate_nodes(arguments[0], context))) if arguments else 0.0
+    if name == "string-length":
+        target = evaluate_string(arguments[0], context) if arguments else _node_string(context.node)
+        return float(len(target))
+    if name == "normalize-space":
+        target = evaluate_string(arguments[0], context) if arguments and arguments[0].strip() else _node_string(context.node)
+        return " ".join(target.split())
+    if name == "string":
+        return evaluate_string(arguments[0], context) if arguments else _node_string(context.node)
+    if name == "not":
+        return not to_boolean(evaluate(arguments[0], context)) if arguments else True
+    if name == "true":
+        return True
+    if name == "false":
+        return False
+    if name == "contains":
+        return evaluate_string(arguments[1], context) in evaluate_string(arguments[0], context)
+    if name == "starts-with":
+        return evaluate_string(arguments[0], context).startswith(evaluate_string(arguments[1], context))
+    if name == "substring":
+        text = evaluate_string(arguments[0], context)
+        start = int(to_number(evaluate(arguments[1], context))) - 1
+        if len(arguments) > 2:
+            length = int(to_number(evaluate(arguments[2], context)))
+            return text[max(start, 0):max(start, 0) + length]
+        return text[max(start, 0):]
+    if name == "translate":
+        text = evaluate_string(arguments[0], context)
+        source = evaluate_string(arguments[1], context)
+        target = evaluate_string(arguments[2], context)
+        table = {ord(s): (target[i] if i < len(target) else None) for i, s in enumerate(source)}
+        return text.translate(table)
+    raise XSLTRuntimeError(f"unsupported XPath function {name}()")
+
+
+# ----------------------------------------------------------------------
+# Coercions
+# ----------------------------------------------------------------------
+def to_string(value: Value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return str(int(value)) if value.is_integer() else str(value)
+    if isinstance(value, list):
+        if not value:
+            return ""
+        first = value[0]
+        return _node_string(first) if isinstance(first, Element) else str(first)
+    return str(value)
+
+
+def to_boolean(value: Value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0
+    if isinstance(value, list):
+        return bool(value)
+    return bool(value)
+
+
+def to_number(value: Value) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    try:
+        return float(to_string(value))
+    except ValueError:
+        return float("nan")
+
+
+def _node_string(node: Union[Element, str]) -> str:
+    return node.text_content().strip() if isinstance(node, Element) else str(node)
+
+
+def _compare(left: Value, right: Value, operator: str) -> bool:
+    if operator in ("=", "!="):
+        left_values = _comparison_strings(left)
+        right_values = _comparison_strings(right)
+        matched = any(l == r for l in left_values for r in right_values)
+        return matched if operator == "=" else not matched
+    left_number = to_number(left if not isinstance(left, list) else to_string(left))
+    right_number = to_number(right if not isinstance(right, list) else to_string(right))
+    if operator == "<":
+        return left_number < right_number
+    if operator == ">":
+        return left_number > right_number
+    if operator == "<=":
+        return left_number <= right_number
+    return left_number >= right_number
+
+
+def _comparison_strings(value: Value) -> list[str]:
+    if isinstance(value, list):
+        return [_node_string(item) for item in value] or [""]
+    return [to_string(value)]
+
+
+# ----------------------------------------------------------------------
+# Tokenization helpers (quote- and parenthesis-aware splitting)
+# ----------------------------------------------------------------------
+def _split_top_level(expression: str, separator: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    buffer = ""
+    index = 0
+    while index < len(expression):
+        char = expression[index]
+        if quote:
+            if char == quote:
+                quote = None
+            buffer += char
+            index += 1
+            continue
+        if char in ("'", '"'):
+            quote = char
+            buffer += char
+            index += 1
+            continue
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        if depth == 0 and expression.startswith(separator, index):
+            # Avoid splitting '!=' when looking for '='.
+            if separator == "=" and index > 0 and expression[index - 1] in "!<>":
+                buffer += char
+                index += 1
+                continue
+            parts.append(buffer)
+            buffer = ""
+            index += len(separator)
+            continue
+        buffer += char
+        index += 1
+    parts.append(buffer)
+    return [part.strip() for part in parts] if len(parts) > 1 else [expression]
+
+
+def _split_arguments(body: str) -> list[str]:
+    if not body.strip():
+        return []
+    arguments: list[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    buffer = ""
+    for char in body:
+        if quote:
+            if char == quote:
+                quote = None
+            buffer += char
+            continue
+        if char in ("'", '"'):
+            quote = char
+            buffer += char
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            arguments.append(buffer.strip())
+            buffer = ""
+            continue
+        buffer += char
+    arguments.append(buffer.strip())
+    return arguments
+
+
+def _balanced(text: str) -> bool:
+    depth = 0
+    quote: Optional[str] = None
+    for char in text:
+        if quote:
+            if char == quote:
+                quote = None
+            continue
+        if char in ("'", '"'):
+            quote = char
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0 and quote is None

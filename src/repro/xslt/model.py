@@ -1,0 +1,66 @@
+"""Stylesheet object model for the XSLT subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.xmlkit.dom import Element
+
+
+@dataclass
+class TemplateRule:
+    """One ``xsl:template`` rule.
+
+    ``match`` is a match pattern (may be empty for named templates),
+    ``name`` the template name (may be empty for matching templates).
+    ``body`` holds the literal result elements and XSLT instructions of
+    the template, still as raw :class:`~repro.xmlkit.dom.Element` nodes;
+    the engine interprets them at transformation time.
+    """
+
+    match: str = ""
+    name: str = ""
+    priority: Optional[float] = None
+    mode: str = ""
+    params: list[str] = field(default_factory=list)
+    body: list[Element] = field(default_factory=list)
+    body_text: str = ""
+
+    def default_priority(self) -> float:
+        """The XSLT 1.0 default priority for this rule's pattern."""
+        pattern = self.match.strip()
+        if not pattern:
+            return -1.0
+        last_step = pattern.rsplit("/", 1)[-1]
+        if last_step in ("*", "@*", "node()", "text()"):
+            return -0.5
+        if "[" in pattern or "/" in pattern:
+            return 0.5
+        return 0.0
+
+    def effective_priority(self) -> float:
+        return self.priority if self.priority is not None else self.default_priority()
+
+
+@dataclass
+class Stylesheet:
+    """A parsed stylesheet: output options plus its template rules."""
+
+    templates: list[TemplateRule] = field(default_factory=list)
+    named_templates: dict[str, TemplateRule] = field(default_factory=dict)
+    output_method: str = "xml"
+    output_indent: bool = False
+    strip_space: bool = True
+    global_variables: dict[str, str] = field(default_factory=dict)
+
+    def add_template(self, rule: TemplateRule) -> None:
+        if rule.name:
+            self.named_templates[rule.name] = rule
+        if rule.match:
+            self.templates.append(rule)
+
+    def rules_for_mode(self, mode: str = "") -> list[TemplateRule]:
+        """Matching rules of ``mode``, most specific first."""
+        rules = [rule for rule in self.templates if rule.mode == mode]
+        return sorted(rules, key=lambda rule: rule.effective_priority(), reverse=True)

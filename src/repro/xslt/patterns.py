@@ -1,0 +1,142 @@
+"""Match-pattern evaluation for template rules.
+
+XSLT match patterns are a restricted form of XPath read right-to-left:
+``pattern/name`` matches any ``name`` element whose parent is a
+``pattern`` element.  The subset implemented here covers the patterns
+used by the default and case-study stylesheets:
+
+* ``/`` — the document root,
+* element names, ``*``, ``text()``, ``node()``,
+* parent paths (``a/b``) and ancestor paths (``a//b``),
+* attribute predicates (``field[@searchable='true']``),
+* alternatives (``a | b``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.xmlkit.dom import Element
+from repro.xmlkit.xpath import Predicate, _compile_predicate  # reuse predicate grammar
+from repro.xslt.errors import XSLTParseError
+
+_PSEUDO_ROOT = "/"
+
+
+def pattern_matches(pattern: str, node: Union[Element, str], *, is_root: bool = False) -> bool:
+    """Return True if ``node`` matches ``pattern``.
+
+    ``node`` is an element, or a string for text nodes.  ``is_root``
+    marks the synthetic document-root context used for the ``/`` pattern.
+    """
+    pattern = pattern.strip()
+    if not pattern:
+        return False
+    return any(
+        _single_pattern_matches(alternative.strip(), node, is_root=is_root)
+        for alternative in pattern.split("|")
+    )
+
+
+def _single_pattern_matches(pattern: str, node: Union[Element, str], *, is_root: bool) -> bool:
+    if pattern == _PSEUDO_ROOT:
+        return is_root
+    if isinstance(node, str):
+        return pattern in ("text()", "node()")
+    if is_root:
+        return False
+    steps = _split_steps(pattern)
+    return _match_steps(steps, node)
+
+
+def _split_steps(pattern: str) -> list[tuple[str, str]]:
+    """Split a pattern into (separator, step) pairs, left to right."""
+    steps: list[tuple[str, str]] = []
+    buffer = ""
+    separator = ""
+    index = 0
+    if pattern.startswith("//"):
+        separator, pattern = "//", pattern[2:]
+    elif pattern.startswith("/"):
+        separator, pattern = "/", pattern[1:]
+    while index < len(pattern):
+        char = pattern[index]
+        if char == "/":
+            if index + 1 < len(pattern) and pattern[index + 1] == "/":
+                steps.append((separator, buffer))
+                separator, buffer = "//", ""
+                index += 2
+                continue
+            steps.append((separator, buffer))
+            separator, buffer = "/", ""
+            index += 1
+            continue
+        buffer += char
+        index += 1
+    steps.append((separator, buffer))
+    if any(not step for _, step in steps):
+        raise XSLTParseError(f"cannot parse match pattern {pattern!r}")
+    return steps
+
+
+def _match_steps(steps: list[tuple[str, str]], node: Element) -> bool:
+    """Match right-to-left: the last step matches ``node`` itself."""
+    separator, step = steps[-1]
+    if not _step_matches(step, node):
+        return False
+    remaining = steps[:-1]
+    if not remaining:
+        # If the pattern is absolute ("/a/b"), the first step's separator is
+        # "/" and the chain must have consumed up to the document root.
+        if separator == "/" and len(steps) == 1 and not _is_document_root(node):
+            # A single absolute step like "/community" requires node to be root.
+            return False
+        return True
+    parent = node.parent
+    if separator == "//":
+        ancestor: Optional[Element] = parent
+        while ancestor is not None:
+            if _match_steps(remaining, ancestor):
+                return True
+            ancestor = ancestor.parent
+        return False
+    if parent is None:
+        return False
+    return _match_steps(remaining, parent)
+
+
+def _is_document_root(node: Element) -> bool:
+    """True when ``node`` is the outermost element of its document.
+
+    During a transformation the engine wraps the source root in a
+    synthetic ``#document`` element; both shapes count as "root" here.
+    """
+    return node.parent is None or node.parent.tag == "#document"
+
+
+def _step_matches(step: str, node: Element) -> bool:
+    step = step.strip()
+    predicates: list[Predicate] = []
+    while "[" in step:
+        open_index = step.index("[")
+        close_index = step.index("]", open_index)
+        predicates.append(_compile_predicate(step[open_index + 1:close_index].strip()))
+        step = step[:open_index] + step[close_index + 1:]
+    name = step.strip()
+    if name in ("node()", "*"):
+        name_ok = True
+    elif name == "text()":
+        return False
+    else:
+        name_ok = node.local_name == name or node.tag == name
+    if not name_ok:
+        return False
+    siblings = _siblings_like(node)
+    position = siblings.index(node) + 1 if node in siblings else 1
+    return all(predicate.matches(node, position, len(siblings)) for predicate in predicates)
+
+
+def _siblings_like(node: Element) -> list[Element]:
+    if node.parent is None:
+        return [node]
+    return [child for child in node.parent.children if child.local_name == node.local_name]

@@ -1,0 +1,85 @@
+"""Tests for the bundled community definitions and their corpora."""
+
+import pytest
+
+from repro.communities import ALL_COMMUNITIES
+from repro.communities.design_patterns import (
+    GOF_PATTERNS,
+    generate_pattern_corpus,
+    gof_pattern_records,
+)
+from repro.communities.mp3 import generate_mp3_corpus, narrowed_mp3_community
+from repro.schema.instance import build_instance
+from repro.schema.parser import parse_schema_text
+from repro.schema.validator import validate
+
+
+@pytest.mark.parametrize("key", sorted(ALL_COMMUNITIES))
+class TestEveryCommunity:
+    def test_schema_parses(self, key):
+        definition = ALL_COMMUNITIES[key]()
+        schema = parse_schema_text(definition.schema_xsd)
+        assert schema.root_element().name
+        assert schema.searchable_fields()
+
+    def test_corpus_instances_validate(self, key):
+        definition = ALL_COMMUNITIES[key]()
+        schema = parse_schema_text(definition.schema_xsd)
+        for record in definition.sample_corpus(15, seed=3):
+            instance = build_instance(schema, record)
+            report = validate(schema, instance)
+            assert report.is_valid, f"{key}: {report.summary()}"
+
+    def test_corpus_sizes_and_determinism(self, key):
+        definition = ALL_COMMUNITIES[key]()
+        corpus_a = definition.sample_corpus(25, seed=1)
+        corpus_b = definition.sample_corpus(25, seed=1)
+        assert len(corpus_a) == 25
+        assert corpus_a == corpus_b
+
+    def test_definition_metadata(self, key):
+        definition = ALL_COMMUNITIES[key]()
+        assert definition.name and definition.description and definition.keywords
+
+
+class TestDesignPatternCorpus:
+    def test_all_23_gof_patterns(self):
+        records = gof_pattern_records()
+        assert len(records) == 23
+        names = {record["name"] for record in records}
+        assert {"Observer", "Singleton", "Visitor", "Abstract Factory"} <= names
+        categories = {record["category"] for record in records}
+        assert categories == {"creational", "structural", "behavioral"}
+
+    def test_gof_distribution(self):
+        by_category = {}
+        for name, category, _, _ in GOF_PATTERNS:
+            by_category.setdefault(category, []).append(name)
+        assert len(by_category["creational"]) == 5
+        assert len(by_category["structural"]) == 7
+        assert len(by_category["behavioral"]) == 11
+
+    def test_scaled_corpus_adds_variations(self):
+        corpus = generate_pattern_corpus(100, seed=2)
+        assert len(corpus) == 100
+        names = [record["name"] for record in corpus]
+        assert len(set(names)) == 100        # variations get distinct names
+
+    def test_small_corpus_truncates(self):
+        assert len(generate_pattern_corpus(5)) == 5
+
+
+class TestMp3Corpus:
+    def test_popularity_skew(self):
+        corpus = generate_mp3_corpus(400, seed=1)
+        counts = {}
+        for record in corpus:
+            counts[record["artist"]] = counts.get(record["artist"], 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] > ranked[-1]        # most popular artist clearly ahead
+
+    def test_narrowed_community(self):
+        narrowed = narrowed_mp3_community("Miles Davis")
+        assert "Miles Davis" in narrowed.name
+        corpus = narrowed.sample_corpus(10, seed=1)
+        assert corpus and all(record["artist"] == "Miles Davis" for record in corpus)

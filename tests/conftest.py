@@ -1,0 +1,144 @@
+"""Shared fixtures for the U-P2P reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communities.design_patterns import (
+    design_pattern_community,
+    gof_pattern_records,
+    pattern_schema_xsd,
+)
+from repro.communities.mp3 import generate_mp3_corpus, mp3_community, mp3_schema_xsd
+from repro.core.application import Application
+from repro.core.community import COMMUNITY_SCHEMA_XSD
+from repro.core.servent import Servent
+from repro.network.centralized import CentralizedProtocol
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.rendezvous import RendezvousProtocol
+from repro.network.superpeer import SuperPeerProtocol
+from repro.schema.parser import parse_schema_text
+from repro.xmlkit.parser import parse as parse_xml
+
+
+# ----------------------------------------------------------------------
+# Schema / document fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def community_schema_xsd() -> str:
+    """The verbatim Fig. 3 community schema."""
+    return COMMUNITY_SCHEMA_XSD
+
+
+@pytest.fixture()
+def pattern_xsd() -> str:
+    return pattern_schema_xsd()
+
+
+@pytest.fixture()
+def pattern_schema(pattern_xsd):
+    return parse_schema_text(pattern_xsd)
+
+
+@pytest.fixture()
+def mp3_xsd() -> str:
+    return mp3_schema_xsd()
+
+
+@pytest.fixture()
+def mp3_schema(mp3_xsd):
+    return parse_schema_text(mp3_xsd)
+
+
+@pytest.fixture()
+def sample_mp3_xml() -> str:
+    return (
+        "<mp3><title>So What</title><artist>Miles Davis</artist>"
+        "<album>Kind of Blue</album><genre>jazz</genre><year>1959</year>"
+        "<bitrate>192</bitrate><duration>545</duration>"
+        "<file>http://peer.local/audio/so-what.mp3</file></mp3>"
+    )
+
+
+@pytest.fixture()
+def sample_mp3_document(sample_mp3_xml):
+    return parse_xml(sample_mp3_xml).root
+
+
+@pytest.fixture()
+def gof_records():
+    return gof_pattern_records()
+
+
+@pytest.fixture()
+def mp3_corpus():
+    return generate_mp3_corpus(40, seed=7)
+
+
+# ----------------------------------------------------------------------
+# Network fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def centralized_network() -> CentralizedProtocol:
+    return CentralizedProtocol(seed=11)
+
+
+@pytest.fixture()
+def gnutella_network() -> GnutellaProtocol:
+    return GnutellaProtocol(seed=11, default_ttl=7, degree=4)
+
+
+@pytest.fixture()
+def superpeer_network() -> SuperPeerProtocol:
+    return SuperPeerProtocol(seed=11, super_peer_ratio=0.2)
+
+
+@pytest.fixture(params=["centralized", "gnutella", "super-peer", "rendezvous"])
+def any_network(request):
+    """Parametrized fixture: each of the protocol adapters."""
+    if request.param == "centralized":
+        return CentralizedProtocol(seed=5)
+    if request.param == "gnutella":
+        return GnutellaProtocol(seed=5, default_ttl=7, degree=4)
+    if request.param == "rendezvous":
+        return RendezvousProtocol(seed=5, rendezvous_ratio=0.25)
+    return SuperPeerProtocol(seed=5, super_peer_ratio=0.25)
+
+
+# ----------------------------------------------------------------------
+# Servent / application fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def two_servents(centralized_network):
+    """Two servents on a centralized network."""
+    return (
+        Servent("alice", centralized_network),
+        Servent("bob", centralized_network),
+    )
+
+
+@pytest.fixture()
+def mp3_application(two_servents):
+    """Alice's generated MP3 application (Bob has not joined)."""
+    alice, _ = two_servents
+    definition = mp3_community()
+    return definition.application_on(alice)
+
+
+@pytest.fixture()
+def pattern_application(two_servents):
+    alice, _ = two_servents
+    definition = design_pattern_community()
+    return definition.application_on(alice)
+
+
+@pytest.fixture()
+def joined_pattern_apps(two_servents):
+    """Both servents joined to the design-pattern community."""
+    alice, bob = two_servents
+    definition = design_pattern_community()
+    alice_app = definition.application_on(alice)
+    discovery = bob.search_communities("patterns")
+    matches = [r for r in discovery.results if r.title == definition.name]
+    community = bob.join_community(matches[0])
+    return alice_app, Application(bob, community)

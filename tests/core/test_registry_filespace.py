@@ -1,0 +1,89 @@
+"""Tests for the community registry and the shared file space."""
+
+import pytest
+
+from repro.core.community import Community, CommunityDescriptor, ROOT_COMMUNITY_ID
+from repro.core.errors import CommunityError, NotAMemberError
+from repro.core.filespace import FileSpace, filespace_for
+from repro.core.registry import CommunityRegistry
+from repro.communities.mp3 import mp3_schema_xsd
+from repro.network.centralized import CentralizedProtocol
+
+
+def make_community(name="MP3s"):
+    return Community(CommunityDescriptor(name=name), mp3_schema_xsd())
+
+
+class TestRegistry:
+    def test_root_joined_by_default(self):
+        registry = CommunityRegistry()
+        assert registry.is_joined(ROOT_COMMUNITY_ID)
+        assert registry.root.name == "Community"
+        assert len(registry) == 1
+
+    def test_join_and_leave(self):
+        registry = CommunityRegistry()
+        community = make_community()
+        registry.join(community)
+        assert registry.is_joined(community.community_id)
+        registry.leave(community.community_id)
+        assert not registry.is_joined(community.community_id)
+        # Still known even after leaving.
+        assert registry.get(community.community_id) is community
+
+    def test_cannot_leave_root(self):
+        registry = CommunityRegistry()
+        with pytest.raises(CommunityError):
+            registry.leave(ROOT_COMMUNITY_ID)
+
+    def test_require_joined(self):
+        registry = CommunityRegistry()
+        community = make_community()
+        registry.register(community)
+        with pytest.raises(NotAMemberError) as error:
+            registry.require_joined(community.community_id)
+        assert "not a member" in str(error.value)
+        registry.join(community)
+        assert registry.require_joined(community.community_id) is community
+
+    def test_require_joined_unknown_community(self):
+        with pytest.raises(NotAMemberError):
+            CommunityRegistry().require_joined("community-doesnotexist")
+
+    def test_find_by_name_case_insensitive(self):
+        registry = CommunityRegistry()
+        community = make_community("Design Patterns")
+        registry.register(community)
+        assert registry.find_by_name("design patterns") is community
+        assert registry.find_by_name("nope") is None
+
+    def test_joined_ids_sorted(self):
+        registry = CommunityRegistry()
+        registry.join(make_community("B community"))
+        registry.join(make_community("A community"))
+        assert registry.joined_ids() == sorted(registry.joined_ids())
+
+
+class TestFileSpace:
+    def test_put_get(self):
+        space = FileSpace()
+        space.put("up2p:mp3/schema.xsd", "<schema/>")
+        assert space.get("up2p:mp3/schema.xsd") == "<schema/>"
+        assert space.has("up2p:mp3/schema.xsd")
+        assert len(space) == 1
+        assert space.fetches == 1
+
+    def test_get_missing_returns_none(self):
+        assert FileSpace().get("up2p:none") is None
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(ValueError):
+            FileSpace().put("  ", "x")
+
+    def test_filespace_shared_per_network(self):
+        network = CentralizedProtocol()
+        space_a = filespace_for(network)
+        space_b = filespace_for(network)
+        assert space_a is space_b
+        other = filespace_for(CentralizedProtocol())
+        assert other is not space_a

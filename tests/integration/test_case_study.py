@@ -1,0 +1,117 @@
+"""Integration test of the §V case study: the design-pattern repository.
+
+Reproduces the scenario the paper describes: computer scientists publish
+a rich collection of patterns into a peer-to-peer network, search them
+with rich queries, replicate popular patterns, and use sub-communities
+for different classes of pattern.
+"""
+
+from repro.communities.design_patterns import (
+    CATEGORIES,
+    design_pattern_community,
+    generate_pattern_corpus,
+    gof_pattern_records,
+    pattern_schema_xsd,
+)
+from repro.core.application import Application
+from repro.core.servent import Servent
+from repro.network.gnutella import GnutellaProtocol
+from repro.storage.query import Operator, Query
+
+
+def build_repository(peer_count=8, corpus_size=46):
+    network = GnutellaProtocol(seed=17, degree=4, default_ttl=8)
+    servents = [Servent(f"researcher-{index}", network) for index in range(peer_count)]
+    definition = design_pattern_community()
+    founder = definition.application_on(servents[0])
+    applications = [founder]
+    for servent in servents[1:]:
+        found = [r for r in servent.search_communities("patterns").results
+                 if r.title == definition.name]
+        applications.append(Application(servent, servent.join_community(found[0])))
+    network.build_overlay()
+    corpus = generate_pattern_corpus(corpus_size, seed=17)
+    for index, record in enumerate(corpus):
+        applications[index % len(applications)].publish(record)
+    return network, applications, corpus
+
+
+class TestPatternRepository:
+    def test_rich_queries_beyond_filename_matching(self):
+        """The motivating claim: a design-pattern community 'requires the
+        ability to search not just name but purpose, keywords, applications'."""
+        _, applications, _ = build_repository()
+        searcher = applications[-1]
+        # Search by intent ("purpose") — no pattern is *named* "notified".
+        by_intent = searcher.search({"intent": "dependents are notified"}, max_results=100)
+        assert any(result.metadata["name"][0].startswith("Observer")
+                   for result in by_intent.results)
+        # Search by category.
+        creational = searcher.search({"category": "creational"}, max_results=200)
+        names = {result.metadata["name"][0] for result in creational.results}
+        assert {"Singleton", "Builder", "Prototype"} <= {name.split(" for ")[0] for name in names}
+        # Conjunctive query: category AND keyword.
+        query = (Query(searcher.community.community_id)
+                 .where("category", "behavioral", Operator.EQUALS)
+                 .where("intent", "algorithm"))
+        conjunctive = searcher.search(query, max_results=200)
+        assert conjunctive.result_count >= 1
+
+    def test_index_filter_keeps_bulky_fields_out_of_the_index(self):
+        """The case study's design choice: sample code and structure are
+        stored but not indexed."""
+        _, applications, _ = build_repository(peer_count=4, corpus_size=23)
+        for application in applications:
+            index = application.servent.repository.index
+            for community_id in (application.community.community_id,):
+                fields = index.fields_for(community_id)
+                assert "sample_code" not in fields
+                assert "solution/structure" not in fields
+
+    def test_popular_patterns_replicate(self):
+        network, applications, _ = build_repository(peer_count=6, corpus_size=23)
+        searcher_apps = applications[1:]
+        # Everybody downloads Observer — the canonical popular pattern.
+        for application in searcher_apps:
+            hits = application.search({"name": "Observer"}, max_results=50)
+            own = {r.provider_id for r in hits.results}
+            if application.servent.peer_id in own:
+                continue
+            if hits.results:
+                application.download(hits.results[0])
+        final = applications[0].search({"name": "Observer"}, max_results=200)
+        providers = {result.provider_id for result in final.results}
+        assert len(providers) >= 3
+
+    def test_sub_communities_for_pattern_classes(self):
+        """The paper: 'The community-discovery aspect could also be used to
+        access sub-communities devoted to different classes of design
+        patterns.'"""
+        network = GnutellaProtocol(seed=19, degree=3, default_ttl=8)
+        curator = Servent("curator", network)
+        student = Servent("student", network)
+        # One sub-community per GoF category, all sharing the same schema.
+        for category in CATEGORIES:
+            curator.create_community(
+                f"Design Patterns: {category}",
+                pattern_schema_xsd(),
+                description=f"Patterns of the {category} class",
+                keywords=f"design patterns {category}",
+                category="software-engineering",
+            )
+        network.build_overlay()
+        found = student.search_communities("behavioral")
+        titles = {result.title for result in found.results}
+        assert titles == {"Design Patterns: behavioral"}
+        community = student.join_community(found.results[0])
+        assert community.root_element_name == "pattern"
+
+    def test_all_23_gof_patterns_retrievable(self):
+        _, applications, corpus = build_repository(peer_count=5, corpus_size=23)
+        searcher = applications[-1]
+        retrieved_names = set()
+        for record in gof_pattern_records():
+            response = searcher.search({"name": record["name"]}, max_results=20)
+            for result in response.results:
+                retrieved_names.add(result.metadata["name"][0])
+        assert retrieved_names == {record["name"] for record in corpus}

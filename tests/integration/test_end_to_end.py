@@ -1,0 +1,139 @@
+"""End-to-end integration tests across every protocol.
+
+The publish → discover → join → search → download → view loop of the
+paper, exercised over all three network organisations.
+"""
+
+import pytest
+
+from repro.communities import ALL_COMMUNITIES
+from repro.communities.design_patterns import design_pattern_community, gof_pattern_records
+from repro.core.application import Application
+from repro.core.community import ROOT_COMMUNITY_ID
+from repro.core.servent import Servent
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.rendezvous import RendezvousProtocol
+from repro.network.superpeer import SuperPeerProtocol
+
+
+def wire(network):
+    if isinstance(network, GnutellaProtocol):
+        network.build_overlay()
+    if isinstance(network, SuperPeerProtocol):
+        network.elect_super_peers()
+    if isinstance(network, RendezvousProtocol):
+        network.elect_rendezvous()
+
+
+class TestFullLoop:
+    def test_publish_discover_join_search_download_view(self, any_network):
+        network = any_network
+        alice = Servent("alice", network)
+        bob = Servent("bob", network)
+        carol = Servent("carol", network)
+        wire(network)
+
+        definition = design_pattern_community()
+        alice_app = definition.application_on(alice)
+        records = gof_pattern_records()
+        for record in records[:8]:
+            alice_app.publish(record)
+
+        # Bob discovers the community through the root community.
+        discovery = bob.search_communities("patterns")
+        matches = [r for r in discovery.results if r.title == definition.name]
+        assert matches, "community must be discoverable"
+        community = bob.join_community(matches[0])
+        bob_app = Application(bob, community)
+
+        # Carol is not a member and so cannot search.
+        from repro.core.errors import NotAMemberError
+        with pytest.raises(NotAMemberError):
+            carol.search(community.community_id, "observer")
+
+        # Bob searches with a field query and a keyword query.
+        by_category = bob_app.search({"category": "creational"}, max_results=100)
+        assert by_category.result_count == 5
+        by_keyword = bob_app.search("singleton")
+        assert by_keyword.result_count >= 1
+
+        # Download and view with the custom stylesheet.
+        hit = by_keyword.results[0]
+        downloaded = bob_app.download(hit)
+        html = bob_app.view(downloaded.resource_id)
+        assert "Singleton" in html
+
+        # After download Bob also shares the object (replication).
+        assert bob.repository.documents.contains(hit.resource_id)
+
+    def test_every_bundled_community_round_trips(self, any_network):
+        network = any_network
+        alice = Servent("alice", network)
+        bob = Servent("bob", network)
+        wire(network)
+        for key, factory in sorted(ALL_COMMUNITIES.items()):
+            definition = factory()
+            app = definition.application_on(alice)
+            corpus = definition.sample_corpus(6, seed=5)
+            for record in corpus:
+                app.publish(record)
+            found = [r for r in bob.search_communities(definition.keywords.split()[0]).results
+                     if r.title == definition.name]
+            assert found, f"{key} community must be discoverable"
+            community = bob.join_community(found[0])
+            # Browsing must see everything published.
+            browse = bob.browse(community.community_id, max_results=100)
+            assert browse.result_count == len(corpus)
+            # A field query on the first record's first searchable value hits.
+            schema_fields = [info.path for info in community.schema.searchable_fields()
+                             if "/" not in info.path]
+            first_field = schema_fields[0]
+            first_value = corpus[0].get(first_field)
+            if isinstance(first_value, str) and first_value:
+                response = bob.search(community.community_id, {first_field: first_value},
+                                      max_results=100)
+                assert response.result_count >= 1
+
+    def test_community_discovery_is_just_search(self, any_network):
+        """The metaclass move: communities are found exactly like objects."""
+        network = any_network
+        alice = Servent("alice", network)
+        bob = Servent("bob", network)
+        wire(network)
+        for key, factory in sorted(ALL_COMMUNITIES.items()):
+            factory().create_on(alice)
+        # The root community now contains one object per community.
+        browse = bob.search_communities()
+        assert browse.result_count == len(ALL_COMMUNITIES)
+        assert all(result.community_id == ROOT_COMMUNITY_ID for result in browse.results)
+        # Keyword filtering narrows discovery like any other search.
+        chemistry = bob.search_communities("chemistry molecule")
+        assert {result.title for result in chemistry.results} == {"Chemical Molecules"}
+
+    def test_replication_increases_provider_count(self, any_network):
+        network = any_network
+        alice = Servent("alice", network)
+        peers = [Servent(f"peer-{index}", network) for index in range(6)]
+        wire(network)
+        definition = ALL_COMMUNITIES["mp3"]()
+        alice_app = definition.application_on(alice)
+        record = definition.sample_corpus(1, seed=2)[0]
+        published = alice_app.publish(record)
+
+        # Every peer joins and downloads the same popular object.
+        for servent in peers:
+            found = [r for r in servent.search_communities("music").results
+                     if r.title == definition.name]
+            community = servent.join_community(found[0])
+            app = Application(servent, community)
+            hits = app.search({"title": record["title"]}, max_results=50)
+            assert hits.result_count >= 1
+            app.download(hits.results[0])
+
+        # A final search sees many providers for that object.
+        last = peers[-1]
+        final = last.search(alice_app.community.community_id, {"title": record["title"]},
+                            max_results=200)
+        providers = {result.provider_id for result in final.results
+                     if result.resource_id == published.resource_id}
+        assert len(providers) >= 3

@@ -1,0 +1,91 @@
+"""Protocol-independence integration tests (paper §IV-B and §VI).
+
+The same U-P2P code — communities, schemas, stylesheets, servents — must
+behave identically over the three network organisations; only the cost
+profile may differ.
+"""
+
+import pytest
+
+from repro.communities.design_patterns import design_pattern_community, gof_pattern_records
+from repro.core.application import Application
+from repro.core.servent import Servent
+from repro.network.centralized import CentralizedProtocol
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.superpeer import SuperPeerProtocol
+
+
+def build_world(network, publisher_count=4, searcher_count=4):
+    """The same world on any protocol: patterns spread over publishers."""
+    definition = design_pattern_community()
+    servents = [Servent(f"peer-{index:02d}", network) for index in range(publisher_count + searcher_count)]
+    founder_app = definition.application_on(servents[0])
+    applications = [founder_app]
+    for servent in servents[1:]:
+        found = [r for r in servent.search_communities("patterns").results
+                 if r.title == definition.name]
+        community = servent.join_community(found[0])
+        applications.append(Application(servent, community))
+    if isinstance(network, GnutellaProtocol):
+        network.build_overlay()
+    if isinstance(network, SuperPeerProtocol):
+        network.elect_super_peers()
+    records = gof_pattern_records()
+    for index, record in enumerate(records):
+        applications[index % publisher_count].publish(record)
+    return applications, records
+
+
+PROTOCOLS = {
+    "centralized": lambda: CentralizedProtocol(seed=13),
+    "gnutella": lambda: GnutellaProtocol(seed=13, default_ttl=8, degree=4),
+    "super-peer": lambda: SuperPeerProtocol(seed=13, super_peer_ratio=0.25),
+}
+
+
+class TestSameResultsEverywhere:
+    def test_identical_result_sets_across_protocols(self):
+        """Every protocol finds the same set of pattern names for the same
+        queries (with a generous TTL for the flooding network)."""
+        result_sets = {}
+        for name, factory in PROTOCOLS.items():
+            applications, _ = build_world(factory())
+            searcher = applications[-1]
+            found = set()
+            for query in ("behavioral", "factory", "decouple an abstraction"):
+                response = searcher.search(query, max_results=200)
+                found.update(result.metadata["name"][0] for result in response.results)
+            result_sets[name] = found
+        assert result_sets["centralized"] == result_sets["gnutella"] == result_sets["super-peer"]
+        assert "Bridge" in result_sets["centralized"]
+
+    def test_cost_ordering_matches_expectations(self):
+        """Messages per query: centralized <= super-peer << flooding."""
+        costs = {}
+        for name, factory in PROTOCOLS.items():
+            applications, _ = build_world(factory())
+            searcher = applications[-1]
+            for query in ("observer", "factory", "structure"):
+                searcher.search(query, max_results=200)
+            costs[name] = searcher.servent.network.stats.mean_messages_per_query()
+        assert costs["centralized"] <= costs["super-peer"] < costs["gnutella"]
+
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_download_and_view_work_on_every_protocol(self, name):
+        applications, records = build_world(PROTOCOLS[name]())
+        searcher = applications[-1]
+        response = searcher.search({"name": "Observer"}, max_results=50)
+        assert response.result_count >= 1
+        downloaded = searcher.download(response.results[0])
+        html = searcher.view(downloaded.resource_id)
+        assert "Observer" in html
+
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_results_have_full_metadata_on_every_protocol(self, name):
+        """"Results ... will consist of full meta-data for each search result."""
+        applications, _ = build_world(PROTOCOLS[name]())
+        searcher = applications[-1]
+        response = searcher.search("visitor", max_results=10)
+        assert response.result_count >= 1
+        metadata = response.results[0].metadata
+        assert "name" in metadata and "intent" in metadata and "category" in metadata

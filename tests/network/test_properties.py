@@ -1,0 +1,57 @@
+"""Property-based tests for the network substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.topology import build_topology
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    peers=st.integers(min_value=2, max_value=60),
+    degree=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+    kind=st.sampled_from(["power-law", "random", "ring", "star"]),
+)
+def test_generated_topologies_always_connected(peers, degree, seed, kind):
+    """Every generated overlay is connected and undirected."""
+    ids = [f"p{index}" for index in range(peers)]
+    topology = build_topology(ids, kind=kind, degree=degree, seed=seed)
+    assert topology.is_connected()
+    for node, neighbors in topology.adjacency.items():
+        assert node not in neighbors
+        for neighbor in neighbors:
+            assert node in topology.adjacency[neighbor]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    peers=st.integers(min_value=5, max_value=40),
+    ttl_low=st.integers(min_value=1, max_value=3),
+    ttl_extra=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_flood_reach_is_monotone_in_ttl(peers, ttl_low, ttl_extra, seed):
+    """Raising the TTL never reaches fewer peers (monotone horizon)."""
+    network = GnutellaProtocol(seed=seed, degree=3)
+    for index in range(peers):
+        network.create_peer(f"p{index}")
+    network.build_overlay()
+    low = network.reachable_peers("p0", ttl=ttl_low)
+    high = network.reachable_peers("p0", ttl=ttl_low + ttl_extra)
+    assert high >= low
+    assert high <= peers - 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    peers=st.integers(min_value=4, max_value=30),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_flood_with_large_ttl_reaches_every_online_peer(peers, seed):
+    """With TTL >= network size the flood reaches every online peer."""
+    network = GnutellaProtocol(seed=seed, degree=3)
+    for index in range(peers):
+        network.create_peer(f"p{index}")
+    network.build_overlay()
+    assert network.reachable_peers("p0", ttl=peers) == peers - 1

@@ -1,0 +1,119 @@
+"""Tests for the discrete-event simulator and latency model."""
+
+import pytest
+
+from repro.network.simulator import LatencyModel, NetworkSimulator
+
+
+class TestLatencyModel:
+    def test_symmetric_and_stable(self):
+        model = LatencyModel(seed=3)
+        assert model.latency("a", "b") == model.latency("b", "a")
+        assert model.latency("a", "b") == model.latency("a", "b")
+
+    def test_self_latency_zero(self):
+        assert LatencyModel().latency("a", "a") == 0.0
+
+    def test_within_bounds(self):
+        model = LatencyModel(base_ms=10, jitter_ms=5, seed=1)
+        for pair in (("a", "b"), ("c", "d"), ("x", "y")):
+            value = model.latency(*pair)
+            assert 10 <= value <= 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_ms=-1)
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert NetworkSimulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        simulator = NetworkSimulator()
+        order = []
+        simulator.schedule(30, lambda: order.append("late"))
+        simulator.schedule(10, lambda: order.append("early"))
+        simulator.schedule(20, lambda: order.append("middle"))
+        processed = simulator.run()
+        assert processed == 3
+        assert order == ["early", "middle", "late"]
+        assert simulator.now == 30
+
+    def test_fifo_for_same_timestamp(self):
+        simulator = NetworkSimulator()
+        order = []
+        simulator.schedule(5, lambda: order.append(1))
+        simulator.schedule(5, lambda: order.append(2))
+        simulator.run()
+        assert order == [1, 2]
+
+    def test_run_until(self):
+        simulator = NetworkSimulator()
+        fired = []
+        simulator.schedule(10, lambda: fired.append("a"))
+        simulator.schedule(100, lambda: fired.append("b"))
+        simulator.run(until_ms=50)
+        assert fired == ["a"]
+        assert simulator.now == 50
+        assert simulator.pending_events() == 1
+
+    def test_cancel(self):
+        simulator = NetworkSimulator()
+        fired = []
+        handle = simulator.schedule(10, lambda: fired.append("x"))
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run(self):
+        simulator = NetworkSimulator()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            simulator.schedule(5, lambda: fired.append("second"))
+
+        simulator.schedule(1, chain)
+        simulator.run()
+        assert fired == ["first", "second"]
+        assert simulator.now == 6
+
+    def test_schedule_at_absolute_time(self):
+        simulator = NetworkSimulator()
+        simulator.advance(100)
+        fired = []
+        simulator.schedule_at(150, lambda: fired.append("x"))
+        simulator.run()
+        assert simulator.now == 150 and fired == ["x"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSimulator().schedule(-1, lambda: None)
+
+    def test_advance(self):
+        simulator = NetworkSimulator()
+        simulator.advance(25)
+        assert simulator.now == 25
+        with pytest.raises(ValueError):
+            simulator.advance(-1)
+
+    def test_transfer_time_scales_with_size(self):
+        simulator = NetworkSimulator(seed=1)
+        small = simulator.transfer_time("a", "b", 1_000)
+        large = simulator.transfer_time("a", "b", 1_000_000)
+        assert large > small
+
+    def test_transfer_time_requires_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkSimulator().transfer_time("a", "b", 100, bandwidth_kbps=0)
+
+    def test_max_events_guard(self):
+        simulator = NetworkSimulator()
+
+        def reschedule():
+            simulator.schedule(1, reschedule)
+
+        simulator.schedule(1, reschedule)
+        processed = simulator.run(max_events=50)
+        assert processed == 50

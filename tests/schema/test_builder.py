@@ -1,0 +1,108 @@
+"""Tests for the programmatic schema builder (the schema-tool substitute)."""
+
+import pytest
+
+from repro.schema.builder import SchemaBuilder, schema_to_xsd
+from repro.schema.errors import SchemaError
+from repro.schema.parser import parse_schema_text
+from repro.schema.validator import validate
+from repro.schema.instance import build_instance
+
+
+class TestBuilder:
+    def test_simple_fields(self):
+        schema = SchemaBuilder("note").field("title", searchable=True).field("body").build()
+        assert schema.root_element().name == "note"
+        assert [info.path for info in schema.fields()] == ["title", "body"]
+        assert [info.path for info in schema.searchable_fields()] == ["title"]
+
+    def test_typed_fields(self):
+        schema = (
+            SchemaBuilder("song")
+            .field("title")
+            .field("bitrate", "positiveInteger")
+            .field("released", "date", optional=True)
+            .field("file", "anyURI", attachment=True)
+            .build()
+        )
+        by_path = {info.path: info for info in schema.fields()}
+        assert by_path["bitrate"].type_name.endswith("positiveInteger")
+        assert by_path["released"].optional
+        assert by_path["file"].attachment
+
+    def test_enumeration_creates_simple_type(self):
+        schema = SchemaBuilder("mp3").field("genre", enumeration=["rock", "jazz"]).build()
+        assert schema.fields()[0].enumeration == ["rock", "jazz"]
+        assert len(schema.simple_types) == 1
+
+    def test_groups(self):
+        builder = SchemaBuilder("pattern")
+        builder.field("name")
+        builder.group("solution").field("structure").field("participants", repeated=True).end()
+        schema = builder.build()
+        paths = [info.path for info in schema.fields()]
+        assert "solution/structure" in paths
+        assert "solution/participants" in paths
+
+    def test_repeated_and_optional(self):
+        schema = SchemaBuilder("x").field("tag", repeated=True, optional=True).build()
+        info = schema.fields()[0]
+        assert info.repeated and info.optional
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder("x").build()
+
+    def test_empty_root_name_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder("  ")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder("x").field("y", "madeUpType").build()
+
+    def test_empty_group_rejected(self):
+        builder = SchemaBuilder("x")
+        group = builder.group("g")
+        with pytest.raises(SchemaError):
+            group.end()
+
+
+class TestXsdRoundTrip:
+    def test_to_xsd_reparses(self):
+        builder = SchemaBuilder("pattern")
+        builder.field("name", searchable=True)
+        builder.field("category", enumeration=["creational", "structural"], searchable=True)
+        builder.group("solution").field("structure").field("participants", repeated=True).end()
+        builder.field("diagram", "anyURI", attachment=True, optional=True)
+        xsd = builder.to_xsd()
+
+        reparsed = parse_schema_text(xsd)
+        assert [info.path for info in reparsed.fields()] == [
+            "name", "category", "solution/structure", "solution/participants", "diagram",
+        ]
+        by_path = {info.path: info for info in reparsed.fields()}
+        assert by_path["name"].searchable
+        assert by_path["diagram"].attachment
+        assert by_path["category"].enumeration == ["creational", "structural"]
+
+    def test_roundtrip_preserves_searchable_set(self, mp3_xsd):
+        schema = parse_schema_text(mp3_xsd)
+        again = parse_schema_text(schema_to_xsd(schema))
+        original = [info.path for info in schema.searchable_fields()]
+        reparsed = [info.path for info in again.searchable_fields()]
+        assert original == reparsed
+
+    def test_built_schema_validates_instances(self):
+        builder = SchemaBuilder("molecule")
+        builder.field("name", searchable=True).field("formula", searchable=True)
+        builder.field("weight", "decimal")
+        schema = parse_schema_text(builder.to_xsd())
+        good = build_instance(schema, {"name": "water", "formula": "H2O", "weight": "18.015"})
+        assert validate(schema, good).is_valid
+        bad = build_instance(schema, {"name": "water", "formula": "H2O", "weight": "heavy"})
+        assert not validate(schema, bad).is_valid
+
+    def test_documentation_survives_roundtrip(self):
+        xsd = SchemaBuilder("x").field("y", documentation="the y field").to_xsd()
+        assert parse_schema_text(xsd).fields()[0].documentation == "the y field"

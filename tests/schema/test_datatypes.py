@@ -1,0 +1,142 @@
+"""Tests for the built-in XML Schema datatypes."""
+
+import pytest
+
+from repro.schema.datatypes import (
+    builtin_type_names,
+    check_builtin,
+    get_builtin,
+    is_builtin,
+    strip_prefix,
+)
+
+
+class TestRegistry:
+    def test_core_types_present(self):
+        names = builtin_type_names()
+        for name in ("string", "anyURI", "integer", "boolean", "date", "decimal"):
+            assert name in names
+
+    def test_is_builtin_with_and_without_prefix(self):
+        assert is_builtin("string")
+        assert is_builtin("xsd:string")
+        assert is_builtin("xs:anyURI")
+        assert not is_builtin("protocolTypes")
+
+    def test_get_builtin_returns_none_for_unknown(self):
+        assert get_builtin("madeUpType") is None
+
+    def test_strip_prefix(self):
+        assert strip_prefix("xsd:string") == "string"
+        assert strip_prefix("string") == "string"
+
+
+class TestLexicalChecks:
+    @pytest.mark.parametrize("value", ["anything at all", "", "42", "<>&"])
+    def test_string_accepts_everything(self, value):
+        assert check_builtin("string", value)
+
+    @pytest.mark.parametrize("value,ok", [
+        ("42", True), ("-7", True), ("+3", True), ("3.5", False), ("abc", False), ("", False),
+    ])
+    def test_integer(self, value, ok):
+        assert check_builtin("integer", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("0", True), ("17", True), ("-1", False),
+    ])
+    def test_non_negative_integer(self, value, ok):
+        assert check_builtin("nonNegativeInteger", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("1", True), ("0", False), ("-2", False),
+    ])
+    def test_positive_integer(self, value, ok):
+        assert check_builtin("positiveInteger", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("127", True), ("-128", True), ("128", False), ("200", False),
+    ])
+    def test_byte_bounds(self, value, ok):
+        assert check_builtin("byte", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("3.14", True), ("-0.5", True), (".5", True), ("1e5", False), ("abc", False),
+    ])
+    def test_decimal(self, value, ok):
+        assert check_builtin("decimal", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("6.02e23", True), ("INF", True), ("-INF", True), ("NaN", True), ("1.5", True), ("x", False),
+    ])
+    def test_float(self, value, ok):
+        assert check_builtin("float", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("true", True), ("false", True), ("1", True), ("0", True), ("yes", False), ("", False),
+    ])
+    def test_boolean(self, value, ok):
+        assert check_builtin("boolean", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("2002-02-14", True), ("2002-2-14", False), ("14-02-2002", False), ("2002-02-14Z", True),
+    ])
+    def test_date(self, value, ok):
+        assert check_builtin("date", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("2002-02-14T12:30:00", True), ("2002-02-14T12:30:00Z", True),
+        ("2002-02-14 12:30:00", False), ("12:30:00", False),
+    ])
+    def test_datetime(self, value, ok):
+        assert check_builtin("dateTime", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("1999", True), ("02", False), ("-0044", True),
+    ])
+    def test_gyear(self, value, ok):
+        assert check_builtin("gYear", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("P1Y2M3DT4H5M6S", True), ("PT30M", True), ("P", False), ("1Y", False),
+    ])
+    def test_duration(self, value, ok):
+        assert check_builtin("duration", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("http://example.org/a.xsd", True), ("up2p:community.xsd", True),
+        ("relative/path.xsd", True), ("has space", False), ("", True),
+    ])
+    def test_anyuri(self, value, ok):
+        assert check_builtin("anyURI", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("community", True), ("_x", True), ("ns:name", False), ("9lives", False),
+    ])
+    def test_ncname(self, value, ok):
+        assert check_builtin("NCName", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("en", True), ("en-CA", True), ("english language", False),
+    ])
+    def test_language(self, value, ok):
+        assert check_builtin("language", value) is ok
+
+    @pytest.mark.parametrize("value,ok", [
+        ("cafebabe", True), ("CAFEBABE", True), ("abc", False), ("zz", False),
+    ])
+    def test_hexbinary(self, value, ok):
+        assert check_builtin("hexBinary", value) is ok
+
+    def test_token_collapses_whitespace(self):
+        assert check_builtin("token", "a b c")
+        assert not check_builtin("token", "a  b")
+        assert not check_builtin("token", " padded ")
+
+    def test_normalized_string(self):
+        assert check_builtin("normalizedString", "no tabs here")
+        assert not check_builtin("normalizedString", "tab\there")
+
+    def test_unknown_type_is_lenient(self):
+        # The prototype tolerated unknown type names; we preserve that.
+        assert check_builtin("madeUpType", "whatever")

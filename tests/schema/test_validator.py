@@ -1,0 +1,185 @@
+"""Tests for instance validation against parsed schemas."""
+
+import pytest
+
+from repro.schema.parser import parse_schema_text
+from repro.schema.validator import validate
+from repro.xmlkit.parser import parse
+
+
+def check(schema_text, instance_text):
+    schema = parse_schema_text(schema_text)
+    document = parse(instance_text, check_namespaces=False, keep_whitespace_text=False)
+    return validate(schema, document)
+
+
+MP3_SCHEMA = """
+<schema xmlns="http://www.w3.org/2001/XMLSchema" xmlns:up2p="http://up2p.repro/extensions">
+  <element name="mp3">
+    <complexType>
+      <sequence>
+        <element name="title" type="xsd:string" up2p:searchable="true"/>
+        <element name="artist" type="xsd:string" up2p:searchable="true"/>
+        <element name="genre" type="genreType"/>
+        <element name="bitrate" type="xsd:positiveInteger"/>
+        <element name="year" type="xsd:gYear" minOccurs="0"/>
+        <element name="tag" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+      </sequence>
+    </complexType>
+  </element>
+  <simpleType name="genreType">
+    <restriction base="xsd:string">
+      <enumeration value="rock"/>
+      <enumeration value="jazz"/>
+      <enumeration value="classical"/>
+    </restriction>
+  </simpleType>
+</schema>
+"""
+
+
+class TestValidInstances:
+    def test_minimal_valid(self):
+        report = check(MP3_SCHEMA,
+                       "<mp3><title>t</title><artist>a</artist><genre>jazz</genre><bitrate>192</bitrate></mp3>")
+        assert report.is_valid
+        assert report.summary() == "valid"
+
+    def test_optional_and_repeated_fields(self):
+        report = check(MP3_SCHEMA,
+                       "<mp3><title>t</title><artist>a</artist><genre>rock</genre>"
+                       "<bitrate>128</bitrate><year>1999</year><tag>live</tag><tag>remaster</tag></mp3>")
+        assert report.is_valid
+
+    def test_community_object_against_fig3_schema(self, community_schema_xsd):
+        report = check(community_schema_xsd,
+                       "<community><name>MP3s</name><description>songs</description>"
+                       "<keywords>music</keywords><category>media</category>"
+                       "<security>none</security><protocol>Gnutella</protocol>"
+                       "<schema>http://x/mp3.xsd</schema><displaystyle></displaystyle>"
+                       "<createstyle></createstyle><searchstyle></searchstyle></community>")
+        assert report.is_valid
+
+
+class TestInvalidInstances:
+    def test_wrong_root(self):
+        report = check(MP3_SCHEMA, "<song><title>t</title></song>")
+        assert not report.is_valid
+        assert report.errors[0].code == "unexpected-root"
+
+    def test_missing_required_field(self):
+        report = check(MP3_SCHEMA, "<mp3><title>t</title><genre>jazz</genre><bitrate>192</bitrate></mp3>")
+        assert any(error.code == "occurrence-violation" and "artist" in error.path
+                   for error in report.errors)
+
+    def test_unexpected_element(self):
+        report = check(MP3_SCHEMA,
+                       "<mp3><title>t</title><artist>a</artist><genre>jazz</genre>"
+                       "<bitrate>192</bitrate><rating>5</rating></mp3>")
+        assert any(error.code == "unexpected-element" for error in report.errors)
+
+    def test_enumeration_violation(self):
+        report = check(MP3_SCHEMA,
+                       "<mp3><title>t</title><artist>a</artist><genre>polka</genre><bitrate>192</bitrate></mp3>")
+        assert any(error.code == "facet-violation" for error in report.errors)
+
+    def test_datatype_violation(self):
+        report = check(MP3_SCHEMA,
+                       "<mp3><title>t</title><artist>a</artist><genre>jazz</genre><bitrate>fast</bitrate></mp3>")
+        assert any("bitrate" in error.path for error in report.errors)
+
+    def test_out_of_order_sequence(self):
+        report = check(MP3_SCHEMA,
+                       "<mp3><artist>a</artist><title>t</title><genre>jazz</genre><bitrate>192</bitrate></mp3>")
+        assert any(error.code == "sequence-order" for error in report.errors)
+
+    def test_protocol_enumeration_fig3(self, community_schema_xsd):
+        report = check(community_schema_xsd,
+                       "<community><name>x</name><description/><keywords/><category/>"
+                       "<security/><protocol>Freenet</protocol><schema/>"
+                       "<displaystyle/><createstyle/><searchstyle/></community>")
+        assert not report.is_valid
+        assert any("protocol" in error.path for error in report.errors)
+
+    def test_multiple_errors_all_reported(self):
+        report = check(MP3_SCHEMA, "<mp3><genre>polka</genre><bitrate>fast</bitrate></mp3>")
+        assert len(report.errors) >= 3
+
+    def test_repeated_field_beyond_bounds(self):
+        schema = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="list">
+            <complexType>
+              <sequence>
+                <element name="item" type="xsd:string" maxOccurs="2"/>
+              </sequence>
+            </complexType>
+          </element>
+        </schema>
+        """
+        report = check(schema, "<list><item>1</item><item>2</item><item>3</item></list>")
+        assert any(error.code == "occurrence-violation" for error in report.errors)
+
+    def test_children_under_simple_type(self):
+        report = check(MP3_SCHEMA,
+                       "<mp3><title><b>bold</b></title><artist>a</artist>"
+                       "<genre>jazz</genre><bitrate>192</bitrate></mp3>")
+        assert any(error.code == "unexpected-children" for error in report.errors)
+
+
+class TestAttributesAndChoice:
+    SCHEMA = """
+    <schema xmlns="http://www.w3.org/2001/XMLSchema">
+      <element name="contact">
+        <complexType>
+          <choice>
+            <element name="email" type="xsd:string"/>
+            <element name="phone" type="xsd:string"/>
+          </choice>
+          <attribute name="kind" type="xsd:string" use="required"/>
+        </complexType>
+      </element>
+    </schema>
+    """
+
+    def test_choice_accepts_one_branch(self):
+        report = check(self.SCHEMA, "<contact kind='personal'><email>x@y</email></contact>")
+        assert report.is_valid
+
+    def test_choice_rejects_both_branches(self):
+        report = check(self.SCHEMA,
+                       "<contact kind='p'><email>x@y</email><phone>123</phone></contact>")
+        assert any(error.code == "choice-violation" for error in report.errors)
+
+    def test_choice_rejects_neither_branch(self):
+        report = check(self.SCHEMA, "<contact kind='p'/>")
+        assert any(error.code == "choice-violation" for error in report.errors)
+
+    def test_missing_required_attribute(self):
+        report = check(self.SCHEMA, "<contact><email>x@y</email></contact>")
+        assert any(error.code == "missing-attribute" for error in report.errors)
+
+    def test_undeclared_attribute(self):
+        report = check(self.SCHEMA, "<contact kind='p' extra='1'><email>x</email></contact>")
+        assert any(error.code == "unexpected-attribute" for error in report.errors)
+
+    def test_nested_paths_in_errors(self):
+        schema = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="pattern">
+            <complexType>
+              <sequence>
+                <element name="solution">
+                  <complexType>
+                    <sequence>
+                      <element name="structure" type="xsd:string"/>
+                    </sequence>
+                  </complexType>
+                </element>
+              </sequence>
+            </complexType>
+          </element>
+        </schema>
+        """
+        report = check(schema, "<pattern><solution><wrong>x</wrong></solution></pattern>")
+        assert any(error.path.startswith("pattern/solution") for error in report.errors)

@@ -1,0 +1,108 @@
+"""Tests for the inverted attribute index."""
+
+from repro.storage.index import AttributeIndex, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Design Patterns, 2nd Edition!") == ["design", "patterns", "2nd", "edition"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("  ,;  ") == []
+
+
+class TestIndexing:
+    def build(self):
+        index = AttributeIndex()
+        index.add("patterns", "r1", {"name": ["Observer"], "intent": ["decouple subject from observers"]})
+        index.add("patterns", "r2", {"name": ["Abstract Factory"], "intent": ["create families of objects"]})
+        index.add("patterns", "r3", {"name": ["Factory Method"], "intent": ["defer creation to subclasses"]})
+        index.add("mp3s", "m1", {"title": ["Blue Train"], "artist": ["John Coltrane"]})
+        return index
+
+    def test_exact_match_case_insensitive(self):
+        index = self.build()
+        assert index.exact("patterns", "name", "observer") == {"r1"}
+        assert index.exact("patterns", "name", "OBSERVER") == {"r1"}
+        assert index.exact("patterns", "name", "Factory") == set()
+
+    def test_keyword_single_token(self):
+        index = self.build()
+        assert index.keyword("patterns", "name", "factory") == {"r2", "r3"}
+
+    def test_keyword_requires_all_tokens(self):
+        index = self.build()
+        assert index.keyword("patterns", "name", "abstract factory") == {"r2"}
+        assert index.keyword("patterns", "intent", "create families") == {"r2"}
+        assert index.keyword("patterns", "intent", "create marshmallows") == set()
+
+    def test_keyword_empty_text(self):
+        assert self.build().keyword("patterns", "name", "") == set()
+
+    def test_prefix(self):
+        index = self.build()
+        assert index.prefix("patterns", "name", "fact") == {"r2", "r3"}
+        assert index.prefix("patterns", "name", "obs") == {"r1"}
+        assert index.prefix("patterns", "name", "") == set()
+
+    def test_any_field_keyword(self):
+        index = self.build()
+        assert index.any_field_keyword("patterns", "subclasses") == {"r3"}
+        assert index.any_field_keyword("patterns", "factory") == {"r2", "r3"}
+
+    def test_community_isolation(self):
+        index = self.build()
+        assert index.keyword("mp3s", "title", "blue") == {"m1"}
+        assert index.keyword("patterns", "title", "blue") == set()
+        assert index.any_field_keyword("mp3s", "observer") == set()
+
+    def test_fields_and_values_for(self):
+        index = self.build()
+        assert index.fields_for("mp3s") == ["artist", "title"]
+        assert index.values_for("patterns", "name") == [
+            "abstract factory", "factory method", "observer",
+        ]
+
+
+class TestMaintenance:
+    def test_remove(self):
+        index = AttributeIndex()
+        index.add("c", "r1", {"name": ["Observer"]})
+        index.add("c", "r2", {"name": ["Observer"]})
+        index.remove("r1")
+        assert index.exact("c", "name", "Observer") == {"r2"}
+        assert index.indexed_objects() == 1
+
+    def test_remove_clears_empty_buckets(self):
+        index = AttributeIndex()
+        index.add("c", "r1", {"name": ["Observer"]})
+        index.remove("r1")
+        assert index.exact("c", "name", "Observer") == set()
+        assert index.entry_count() == 0
+
+    def test_readd_replaces_entries(self):
+        index = AttributeIndex()
+        index.add("c", "r1", {"name": ["Observer"]})
+        index.add("c", "r1", {"name": ["Visitor"]})
+        assert index.exact("c", "name", "Observer") == set()
+        assert index.exact("c", "name", "Visitor") == {"r1"}
+
+    def test_multi_valued_fields(self):
+        index = AttributeIndex()
+        index.add("c", "r1", {"participants": ["Subject", "Observer"]})
+        assert index.exact("c", "participants", "Subject") == {"r1"}
+        assert index.exact("c", "participants", "Observer") == {"r1"}
+
+    def test_blank_values_not_indexed(self):
+        index = AttributeIndex()
+        count = index.add("c", "r1", {"name": ["", "   "]})
+        assert count == 0
+        assert index.entry_count() == 0
+
+    def test_size_accounting(self):
+        index = AttributeIndex()
+        index.add("c", "r1", {"name": ["Observer"], "intent": ["decouple things"]})
+        assert index.entry_count() == 2
+        assert index.size_bytes() > 0
+        assert len(list(index.entries_for("r1"))) == 2

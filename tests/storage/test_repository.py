@@ -1,0 +1,105 @@
+"""Tests for the per-peer repository façade and attachments."""
+
+import pytest
+
+from repro.storage.attachments import Attachment, AttachmentStore
+from repro.storage.errors import ObjectNotFoundError
+from repro.storage.query import Query
+from repro.storage.repository import LocalRepository
+from repro.xmlkit.parser import parse
+
+
+def doc(text):
+    return parse(text).root
+
+
+class TestAttachments:
+    def test_synthesize_deterministic(self):
+        a = Attachment.synthesize("http://x/file.mp3", seed=1)
+        b = Attachment.synthesize("http://x/file.mp3", seed=1)
+        assert a == b
+        assert a.size_bytes > 0
+
+    def test_synthesize_respects_explicit_size(self):
+        a = Attachment.synthesize("http://x/f", size_bytes=1234)
+        assert a.size_bytes == 1234
+
+    def test_store_serve_receive_accounting(self):
+        provider = AttachmentStore()
+        requester = AttachmentStore()
+        attachment = Attachment.synthesize("http://x/song.mp3", size_bytes=1000)
+        provider.put(attachment)
+        served = provider.serve("http://x/song.mp3")
+        requester.receive(served)
+        assert provider.bytes_served == 1000
+        assert requester.bytes_received == 1000
+        assert requester.has("http://x/song.mp3")
+        assert requester.total_bytes() == 1000
+
+    def test_missing_attachment_raises(self):
+        with pytest.raises(ObjectNotFoundError):
+            AttachmentStore().get("http://nope")
+
+
+class TestRepository:
+    def publish_sample(self, repository):
+        return repository.publish(
+            "patterns",
+            doc("<pattern><name>Observer</name><intent>notify dependents</intent></pattern>"),
+            {"name": ["Observer"], "intent": ["notify dependents"]},
+            title="Observer",
+            attachment_uris=["http://repo/observer.png"],
+        )
+
+    def test_publish_stores_and_indexes(self):
+        repository = LocalRepository(owner="alice")
+        result = self.publish_sample(repository)
+        assert result.indexed_fields == 2
+        assert repository.documents.contains(result.resource_id)
+        assert len(result.attachments) == 1
+        assert repository.attachments.has("http://repo/observer.png")
+
+    def test_search_by_keyword(self):
+        repository = LocalRepository()
+        self.publish_sample(repository)
+        hits = repository.search(Query.keyword("patterns", "observer"))
+        assert len(hits) == 1
+        misses = repository.search(Query.keyword("patterns", "visitor"))
+        assert misses == []
+
+    def test_empty_query_browses_community(self):
+        repository = LocalRepository()
+        self.publish_sample(repository)
+        assert len(repository.search(Query("patterns"))) == 1
+        assert repository.search(Query("other")) == []
+
+    def test_retrieve(self):
+        repository = LocalRepository()
+        result = self.publish_sample(repository)
+        stored = repository.retrieve(result.resource_id)
+        assert stored.title == "Observer"
+
+    def test_unpublish(self):
+        repository = LocalRepository()
+        result = self.publish_sample(repository)
+        repository.unpublish(result.resource_id)
+        assert repository.search(Query.keyword("patterns", "observer")) == []
+        with pytest.raises(ObjectNotFoundError):
+            repository.retrieve(result.resource_id)
+
+    def test_statistics(self):
+        repository = LocalRepository()
+        self.publish_sample(repository)
+        stats = repository.statistics()
+        assert stats["objects"] == 1
+        assert stats["communities"] == 1
+        assert stats["index_entries"] == 2
+        assert stats["attachments"] == 1
+        assert stats["document_bytes"] > 0
+
+    def test_publish_same_object_twice_idempotent(self):
+        repository = LocalRepository()
+        first = self.publish_sample(repository)
+        second = self.publish_sample(repository)
+        assert first.resource_id == second.resource_id
+        assert repository.statistics()["objects"] == 1

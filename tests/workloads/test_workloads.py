@@ -1,0 +1,119 @@
+"""Tests for popularity distributions, query workloads and scenarios."""
+
+import pytest
+
+from repro.communities.design_patterns import generate_pattern_corpus
+from repro.workloads.popularity import ZipfDistribution
+from repro.workloads.queries import build_query_workload
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        zipf = ZipfDistribution(50, exponent=1.0)
+        assert sum(zipf.probability(rank) for rank in range(50)) == pytest.approx(1.0)
+
+    def test_rank_zero_most_popular(self):
+        zipf = ZipfDistribution(100, exponent=1.0)
+        assert zipf.probability(0) > zipf.probability(1) > zipf.probability(50)
+
+    def test_samples_within_range_and_skewed(self):
+        zipf = ZipfDistribution(20, exponent=1.2, seed=4)
+        samples = zipf.sample_many(3000)
+        assert all(0 <= sample < 20 for sample in samples)
+        head = sum(1 for sample in samples if sample < 4)
+        assert head / len(samples) > 0.45
+
+    def test_exponent_zero_is_uniformish(self):
+        zipf = ZipfDistribution(10, exponent=0.0, seed=1)
+        assert zipf.probability(0) == pytest.approx(zipf.probability(9))
+
+    def test_expected_top_share_monotone(self):
+        zipf = ZipfDistribution(100, exponent=1.0)
+        assert zipf.expected_top_share(10) < zipf.expected_top_share(50) <= 1.0
+
+    def test_pick_requires_matching_length(self):
+        zipf = ZipfDistribution(3, seed=2)
+        assert zipf.pick(["a", "b", "c"]) in ("a", "b", "c")
+        with pytest.raises(ValueError):
+            zipf.pick(["a"])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(5, exponent=-1)
+
+    def test_deterministic_with_seed(self):
+        assert ZipfDistribution(30, seed=7).sample_many(20) == ZipfDistribution(30, seed=7).sample_many(20)
+
+
+class TestQueryWorkload:
+    def test_workload_size_and_expectations(self):
+        corpus = generate_pattern_corpus(40, seed=1)
+        workload = build_query_workload("patterns", corpus, count=30, seed=2)
+        assert len(workload) == 30
+        assert len(workload.expected_matches) == 30
+        assert workload.mean_expected_matches() >= 0
+
+    def test_miss_fraction_zero_and_one(self):
+        corpus = generate_pattern_corpus(20, seed=1)
+        all_miss = build_query_workload("patterns", corpus, count=20, miss_fraction=1.0, seed=3)
+        assert all(expected == 0 for expected in all_miss.expected_matches)
+        no_miss = build_query_workload("patterns", corpus, count=20, miss_fraction=0.0, seed=3)
+        assert sum(no_miss.expected_matches) > 0
+
+    def test_queries_target_community(self):
+        corpus = generate_pattern_corpus(10, seed=1)
+        workload = build_query_workload("patterns", corpus, count=10, seed=1)
+        assert all(query.community_id == "patterns" for query in workload)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            build_query_workload("patterns", [], count=5)
+
+    def test_invalid_miss_fraction(self):
+        corpus = generate_pattern_corpus(5, seed=1)
+        with pytest.raises(ValueError):
+            build_query_workload("patterns", corpus, miss_fraction=1.5)
+
+    def test_deterministic(self):
+        corpus = generate_pattern_corpus(20, seed=1)
+        a = build_query_workload("patterns", corpus, count=15, seed=9)
+        b = build_query_workload("patterns", corpus, count=15, seed=9)
+        assert [q.describe() for q in a] == [q.describe() for q in b]
+
+
+class TestScenario:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(protocol="bittorrent")
+        with pytest.raises(ValueError):
+            ScenarioConfig(community="unknown")
+        with pytest.raises(ValueError):
+            ScenarioConfig(peers=1)
+        with pytest.raises(ValueError):
+            ScenarioConfig(peers=10, publishers=12)
+        with pytest.raises(ValueError):
+            ScenarioConfig(peers=10, publishers=5, members=3)
+
+    @pytest.mark.parametrize("protocol", ["centralized", "gnutella", "super-peer"])
+    def test_small_scenario_end_to_end(self, protocol):
+        scenario = build_scenario(ScenarioConfig(
+            protocol=protocol, peers=15, members=8, publishers=4,
+            corpus_size=20, queries=10, seed=3,
+        ))
+        assert len(scenario.servents) == 15
+        assert len(scenario.applications) == 8
+        assert len(scenario.resource_ids) == 20
+        counts = scenario.run_queries()
+        assert len(counts) == 10
+        stats = scenario.network.stats
+        assert len(stats.queries) == 10
+        # At least the non-miss queries should mostly succeed.
+        assert stats.success_rate() >= 0.5
+
+    def test_stats_reset_before_query_phase(self):
+        scenario = build_scenario(ScenarioConfig(peers=10, members=5, publishers=3,
+                                                 corpus_size=10, queries=5, seed=1))
+        assert scenario.network.stats.total_messages == 0

@@ -1,0 +1,113 @@
+"""Tests for the element tree (DOM) layer."""
+
+from repro.xmlkit.dom import Document, Element, QName
+from repro.xmlkit.parser import parse
+
+
+class TestElementBasics:
+    def test_make_child_and_iteration(self):
+        root = Element("community")
+        root.make_child("name", text="mp3")
+        root.make_child("description", text="songs")
+        assert [child.tag for child in root] == ["name", "description"]
+        assert len(root) == 2
+
+    def test_get_set_attributes(self):
+        element = Element("element", {"name": "title"})
+        assert element.get("name") == "title"
+        assert element.get("missing") is None
+        assert element.get("missing", "x") == "x"
+        element.set("type", "xsd:string")
+        assert element.has("type")
+
+    def test_get_local_ignores_prefix(self):
+        element = Element("element", {"up2p:searchable": "true"})
+        assert element.get_local("searchable") == "true"
+        assert element.get_local("missing") is None
+
+    def test_namespace_tracking_via_set(self):
+        element = Element("schema")
+        element.set("xmlns:xsd", "http://www.w3.org/2001/XMLSchema")
+        assert element.nsmap["xsd"] == "http://www.w3.org/2001/XMLSchema"
+
+    def test_prefix_and_local_name(self):
+        element = Element("xsd:element")
+        assert element.prefix == "xsd"
+        assert element.local_name == "element"
+
+    def test_find_and_find_all(self):
+        root = parse("<a><b>1</b><c/><b>2</b></a>").root
+        assert root.find("b").text == "1"
+        assert [node.text for node in root.find_all("b")] == ["1", "2"]
+        assert root.find("zzz") is None
+
+    def test_child_text(self):
+        root = parse("<community><name>mp3</name></community>").root
+        assert root.child_text("name") == "mp3"
+        assert root.child_text("missing", "fallback") == "fallback"
+
+    def test_text_content_concatenates_descendants(self):
+        root = parse("<a>x<b>y</b>z</a>").root
+        assert root.text_content() == "xyz"
+
+    def test_iter_filters_by_local_name(self):
+        root = parse("<a><b><c/></b><c/></a>").root
+        assert len(list(root.iter("c"))) == 2
+        assert len(list(root.iter())) == 4
+
+    def test_remove(self):
+        root = parse("<a><b/><c/></a>").root
+        b = root.find("b")
+        root.remove(b)
+        assert [child.tag for child in root] == ["c"]
+        assert b.parent is None
+
+    def test_depth_and_path(self):
+        root = parse("<a><b><c/></b></a>").root
+        c = root.children[0].children[0]
+        assert c.depth() == 2
+        assert c.path_from_root() == "a/b/c"
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep(self):
+        root = parse("<a x='1'><b>t</b></a>").root
+        clone = root.copy()
+        clone.children[0].text = "changed"
+        clone.set("x", "2")
+        assert root.children[0].text == "t"
+        assert root.get("x") == "1"
+        assert clone.parent is None
+
+    def test_structural_equality(self):
+        a = parse("<a x='1'><b>t</b></a>").root
+        b = parse("<a x='1'><b>t</b></a>").root
+        c = parse("<a x='2'><b>t</b></a>").root
+        assert a.structurally_equal(b)
+        assert not a.structurally_equal(c)
+
+    def test_structural_equality_ignores_namespace_declarations(self):
+        a = parse("<a xmlns:x='urn:x'><b/></a>").root
+        b = parse("<a><b/></a>").root
+        assert a.structurally_equal(b)
+
+
+class TestQName:
+    def test_clark_notation(self):
+        assert QName("urn:x", "item").clark() == "{urn:x}item"
+        assert QName(None, "item").clark() == "item"
+
+    def test_parse_with_resolver(self):
+        resolver = {"xsd": "http://www.w3.org/2001/XMLSchema", "": "urn:default"}.get
+        assert QName.parse("xsd:string", resolver) == QName("http://www.w3.org/2001/XMLSchema", "string")
+        assert QName.parse("string", resolver) == QName("urn:default", "string")
+
+    def test_parse_without_resolver(self):
+        assert QName.parse("plain") == QName(None, "plain")
+
+
+class TestDocument:
+    def test_document_iteration(self):
+        document = parse("<a><b/><b/></a>")
+        assert isinstance(document, Document)
+        assert len(list(document.iter("b"))) == 2

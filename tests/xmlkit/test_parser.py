@@ -1,0 +1,109 @@
+"""Tests for the tree-building XML parser."""
+
+import pytest
+
+from repro.xmlkit.errors import XMLParseError
+from repro.xmlkit.parser import parse, parse_file
+
+
+class TestWellFormedDocuments:
+    def test_single_root(self):
+        document = parse("<community/>")
+        assert document.root.tag == "community"
+        assert document.root.children == []
+
+    def test_nested_children_in_order(self):
+        document = parse("<a><b/><c/><d/></a>")
+        assert [child.tag for child in document.root.children] == ["b", "c", "d"]
+
+    def test_text_and_tail(self):
+        document = parse("<a>before<b/>after</a>")
+        assert document.root.text == "before"
+        assert document.root.children[0].tail == "after"
+
+    def test_cdata_becomes_text(self):
+        document = parse("<code><![CDATA[if (a < b) {}]]></code>")
+        assert document.root.text == "if (a < b) {}"
+
+    def test_declaration_fields(self):
+        document = parse('<?xml version="1.1" encoding="ISO-8859-1" standalone="yes"?><a/>')
+        assert document.version == "1.1"
+        assert document.encoding == "ISO-8859-1"
+        assert document.standalone is True
+
+    def test_comments_and_pis_ignored(self):
+        document = parse("<!-- c --><?pi data?><a><!-- inner --><b/></a>")
+        assert [child.tag for child in document.root.children] == ["b"]
+
+    def test_parent_links(self):
+        document = parse("<a><b><c/></b></a>")
+        c = document.root.children[0].children[0]
+        assert c.parent.tag == "b"
+        assert c.parent.parent.tag == "a"
+
+    def test_whitespace_text_dropped_when_requested(self):
+        document = parse("<a>\n  <b/>\n</a>", keep_whitespace_text=False)
+        assert document.root.text == ""
+
+    def test_namespace_declarations_resolved(self):
+        document = parse(
+            '<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"><xsd:element/></xsd:schema>'
+        )
+        assert document.root.namespace == "http://www.w3.org/2001/XMLSchema"
+        assert document.root.children[0].namespace == "http://www.w3.org/2001/XMLSchema"
+
+    def test_default_namespace_inherited(self):
+        document = parse('<schema xmlns="urn:x"><element/></schema>')
+        assert document.root.children[0].namespace == "urn:x"
+
+    def test_community_schema_from_paper_parses(self, community_schema_xsd):
+        document = parse(community_schema_xsd, check_namespaces=False)
+        names = [element.get("name") for element in document.root.iter("element")]
+        assert "community" in names
+        assert "protocol" in names
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "object.xml"
+        path.write_text("<pattern><name>Observer</name></pattern>", encoding="utf-8")
+        document = parse_file(path)
+        assert document.root.child_text("name") == "Observer"
+
+
+class TestMalformedDocuments:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "text outside",
+            "<a/>trailing text",
+            "<a><b></a>",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XMLParseError):
+            parse(text)
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse("<xsd:schema><a/></xsd:schema>")
+
+    def test_undeclared_prefix_allowed_when_disabled(self):
+        document = parse("<xsd:schema><a/></xsd:schema>", check_namespaces=False)
+        assert document.root.local_name == "schema"
+
+    def test_undeclared_attribute_prefix_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse('<a up2p:searchable="true"/>')
+
+    def test_xml_prefix_is_predeclared(self):
+        document = parse('<a xml:lang="en"/>')
+        assert document.root.get("xml:lang") == "en"
+
+    def test_declaration_not_first_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse('<a/><?xml version="1.0"?>')

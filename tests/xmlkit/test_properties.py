@@ -1,0 +1,89 @@
+"""Property-based tests for the XML substrate (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlkit.dom import Element
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serializer import canonical, pretty, serialize
+
+# ----------------------------------------------------------------------
+# Strategies: random but well-formed element trees.
+# ----------------------------------------------------------------------
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+texts = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;:!?'<>&\"",
+    max_size=40,
+)
+attribute_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " &<\"'",
+    max_size=20,
+)
+
+
+@st.composite
+def elements(draw, depth=0):
+    element = Element(draw(names))
+    for attr_name in draw(st.lists(names, max_size=3, unique=True)):
+        element.set(attr_name, draw(attribute_values))
+    element.text = draw(texts)
+    if depth < 3:
+        for child in draw(st.lists(elements(depth=depth + 1), max_size=3)):
+            element.append(child)
+            child.tail = draw(texts)
+    return element
+
+
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_serialize_parse_roundtrip_preserves_structure(element):
+    """parse(serialize(tree)) is structurally identical to the tree."""
+    reparsed = parse(serialize(element)).root
+    assert canonical(element) == canonical(reparsed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_pretty_and_compact_forms_are_equivalent(element):
+    """Pretty-printing never changes the canonical content."""
+    compact = parse(serialize(element)).root
+    pretty_form = parse(pretty(element)).root
+    assert canonical(compact) == canonical(pretty_form)
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_copy_is_structurally_equal_and_independent(element):
+    clone = element.copy()
+    assert canonical(clone) == canonical(element)
+    clone.set("mutated", "yes")
+    assert "mutated" not in element.attributes
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_canonical_is_deterministic(element):
+    assert canonical(element) == canonical(element)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet=string.printable, max_size=60))
+def test_arbitrary_text_content_roundtrips(value):
+    """Any printable text placed in an element survives a round-trip.
+
+    Two documented normalisations apply: whitespace-only content is
+    treated as empty, and characters illegal in XML output are rejected
+    up front rather than silently corrupted.
+    """
+    element = Element("wrapper", text=value)
+    try:
+        serialized = serialize(element)
+    except Exception:
+        return
+    roundtripped = parse(serialized).root.text
+    if value.strip():
+        assert roundtripped == value
+    else:
+        assert roundtripped == ""

@@ -1,0 +1,138 @@
+"""Tests for the hand-written XML tokenizer."""
+
+import pytest
+
+from repro.xmlkit.errors import XMLParseError
+from repro.xmlkit.tokenizer import TokenType, tokenize
+
+
+def token_types(text):
+    return [token.type for token in tokenize(text)]
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        tokens = tokenize("<a>hello</a>")
+        assert [t.type for t in tokens] == [TokenType.START_TAG, TokenType.TEXT, TokenType.END_TAG]
+        assert tokens[0].value == "a"
+        assert tokens[1].value == "hello"
+        assert tokens[2].value == "a"
+
+    def test_empty_tag(self):
+        tokens = tokenize("<br/>")
+        assert tokens[0].type == TokenType.EMPTY_TAG
+        assert tokens[0].value == "br"
+
+    def test_attributes_double_and_single_quotes(self):
+        tokens = tokenize("""<e a="1" b='two'/>""")
+        assert tokens[0].attributes == {"a": "1", "b": "two"}
+
+    def test_xml_declaration(self):
+        tokens = tokenize('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert tokens[0].type == TokenType.DECLARATION
+        assert tokens[0].attributes["version"] == "1.0"
+        assert tokens[0].attributes["encoding"] == "UTF-8"
+
+    def test_processing_instruction(self):
+        tokens = tokenize('<?xml-stylesheet href="a.xsl"?><a/>')
+        assert tokens[0].type == TokenType.PROCESSING
+        assert tokens[0].value == "xml-stylesheet"
+
+    def test_comment(self):
+        tokens = tokenize("<a><!-- a comment --></a>")
+        assert tokens[1].type == TokenType.COMMENT
+        assert "a comment" in tokens[1].value
+
+    def test_cdata_section(self):
+        tokens = tokenize("<a><![CDATA[<not> & parsed]]></a>")
+        assert tokens[1].type == TokenType.CDATA
+        assert tokens[1].value == "<not> & parsed"
+
+    def test_doctype(self):
+        tokens = tokenize("<!DOCTYPE pattern SYSTEM 'pattern.dtd'><pattern/>")
+        assert tokens[0].type == TokenType.DOCTYPE
+        assert "pattern" in tokens[0].value
+
+    def test_namespaced_tag_name(self):
+        tokens = tokenize('<xsd:element name="community"/>')
+        assert tokens[0].value == "xsd:element"
+        assert tokens[0].attributes == {"name": "community"}
+
+
+class TestEntities:
+    def test_named_entities_in_text(self):
+        tokens = tokenize("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</a>")
+        assert tokens[1].value == "<tag> & \"q\" 'a'"
+
+    def test_numeric_character_references(self):
+        tokens = tokenize("<a>&#65;&#x42;</a>")
+        assert tokens[1].value == "AB"
+
+    def test_entities_in_attributes(self):
+        tokens = tokenize('<a title="Tom &amp; Jerry"/>')
+        assert tokens[0].attributes["title"] == "Tom & Jerry"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            tokenize("<a>&nbsp;</a>")
+
+    def test_bare_ampersand_rejected(self):
+        with pytest.raises(XMLParseError):
+            tokenize("<a>fish & chips</a>")
+
+
+class TestErrors:
+    def test_unterminated_comment(self):
+        with pytest.raises(XMLParseError):
+            tokenize("<a><!-- never closed</a>")
+
+    def test_double_hyphen_in_comment(self):
+        with pytest.raises(XMLParseError):
+            tokenize("<a><!-- bad -- comment --></a>")
+
+    def test_unterminated_cdata(self):
+        with pytest.raises(XMLParseError):
+            tokenize("<a><![CDATA[oops</a>")
+
+    def test_attribute_missing_equals(self):
+        with pytest.raises(XMLParseError):
+            tokenize("<a name/>")
+
+    def test_attribute_unquoted_value(self):
+        with pytest.raises(XMLParseError):
+            tokenize("<a name=value/>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XMLParseError):
+            tokenize('<a x="1" x="2"/>')
+
+    def test_angle_bracket_in_attribute(self):
+        with pytest.raises(XMLParseError):
+            tokenize('<a x="a<b"/>')
+
+    def test_malformed_end_tag(self):
+        with pytest.raises(XMLParseError):
+            tokenize("</a b>")
+
+    def test_bad_name_start(self):
+        with pytest.raises(XMLParseError):
+            tokenize("<1abc/>")
+
+    def test_error_carries_line_and_column(self):
+        # The reported position is the start of the text node containing
+        # the bad entity (line 2 here, right after <b>).
+        with pytest.raises(XMLParseError) as error:
+            tokenize("<a>\n<b>\n&bad;</b></a>")
+        assert error.value.line == 2
+        assert "bad" in str(error.value)
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("<a>\n  <b/>\n</a>")
+        b_token = [t for t in tokens if t.type == TokenType.EMPTY_TAG][0]
+        assert b_token.line == 2
+
+    def test_whitespace_only_text_tokens_exist(self):
+        types = token_types("<a>\n  <b/>\n</a>")
+        assert TokenType.TEXT in types

@@ -1,0 +1,125 @@
+"""Tests for the XPath subset."""
+
+import pytest
+
+from repro.xmlkit.errors import XPathError
+from repro.xmlkit.parser import parse
+from repro.xmlkit.xpath import XPath, xpath_find, xpath_find_all
+
+DOCUMENT = """
+<library>
+  <book year="1994" category="software">
+    <title>Design Patterns</title>
+    <author>Gamma</author>
+    <author>Helm</author>
+  </book>
+  <book year="1999" category="software">
+    <title>Refactoring</title>
+    <author>Fowler</author>
+  </book>
+  <journal year="2001">
+    <title>IEEE Internet Computing</title>
+  </journal>
+</library>
+"""
+
+
+@pytest.fixture()
+def library():
+    return parse(DOCUMENT, keep_whitespace_text=False)
+
+
+class TestLocationPaths:
+    def test_child_path(self, library):
+        titles = xpath_find_all(library, "book/title")
+        assert [t.text_content() for t in titles] == ["Design Patterns", "Refactoring"]
+
+    def test_descendant_path(self, library):
+        assert len(xpath_find_all(library, "//author")) == 3
+
+    def test_wildcard(self, library):
+        assert len(xpath_find_all(library, "*")) == 3
+
+    def test_absolute_path(self, library):
+        nodes = xpath_find_all(library.root.children[0], "/library/book")
+        assert len(nodes) == 2
+
+    def test_attribute_step(self, library):
+        years = xpath_find_all(library, "book/@year")
+        assert years == ["1994", "1999"]
+
+    def test_attribute_wildcard(self, library):
+        values = xpath_find_all(library, "journal/@*")
+        assert values == ["2001"]
+
+    def test_text_step(self, library):
+        texts = xpath_find_all(library, "book/title/text()")
+        assert texts == ["Design Patterns", "Refactoring"]
+
+    def test_self_and_parent(self, library):
+        book = library.root.children[0]
+        assert xpath_find_all(book, ".") == [book]
+        assert xpath_find_all(book.children[0], "..") == [book]
+
+    def test_union(self, library):
+        nodes = xpath_find_all(library, "book/title | journal/title")
+        assert len(nodes) == 3
+
+    def test_mixed_descendant_inside_path(self, library):
+        assert len(xpath_find_all(library, "book//author")) == 3
+
+
+class TestPredicates:
+    def test_positional(self, library):
+        node = xpath_find(library, "book[2]/title")
+        assert node.text_content() == "Refactoring"
+
+    def test_last(self, library):
+        node = xpath_find(library, "book[last()]/title")
+        assert node.text_content() == "Refactoring"
+
+    def test_attribute_equality(self, library):
+        node = xpath_find(library, "book[@year='1999']/title")
+        assert node.text_content() == "Refactoring"
+
+    def test_attribute_existence(self, library):
+        assert len(xpath_find_all(library, "*[@category]")) == 2
+
+    def test_child_value_equality(self, library):
+        node = xpath_find(library, "book[author='Fowler']/title")
+        assert node.text_content() == "Refactoring"
+
+    def test_child_existence(self, library):
+        assert len(xpath_find_all(library, "*[author]")) == 2
+
+    def test_chained_predicates(self, library):
+        nodes = xpath_find_all(library, "book[@category='software'][1]")
+        assert len(nodes) == 1
+        assert nodes[0].get("year") == "1994"
+
+
+class TestAPI:
+    def test_string_value(self, library):
+        assert XPath("book/title").string_value(library) == "Design Patterns"
+        assert XPath("book/@year").string_value(library) == "1994"
+        assert XPath("missing").string_value(library) == ""
+
+    def test_first_none_when_no_match(self, library):
+        assert xpath_find(library, "nonexistent") is None
+
+    def test_select_elements_filters_strings(self, library):
+        assert XPath("book/@year").select_elements(library) == []
+
+    def test_no_duplicates_in_union(self, library):
+        nodes = xpath_find_all(library, "book | book")
+        assert len(nodes) == 2
+
+    @pytest.mark.parametrize("expression", ["", "   ", "a[", "a[]"])
+    def test_invalid_expressions(self, expression):
+        with pytest.raises(XPathError):
+            XPath(expression)
+
+    def test_reuse_compiled_expression(self, library):
+        expression = XPath("//title")
+        assert len(expression.select(library)) == 3
+        assert len(expression.select(library)) == 3

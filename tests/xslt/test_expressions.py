@@ -1,0 +1,148 @@
+"""Tests for XPath-expression evaluation in select/test attributes."""
+
+import pytest
+
+from repro.xmlkit.parser import parse
+from repro.xslt.errors import XSLTRuntimeError
+from repro.xslt.expressions import (
+    EvalContext,
+    evaluate,
+    evaluate_boolean,
+    evaluate_string,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+DOCUMENT = parse("""
+<community>
+  <name>Design Patterns</name>
+  <keywords>software patterns gof</keywords>
+  <protocol>Gnutella</protocol>
+  <members>42</members>
+  <empty></empty>
+</community>
+""", keep_whitespace_text=False)
+
+
+@pytest.fixture()
+def context():
+    return EvalContext(node=DOCUMENT.root, position=2, size=5, variables={"who": "alice"})
+
+
+class TestPrimaries:
+    def test_string_literals(self, context):
+        assert evaluate("'hello'", context) == "hello"
+        assert evaluate('"double"', context) == "double"
+
+    def test_numbers(self, context):
+        assert evaluate("42", context) == 42.0
+        assert evaluate("-3.5", context) == -3.5
+
+    def test_location_path(self, context):
+        assert evaluate_string("name", context) == "Design Patterns"
+        assert evaluate_string("missing", context) == ""
+
+    def test_attribute_and_dot(self):
+        node = parse("<field name='title'>x</field>").root
+        context = EvalContext(node=node)
+        assert evaluate_string("@name", context) == "title"
+        assert evaluate_string(".", context) == "x"
+
+    def test_variables(self, context):
+        assert evaluate_string("$who", context) == "alice"
+
+    def test_undefined_variable_raises(self, context):
+        with pytest.raises(XSLTRuntimeError):
+            evaluate("$nobody", context)
+
+
+class TestFunctions:
+    def test_concat(self, context):
+        assert evaluate_string("concat('a', 'b', name)", context) == "abDesign Patterns"
+
+    def test_name_and_local_name(self, context):
+        assert evaluate_string("name()", context) == "community"
+        assert evaluate_string("local-name()", context) == "community"
+        assert evaluate_string("name(name)", context) == "name"
+
+    def test_position_and_last(self, context):
+        assert evaluate("position()", context) == 2.0
+        assert evaluate("last()", context) == 5.0
+
+    def test_count(self, context):
+        assert evaluate("count(*)", context) == 5.0
+        assert evaluate("count(missing)", context) == 0.0
+
+    def test_string_length(self, context):
+        assert evaluate("string-length('abc')", context) == 3.0
+
+    def test_normalize_space(self, context):
+        assert evaluate_string("normalize-space('  a   b ')", context) == "a b"
+
+    def test_not(self, context):
+        assert evaluate("not(missing)", context) is True
+        assert evaluate("not(name)", context) is False
+
+    def test_true_false(self, context):
+        assert evaluate("true()", context) is True
+        assert evaluate("false()", context) is False
+
+    def test_contains_and_starts_with(self, context):
+        assert evaluate("contains(keywords, 'patterns')", context) is True
+        assert evaluate("contains(keywords, 'music')", context) is False
+        assert evaluate("starts-with(protocol, 'Gnu')", context) is True
+
+    def test_substring(self, context):
+        assert evaluate_string("substring('abcdef', 2, 3)", context) == "bcd"
+        assert evaluate_string("substring('abcdef', 4)", context) == "def"
+
+    def test_translate(self, context):
+        assert evaluate_string("translate('abc', 'abc', 'xyz')", context) == "xyz"
+        assert evaluate_string("translate('abc', 'b', '')", context) == "ac"
+
+    def test_unknown_function_raises(self, context):
+        with pytest.raises(XSLTRuntimeError):
+            evaluate("generate-id()", context)
+
+
+class TestComparisonsAndLogic:
+    def test_equality_with_node_set(self, context):
+        assert evaluate_boolean("protocol = 'Gnutella'", context)
+        assert not evaluate_boolean("protocol = 'Napster'", context)
+        assert evaluate_boolean("protocol != 'Napster'", context)
+
+    def test_numeric_comparisons(self, context):
+        assert evaluate_boolean("members > 10", context)
+        assert evaluate_boolean("members >= 42", context)
+        assert not evaluate_boolean("members < 42", context)
+        assert evaluate_boolean("count(*) <= 5", context)
+
+    def test_boolean_connectives(self, context):
+        assert evaluate_boolean("protocol = 'Gnutella' and members > 10", context)
+        assert evaluate_boolean("protocol = 'Napster' or members > 10", context)
+        assert not evaluate_boolean("protocol = 'Napster' and members > 10", context)
+
+    def test_existence_tests(self, context):
+        assert evaluate_boolean("name", context)
+        assert not evaluate_boolean("missing", context)
+        assert evaluate_boolean("empty", context)  # element exists even if empty
+
+
+class TestCoercions:
+    def test_to_string(self):
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+        assert to_string(3.0) == "3"
+        assert to_string(3.5) == "3.5"
+        assert to_string([]) == ""
+
+    def test_to_boolean(self):
+        assert to_boolean("x") and not to_boolean("")
+        assert to_boolean(1.0) and not to_boolean(0.0)
+        assert to_boolean(["node"]) and not to_boolean([])
+
+    def test_to_number(self):
+        assert to_number("42") == 42.0
+        assert to_number(True) == 1.0
+        assert to_number("abc") != to_number("abc")  # NaN

@@ -1,0 +1,102 @@
+"""Tests for XSLT match-pattern evaluation."""
+
+import pytest
+
+from repro.xmlkit.parser import parse
+from repro.xslt.patterns import pattern_matches
+
+DOCUMENT = parse("""
+<pattern category="behavioral">
+  <name>Observer</name>
+  <solution>
+    <structure>subject and observers</structure>
+    <participants>Subject</participants>
+    <participants>Observer</participants>
+  </solution>
+</pattern>
+""", keep_whitespace_text=False)
+
+ROOT = DOCUMENT.root
+NAME = ROOT.find("name")
+SOLUTION = ROOT.find("solution")
+STRUCTURE = SOLUTION.find("structure")
+FIRST_PARTICIPANT = SOLUTION.find_all("participants")[0]
+SECOND_PARTICIPANT = SOLUTION.find_all("participants")[1]
+
+
+class TestNamePatterns:
+    def test_element_name(self):
+        assert pattern_matches("name", NAME)
+        assert not pattern_matches("name", STRUCTURE)
+
+    def test_wildcard(self):
+        assert pattern_matches("*", NAME)
+        assert pattern_matches("*", ROOT)
+
+    def test_node(self):
+        assert pattern_matches("node()", NAME)
+
+    def test_text_pattern_matches_strings(self):
+        assert pattern_matches("text()", "some text")
+        assert pattern_matches("node()", "some text")
+        assert not pattern_matches("name", "some text")
+
+    def test_root_pattern(self):
+        assert pattern_matches("/", ROOT, is_root=True)
+        assert not pattern_matches("/", ROOT)
+        assert not pattern_matches("name", NAME, is_root=True)
+
+
+class TestPathPatterns:
+    def test_parent_path(self):
+        assert pattern_matches("solution/structure", STRUCTURE)
+        assert not pattern_matches("pattern/structure", STRUCTURE)
+
+    def test_longer_path(self):
+        assert pattern_matches("pattern/solution/structure", STRUCTURE)
+
+    def test_ancestor_path(self):
+        assert pattern_matches("pattern//structure", STRUCTURE)
+        assert pattern_matches("pattern//participants", FIRST_PARTICIPANT)
+        assert not pattern_matches("solution//name", NAME)
+
+    def test_absolute_single_step(self):
+        assert pattern_matches("/pattern", ROOT)
+        assert not pattern_matches("/name", NAME)
+
+    def test_alternatives(self):
+        assert pattern_matches("name | structure", NAME)
+        assert pattern_matches("name | structure", STRUCTURE)
+        assert not pattern_matches("name | structure", SOLUTION)
+
+
+class TestPredicates:
+    def test_attribute_predicate(self):
+        assert pattern_matches("pattern[@category='behavioral']", ROOT)
+        assert not pattern_matches("pattern[@category='creational']", ROOT)
+
+    def test_attribute_existence(self):
+        assert pattern_matches("pattern[@category]", ROOT)
+        assert not pattern_matches("name[@category]", NAME)
+
+    def test_positional_predicate(self):
+        assert pattern_matches("participants[1]", FIRST_PARTICIPANT)
+        assert not pattern_matches("participants[1]", SECOND_PARTICIPANT)
+        assert pattern_matches("participants[2]", SECOND_PARTICIPANT)
+
+    def test_child_value_predicate(self):
+        assert pattern_matches("pattern[name='Observer']", ROOT)
+        assert not pattern_matches("pattern[name='Visitor']", ROOT)
+
+    def test_predicate_on_path(self):
+        assert pattern_matches("solution/participants[2]", SECOND_PARTICIPANT)
+
+
+class TestEdgeCases:
+    def test_empty_pattern_never_matches(self):
+        assert not pattern_matches("", NAME)
+        assert not pattern_matches("   ", NAME)
+
+    @pytest.mark.parametrize("pattern", ["name", "pattern/name", "pattern//name"])
+    def test_patterns_do_not_match_root_marker(self, pattern):
+        assert not pattern_matches(pattern, ROOT, is_root=True)
