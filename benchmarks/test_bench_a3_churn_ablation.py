@@ -74,6 +74,35 @@ def run_under_churn(factory, session_ms: float) -> dict[str, float]:
     }
 
 
+def test_bench_a3_churn_strikes_inflight_queries(benchmark):
+    """Churn events interleave with eight concurrent in-flight queries
+    on the shared event queue; every query still quiesces, and the
+    whole run is deterministic for the fixed seed."""
+    from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+    def run_once():
+        scenario = build_scenario(ScenarioConfig(
+            protocol="gnutella", community="mp3", peers=PEERS, members=12,
+            publishers=8, corpus_size=OBJECTS, queries=24, ttl=7, seed=51,
+            concurrency=8, query_interarrival_ms=15.0,
+            churn_session_ms=SESSIONS_MS[1], churn_absence_ms=ABSENCE_MS))
+        counts = scenario.run_queries(max_results=100)
+        stats = scenario.network.stats
+        departures = sum(1 for event in scenario.churn.events if not event.online)
+        return counts, stats.total_messages, stats.total_bytes, departures
+
+    first = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    second = run_once()
+    assert first == second
+    counts, messages, _, departures = first
+    assert len(counts) == 24
+    assert messages > 0
+    # Churn genuinely struck during the query phase, not around it.
+    assert departures > 0
+    answered = sum(1 for count in counts if count > 0)
+    assert answered >= 12
+
+
 @pytest.fixture(scope="module")
 def churn_grid():
     grid = {}

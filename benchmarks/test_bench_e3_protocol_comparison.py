@@ -52,6 +52,55 @@ def test_bench_e3_protocol_query_phase(benchmark, protocol):
     assert len(counts) == 10
 
 
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_bench_e3_concurrent_query_load(benchmark, protocol):
+    """The same workload with eight queries in flight at once on the
+    event kernel: later queries launch while earlier floods are still
+    travelling, so elapsed virtual time undercuts the latency sum."""
+    scenario = build_scenario(ScenarioConfig(
+        protocol=protocol, concurrency=8, query_interarrival_ms=20.0,
+        **{**BASE, "queries": 16}))
+
+    def concurrent_phase():
+        return scenario.run_queries(max_results=200)
+
+    counts = benchmark.pedantic(concurrent_phase, rounds=1, iterations=1)
+    assert len(counts) == 16
+    stats = scenario.network.stats
+    assert len(stats.queries) == 16
+
+
+def test_bench_e3_concurrent_load_is_deterministic(benchmark):
+    """Two identical concurrent runs produce identical message and byte
+    counts — the repeatability the event kernel guarantees."""
+
+    def run_once():
+        scenario = build_scenario(ScenarioConfig(
+            protocol="super-peer", concurrency=8, query_interarrival_ms=20.0,
+            **{**BASE, "queries": 16}))
+        counts = scenario.run_queries(max_results=200)
+        stats = scenario.network.stats
+        return counts, stats.total_messages, stats.total_bytes
+
+    first = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    second = run_once()
+    assert first == second
+
+
+def test_bench_e3_warm_vs_cold_index(benchmark):
+    """A cold-index query phase answers the same workload identically;
+    the rebuild only restates what publishing had already indexed."""
+    warm = build_scenario(ScenarioConfig(protocol="centralized", **BASE))
+    cold = build_scenario(ScenarioConfig(protocol="centralized", cold_index=True, **BASE))
+
+    def cold_phase():
+        return cold.run_queries(max_results=200)
+
+    cold_counts = benchmark.pedantic(cold_phase, rounds=1, iterations=1)
+    warm_counts = warm.run_queries(max_results=200)
+    assert cold_counts == warm_counts
+
+
 def test_bench_e3_report(benchmark, results, report):
     benchmark.pedantic(lambda: dict(results), rounds=1, iterations=1)
     rows = [[protocol,

@@ -1,0 +1,16 @@
+"""The discrete-event simulation engine underneath the protocol adapters.
+
+The engine turns each protocol's ``search`` from a synchronous graph
+walk into message traffic over a shared event queue: messages are
+scheduled for delivery after the simulated link latency, per-peer
+handlers react to arriving messages by producing more messages, and a
+query completes when none of its messages remain in flight.  This is
+what lets many queries overlap in virtual time and lets churn strike a
+query mid-flight.
+"""
+
+from repro.engine.kernel import EventKernel, QueryContext
+from repro.engine.driver import QueryDriver
+from repro.engine.local import local_matches
+
+__all__ = ["EventKernel", "QueryContext", "QueryDriver", "local_matches"]

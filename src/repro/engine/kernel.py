@@ -1,0 +1,168 @@
+"""The event kernel: scheduled message delivery plus per-query state.
+
+The kernel sits between the protocol adapters and the
+:class:`~repro.network.simulator.NetworkSimulator`.  A protocol sends a
+:class:`~repro.network.messages.Message` through :meth:`EventKernel.send`;
+the kernel accounts it, schedules its delivery one link latency later,
+and, at delivery time, dispatches it to the handler the protocol
+registered for that message type.  Handlers typically send further
+messages (forwarding a flood, relaying between super-peers, returning a
+query hit), so a whole search unfolds as a cascade of events
+interleaved — on the same clock — with churn events and with the events
+of every other in-flight query.
+
+Completion detection is reference counting: each query carries a
+:class:`QueryContext` whose ``pending`` counter is incremented per send
+and decremented per processed delivery.  Because handlers send any
+follow-up messages *during* their own delivery, ``pending`` can only
+reach zero when no message of the query remains in flight, at which
+point the context is marked done and stamped with the completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.network.messages import Message, MessageType
+from repro.network.simulator import NetworkSimulator
+from repro.network.stats import NetworkStats
+from repro.storage.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.base import SearchResult
+    from repro.network.peers import Peer
+
+#: handler(peer, message, context) — ``peer`` is the recipient (``None``
+#: for virtual nodes such as the centralized index server).
+Handler = Callable[[Optional["Peer"], Message, Optional["QueryContext"]], None]
+
+
+@dataclass
+class QueryContext:
+    """Everything one in-flight query accumulates while its messages fly."""
+
+    query: Query
+    origin_id: str
+    max_results: int = 100
+    started_at: float = 0.0
+    results: list["SearchResult"] = field(default_factory=list)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    peers_probed: int = 0
+    first_hit_hops: Optional[int] = None
+    visited: set[str] = field(default_factory=set)
+    extra: dict = field(default_factory=dict)
+    pending: int = 0
+    done: bool = False
+    finalized: bool = False
+    completed_at: float = 0.0
+
+    @property
+    def latency_ms(self) -> float:
+        """Virtual time between submission and the last delivery."""
+        return max(0.0, self.completed_at - self.started_at)
+
+    def room(self) -> int:
+        """How many more results fit under ``max_results``."""
+        return self.max_results - len(self.results)
+
+    def add_result(self, result: "SearchResult") -> None:
+        self.results.append(result)
+        if self.first_hit_hops is None or result.hops < self.first_hit_hops:
+            self.first_hit_hops = result.hops
+
+
+class EventKernel:
+    """Message scheduling, dispatch and per-query accounting."""
+
+    def __init__(self, *, simulator: NetworkSimulator, peers: dict[str, "Peer"],
+                 stats: NetworkStats) -> None:
+        self.simulator = simulator
+        self.peers = peers
+        self.stats = stats
+        self._handlers: dict[MessageType, Handler] = {}
+        #: always-on endpoints that are not peers (e.g. the index server)
+        self.virtual_nodes: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register(self, message_type: MessageType, handler: Handler) -> None:
+        """Install the handler invoked when a ``message_type`` arrives."""
+        self._handlers[message_type] = handler
+
+    def add_virtual_node(self, node_id: str) -> None:
+        """Declare an always-online endpoint (it has no :class:`Peer`)."""
+        self.virtual_nodes.add(node_id)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message, *, context: Optional[QueryContext] = None,
+             copies: int = 1, latency_ms: Optional[float] = None) -> None:
+        """Account ``message`` and schedule its delivery.
+
+        ``copies`` charges the message that many times (a query hit
+        travelling N hops back along the reverse path costs N messages)
+        while still scheduling a single delivery event.  ``latency_ms``
+        overrides the link latency — reverse-path replies pass the
+        accumulated forward-path latency here so the round trip costs
+        the same virtual time in both directions.
+        """
+        for _ in range(copies):
+            self.stats.record_message(message)
+        if context is not None:
+            context.messages_sent += copies
+            context.bytes_sent += copies * message.size_bytes
+            context.pending += 1
+        delay = latency_ms if latency_ms is not None else self.simulator.link_latency(
+            message.sender, message.recipient)
+        self.simulator.schedule(delay, lambda: self._deliver(message, context))
+
+    def finish_if_idle(self, context: QueryContext) -> None:
+        """Complete a query that sent no messages (purely local answer)."""
+        if context.pending == 0 and not context.done:
+            self._complete(context)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, message: Message, context: Optional[QueryContext]) -> None:
+        try:
+            peer = self.peers.get(message.recipient)
+            reachable = message.recipient in self.virtual_nodes or (
+                peer is not None and peer.online)
+            if reachable:
+                handler = self._handlers.get(message.type)
+                if handler is not None:
+                    handler(peer, message, context)
+        finally:
+            if context is not None:
+                context.pending -= 1
+                if context.pending <= 0 and not context.done:
+                    self._complete(context)
+
+    def _complete(self, context: QueryContext) -> None:
+        context.done = True
+        context.completed_at = self.simulator.now
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_until_complete(self, contexts: list[QueryContext], *,
+                           max_events: int = 5_000_000) -> int:
+        """Process events until every context is done.
+
+        Other events on the shared queue (churn, other queries) are
+        processed as they come up — that interleaving is the point.
+        Events scheduled after the last context completes stay queued.
+        """
+        processed = 0
+        while any(not context.done for context in contexts):
+            if not self.simulator.step():
+                break
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(f"kernel exceeded {max_events} events without quiescing")
+        return processed

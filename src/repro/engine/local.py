@@ -1,0 +1,29 @@
+"""Local query evaluation: the one call site the protocol handlers use.
+
+Every handler that answers a query from a peer's repository goes
+through :func:`local_matches`, which delegates to
+:meth:`~repro.storage.repository.LocalRepository.search` — already a
+candidate-set intersection over the peer's
+:class:`~repro.storage.index.AttributeIndex` for constrained queries
+(empty queries browse the community's document listing).  Centralising
+the call keeps the four protocol handler sets on one evaluation path,
+so a change to local matching semantics lands in every protocol at
+once and can be costed uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage.document_store import StoredObject
+from repro.storage.query import Query
+from repro.storage.repository import LocalRepository
+
+
+def local_matches(repository: LocalRepository, query: Query,
+                  *, limit: Optional[int] = None) -> list[StoredObject]:
+    """Objects in ``repository`` matching ``query``, in resource-id order."""
+    matched = repository.search(query)
+    if limit is not None:
+        return matched[:limit]
+    return matched

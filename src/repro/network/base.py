@@ -10,15 +10,17 @@ experiments test.
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.network.errors import PeerOfflineError, UnknownPeerError
+from repro.engine.kernel import EventKernel, QueryContext
+from repro.network.errors import DuplicatePeerError, PeerOfflineError, UnknownPeerError
 from repro.network.messages import Message, download_request, download_response
 from repro.network.peers import Peer
 from repro.network.simulator import NetworkSimulator
-from repro.network.stats import NetworkStats
+from repro.network.stats import NetworkStats, QueryRecord
 from repro.storage.document_store import StoredObject
 from repro.storage.query import Query
 
@@ -107,6 +109,9 @@ class PeerNetwork(ABC):
         self.simulator = simulator or NetworkSimulator(seed=seed)
         self.stats = stats or NetworkStats()
         self.peers: dict[str, Peer] = {}
+        self.kernel = EventKernel(simulator=self.simulator, peers=self.peers, stats=self.stats)
+        self._query_sequence = itertools.count(1)
+        self._register_handlers(self.kernel)
 
     # ------------------------------------------------------------------
     # Membership
@@ -114,7 +119,7 @@ class PeerNetwork(ABC):
     def add_peer(self, peer: Peer) -> Peer:
         """Add ``peer`` to the network and wire it into the overlay."""
         if peer.peer_id in self.peers:
-            raise UnknownPeerError(f"peer id {peer.peer_id!r} is already in the network")
+            raise DuplicatePeerError(f"peer id {peer.peer_id!r} is already in the network")
         self.peers[peer.peer_id] = peer
         self._on_peer_added(peer)
         return peer
@@ -163,8 +168,77 @@ class PeerNetwork(ABC):
         """Announce a locally stored object to the network."""
 
     @abstractmethod
-    def search(self, origin_id: str, query: Query, *, max_results: int = 100) -> SearchResponse:
-        """Search the network on behalf of ``origin_id``."""
+    def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
+                     **kwargs) -> QueryContext:
+        """Inject a query into the event kernel and return its context.
+
+        Implementations validate the origin (raising synchronously for
+        unknown or offline peers), answer from the origin's local index,
+        and send the protocol's opening messages.  The returned context
+        completes once no message of the query remains in flight.
+        """
+
+    def search(self, origin_id: str, query: Query, *, max_results: int = 100,
+               **kwargs) -> SearchResponse:
+        """Search the network on behalf of ``origin_id``.
+
+        This is the synchronous convenience wrapper: it submits the
+        query, drains the event queue until the query quiesces (other
+        pending events — churn, maintenance — run as their times come
+        up), and returns the finished response.  Batched concurrent
+        submission goes through :class:`~repro.engine.driver.QueryDriver`.
+        """
+        context = self.start_search(origin_id, query, max_results=max_results, **kwargs)
+        self.kernel.run_until_complete([context])
+        return self.finish_search(context)
+
+    def finish_search(self, context: QueryContext) -> SearchResponse:
+        """Turn a completed context into a response and record its cost."""
+        response = SearchResponse(
+            query=context.query,
+            results=list(context.results),
+            messages_sent=context.messages_sent,
+            bytes_sent=context.bytes_sent,
+            peers_probed=context.peers_probed,
+            latency_ms=context.latency_ms,
+        )
+        if not context.finalized:
+            context.finalized = True
+            self.stats.record_query(QueryRecord(
+                query_id=context.extra.get("query_id")
+                or f"{self.protocol_name}-{len(self.stats.queries) + 1}",
+                origin=context.origin_id,
+                community_id=context.query.community_id,
+                results=len(context.results),
+                messages=context.messages_sent,
+                bytes=context.bytes_sent,
+                peers_probed=context.peers_probed,
+                latency_ms=context.latency_ms,
+                hops_to_first_result=context.first_hit_hops,
+            ))
+        return response
+
+    def next_query_number(self) -> int:
+        """A per-network monotonic number for fallback query ids.
+
+        Unlike ``len(self.stats.queries)``, this stays unique while a
+        concurrent batch is in flight (records are only appended at
+        finish time, submissions happen earlier).
+        """
+        return next(self._query_sequence)
+
+    def new_context(self, origin_id: str, query: Query, *, max_results: int,
+                    query_id: str = "") -> QueryContext:
+        """A fresh context stamped with the current virtual time."""
+        context = QueryContext(
+            query=query,
+            origin_id=origin_id,
+            max_results=max_results,
+            started_at=self.simulator.now,
+        )
+        if query_id:
+            context.extra["query_id"] = query_id
+        return context
 
     def retrieve(self, requester_id: str, provider_id: str, resource_id: str,
                  *, bandwidth_kbps: float = 512.0) -> RetrieveResult:
@@ -218,6 +292,9 @@ class PeerNetwork(ABC):
     # ------------------------------------------------------------------
     # Hooks for subclasses
     # ------------------------------------------------------------------
+    def _register_handlers(self, kernel: EventKernel) -> None:
+        """Subclass hook: register this protocol's message handlers."""
+
     def _on_peer_added(self, peer: Peer) -> None:
         """Subclass hook: wire a new peer into the overlay."""
 

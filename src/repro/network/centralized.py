@@ -7,6 +7,12 @@ object transfer still happens directly between peers.  This is the
 organisation the U-P2P prototype effectively had (a central Magenta
 database), and it is the baseline of the protocol-comparison
 experiment.
+
+On the event kernel the server is a *virtual node*: it owns no
+repository, is always reachable, and its QUERY handler answers from the
+central catalog/attribute index before scheduling the QUERY-HIT back —
+so a query costs exactly two messages and one round trip, delivered on
+the shared clock alongside every other in-flight query.
 """
 
 from __future__ import annotations
@@ -14,17 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.network.base import PeerNetwork, SearchResponse, SearchResult
+from repro.engine.kernel import EventKernel, QueryContext
+from repro.network.base import PeerNetwork, SearchResult
 from repro.network.messages import (
     Message,
     MessageType,
-    next_message_id,
     query_hit_message,
     query_message,
     register_message,
 )
 from repro.network.peers import Peer
-from repro.network.stats import QueryRecord
 from repro.storage.index import AttributeIndex
 from repro.storage.query import Query
 
@@ -82,58 +87,62 @@ class CentralizedProtocol(PeerNetwork):
             del self._catalog[resource_id]
 
     # ------------------------------------------------------------------
-    def search(self, origin_id: str, query: Query, *, max_results: int = 100) -> SearchResponse:
+    def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
+                     **kwargs) -> QueryContext:
         self._require_peer(origin_id)
-        response = SearchResponse(query=query)
-        query_xml = query.to_xml_text()
-        request = query_message(origin_id, INDEX_SERVER_ID, query_xml,
+        request = query_message(origin_id, INDEX_SERVER_ID, query.to_xml_text(),
                                 community_id=query.community_id)
-        self._account(request)
-        response.messages_sent += 1
-        response.bytes_sent += request.size_bytes
-        response.peers_probed = 1
+        context = self.new_context(origin_id, query, max_results=max_results,
+                                   query_id=request.message_id)
+        context.peers_probed = 1
+        self.kernel.send(request, context=context)
+        return context
 
-        matched_ids = self._matching_ids(query)
-        results: list[SearchResult] = []
-        for resource_id in sorted(matched_ids):
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def _register_handlers(self, kernel: EventKernel) -> None:
+        kernel.add_virtual_node(INDEX_SERVER_ID)
+        kernel.register(MessageType.QUERY, self._on_query)
+        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
+
+    def _on_query(self, peer: Optional[Peer], message: Message,
+                  context: Optional[QueryContext]) -> None:
+        """The server answers from the catalog, filtering offline providers
+        *at delivery time* — churn between submission and arrival counts."""
+        if context is None or message.recipient != INDEX_SERVER_ID:
+            return
+        metadata_bytes = 0
+        result_count = 0
+        for resource_id in sorted(self._matching_ids(context.query)):
             entry = self._catalog[resource_id]
             for provider_id in sorted(entry.providers):
                 provider = self.peers.get(provider_id)
                 if provider is None or not provider.online:
                     continue
-                results.append(SearchResult(
+                result = SearchResult(
                     provider_id=provider_id,
                     resource_id=resource_id,
                     community_id=entry.community_id,
                     title=entry.title,
                     metadata={path: tuple(values) for path, values in entry.metadata.items()},
                     hops=1,
-                ))
-                if len(results) >= max_results:
+                )
+                context.add_result(result)
+                metadata_bytes += result.metadata_bytes()
+                result_count += 1
+                if context.room() <= 0:
                     break
-            if len(results) >= max_results:
+            if context.room() <= 0:
                 break
-        metadata_bytes = sum(result.metadata_bytes() for result in results)
-        hit = query_hit_message(INDEX_SERVER_ID, origin_id, result_count=len(results),
-                                metadata_bytes=metadata_bytes, message_id=request.message_id)
-        self._account(hit)
-        response.messages_sent += 1
-        response.bytes_sent += hit.size_bytes
-        response.results = results
-        response.latency_ms = 2 * self.simulator.link_latency(origin_id, INDEX_SERVER_ID)
-        self.simulator.advance(response.latency_ms)
-        self.stats.record_query(QueryRecord(
-            query_id=request.message_id,
-            origin=origin_id,
-            community_id=query.community_id,
-            results=len(results),
-            messages=response.messages_sent,
-            bytes=response.bytes_sent,
-            peers_probed=1,
-            latency_ms=response.latency_ms,
-            hops_to_first_result=1 if results else None,
-        ))
-        return response
+        hit = query_hit_message(INDEX_SERVER_ID, context.origin_id, result_count=result_count,
+                                metadata_bytes=metadata_bytes, message_id=message.message_id)
+        self.kernel.send(hit, context=context,
+                         latency_ms=self.simulator.now - context.started_at)
+
+    def _on_query_hit(self, peer: Optional[Peer], message: Message,
+                      context: Optional[QueryContext]) -> None:
+        """Results were attached at the server; arrival closes the query."""
 
     # ------------------------------------------------------------------
     def _matching_ids(self, query: Query) -> set[str]:

@@ -11,6 +11,10 @@ class UnknownPeerError(NetworkError):
     """Raised when a peer id is not part of the network."""
 
 
+class DuplicatePeerError(NetworkError):
+    """Raised when a peer id is added to a network that already has it."""
+
+
 class PeerOfflineError(NetworkError):
     """Raised when an operation targets a peer that has left the network."""
 

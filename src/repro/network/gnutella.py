@@ -2,11 +2,21 @@
 
 Queries are flooded along the overlay with a TTL and duplicate
 suppression; every peer evaluates the query against its own local
-repository and routes hits back along the reverse path, exactly the
+index and routes hits back along the reverse path, exactly the
 Gnutella 0.4 behaviour the paper refers to.  Publishing costs no
 messages (objects stay local until somebody downloads them), which is
 the trade-off against the centralized organisation that experiment E3
 quantifies.
+
+The flood is executed on the event kernel: the origin hands one QUERY
+message per neighbour to the kernel; each delivery at a not-yet-visited
+peer evaluates the query locally (attribute-index intersection),
+schedules a QUERY-HIT back along the reverse path, and re-floods to its
+own neighbours with the TTL decremented.  Deliveries at peers that
+already saw the query — or that churned offline while the message was
+in flight — are dropped, which is how duplicate suppression and
+mid-query churn fall out of the message model instead of being special
+cases of a graph walk.
 """
 
 from __future__ import annotations
@@ -14,10 +24,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from repro.network.base import PeerNetwork, SearchResponse, SearchResult
-from repro.network.messages import query_hit_message, query_message
+from repro.engine.kernel import EventKernel, QueryContext
+from repro.engine.local import local_matches
+from repro.network.base import PeerNetwork, SearchResult
+from repro.network.messages import Message, MessageType, query_hit_message, query_message
 from repro.network.peers import Peer
-from repro.network.stats import QueryRecord
 from repro.network.topology import Topology, build_topology
 from repro.storage.query import Query
 
@@ -75,96 +86,79 @@ class GnutellaProtocol(PeerNetwork):
         peer's repository waiting for queries to reach it."""
         self._require_peer(peer_id)
 
-    def search(self, origin_id: str, query: Query, *, max_results: int = 100,
-               ttl: Optional[int] = None) -> SearchResponse:
+    def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
+                     ttl: Optional[int] = None, **kwargs) -> QueryContext:
         origin = self._require_peer(origin_id)
         ttl = ttl if ttl is not None else self.default_ttl
-        response = SearchResponse(query=query)
-        query_xml = query.to_xml_text()
+        context = self.new_context(
+            origin_id, query, max_results=max_results,
+            query_id=query.query_id or f"flood-{self.next_query_number()}",
+        )
+        context.visited.add(origin_id)
+        context.extra["query_xml"] = query.to_xml_text()
 
-        # Breadth-first flood with duplicate suppression.  arrival[peer]
-        # is the virtual time the query reached that peer; hops[peer] the
-        # hop count, used for latency and horizon accounting.
-        visited: set[str] = {origin_id}
-        arrival: dict[str, float] = {origin_id: 0.0}
-        hops: dict[str, int] = {origin_id: 0}
-        queue: deque[tuple[str, int]] = deque([(origin_id, ttl)])
-        results: list[SearchResult] = []
-        first_hit_hops: Optional[int] = None
-        completion_time = 0.0
+        # The origin searches its own index first (no messages).
+        for stored in local_matches(origin.repository, query, limit=max_results):
+            context.add_result(SearchResult.from_stored(origin_id, stored, hops=0))
 
-        # The origin searches its own repository first (no messages).
-        local_hits = origin.repository.search(query)
-        for stored in local_hits[:max_results]:
-            results.append(SearchResult.from_stored(origin_id, stored, hops=0))
-            first_hit_hops = 0
+        if ttl > 0:
+            self._flood_from(origin, ttl=ttl, hops=1, context=context)
+        self.kernel.finish_if_idle(context)
+        return context
 
-        while queue:
-            current_id, remaining_ttl = queue.popleft()
-            if remaining_ttl <= 0:
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def _register_handlers(self, kernel: EventKernel) -> None:
+        kernel.register(MessageType.QUERY, self._on_query)
+        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
+
+    def _on_query(self, peer: Optional[Peer], message: Message,
+                  context: Optional[QueryContext]) -> None:
+        """One QUERY copy arrived at ``peer``: accept, answer, re-flood."""
+        if peer is None or context is None:
+            return
+        if peer.peer_id in context.visited:
+            return  # duplicate suppression: a faster copy got here first
+        context.visited.add(peer.peer_id)
+        context.peers_probed += 1
+        hops = message.hops
+
+        hits = local_matches(peer.repository, context.query)
+        if hits and context.room() > 0:
+            taken = hits[: context.room()]
+            metadata_bytes = 0
+            for stored in taken:
+                result = SearchResult.from_stored(peer.peer_id, stored, hops=hops)
+                context.add_result(result)
+                metadata_bytes += result.metadata_bytes()
+            # The query hit travels back along the reverse path: one
+            # message per hop, arriving after the same latency the query
+            # spent getting here.
+            hit = query_hit_message(peer.peer_id, context.origin_id, result_count=len(taken),
+                                    metadata_bytes=metadata_bytes,
+                                    message_id=message.message_id)
+            self.kernel.send(hit, context=context, copies=max(1, hops),
+                             latency_ms=self.simulator.now - context.started_at)
+
+        remaining = message.ttl - 1
+        if remaining > 0:
+            self._flood_from(peer, ttl=remaining, hops=hops + 1, context=context)
+
+    def _on_query_hit(self, peer: Optional[Peer], message: Message,
+                      context: Optional[QueryContext]) -> None:
+        """Hits were appended when generated; arrival only marks timing."""
+
+    def _flood_from(self, peer: Peer, *, ttl: int, hops: int, context: QueryContext) -> None:
+        """Send one QUERY copy to every online neighbour of ``peer``."""
+        for neighbor_id in sorted(peer.neighbors):
+            neighbor = self.peers.get(neighbor_id)
+            if neighbor is None or not neighbor.online:
                 continue
-            current = self.peers.get(current_id)
-            if current is None or not current.online:
-                continue
-            for neighbor_id in sorted(current.neighbors):
-                neighbor = self.peers.get(neighbor_id)
-                if neighbor is None or not neighbor.online:
-                    continue
-                message = query_message(current_id, neighbor_id, query_xml,
-                                        ttl=remaining_ttl, community_id=query.community_id)
-                message.hops = hops[current_id] + 1
-                self._account(message)
-                response.messages_sent += 1
-                response.bytes_sent += message.size_bytes
-                if neighbor_id in visited:
-                    continue
-                visited.add(neighbor_id)
-                hops[neighbor_id] = hops[current_id] + 1
-                arrival[neighbor_id] = (
-                    arrival[current_id] + self.simulator.link_latency(current_id, neighbor_id)
-                )
-                queue.append((neighbor_id, remaining_ttl - 1))
-
-                hits = neighbor.repository.search(query)
-                if hits and len(results) < max_results:
-                    taken = hits[: max_results - len(results)]
-                    metadata_bytes = 0
-                    for stored in taken:
-                        result = SearchResult.from_stored(neighbor_id, stored, hops=hops[neighbor_id])
-                        results.append(result)
-                        metadata_bytes += result.metadata_bytes()
-                    if first_hit_hops is None or hops[neighbor_id] < first_hit_hops:
-                        first_hit_hops = hops[neighbor_id]
-                    # The query hit travels back along the reverse path:
-                    # one message per hop.
-                    hit = query_hit_message(neighbor_id, origin_id, result_count=len(taken),
-                                            metadata_bytes=metadata_bytes,
-                                            message_id=message.message_id)
-                    for _ in range(hops[neighbor_id]):
-                        self._account(hit)
-                        response.messages_sent += 1
-                        response.bytes_sent += hit.size_bytes
-                    completion_time = max(completion_time, 2 * arrival[neighbor_id])
-
-        if not results:
-            # Even with no hits the flood takes as long as its deepest probe.
-            completion_time = max(arrival.values(), default=0.0)
-        response.results = results
-        response.peers_probed = len(visited) - 1
-        response.latency_ms = completion_time
-        self.simulator.advance(completion_time)
-        self.stats.record_query(QueryRecord(
-            query_id=query.query_id or f"flood-{len(self.stats.queries) + 1}",
-            origin=origin_id,
-            community_id=query.community_id,
-            results=len(results),
-            messages=response.messages_sent,
-            bytes=response.bytes_sent,
-            peers_probed=response.peers_probed,
-            latency_ms=response.latency_ms,
-            hops_to_first_result=first_hit_hops,
-        ))
-        return response
+            message = query_message(peer.peer_id, neighbor_id, context.extra["query_xml"],
+                                    ttl=ttl, community_id=context.query.community_id)
+            message.hops = hops
+            self.kernel.send(message, context=context)
 
     # ------------------------------------------------------------------
     def reachable_peers(self, origin_id: str, ttl: Optional[int] = None) -> int:

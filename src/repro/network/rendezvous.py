@@ -15,6 +15,14 @@ below models the parts that matter for U-P2P:
   the rendezvous ring (JXTA's rendezvous propagation), stopping early
   once enough results are found.
 
+On the event kernel the walk is a chain of QUERY deliveries: each
+rendezvous peer answers from its advertisement index when its copy
+arrives, then relays a single copy to the next ring position — unless
+enough results have accumulated or the walk budget is spent.  A
+rendezvous peer that churns offline mid-walk drops the chain, ending
+the walk early, which is exactly the fragility the lease/renewal model
+is there to paper over.
+
 Compared with :class:`~repro.network.superpeer.SuperPeerProtocol` the
 interesting differences are the lease/expiry behaviour and the bounded
 walk instead of a full broadcast.
@@ -25,10 +33,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.network.base import PeerNetwork, SearchResponse, SearchResult
-from repro.network.messages import query_hit_message, query_message, register_message
+from repro.engine.kernel import EventKernel, QueryContext
+from repro.engine.local import local_matches
+from repro.network.base import PeerNetwork, SearchResult
+from repro.network.messages import (
+    Message,
+    MessageType,
+    query_hit_message,
+    query_message,
+    register_message,
+)
 from repro.network.peers import Peer
-from repro.network.stats import QueryRecord
 from repro.storage.index import AttributeIndex
 from repro.storage.query import Query
 
@@ -191,38 +206,31 @@ class RendezvousProtocol(PeerNetwork):
                 expired += 1
         return expired
 
-    def search(self, origin_id: str, query: Query, *, max_results: int = 100) -> SearchResponse:
+    def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
+                     **kwargs) -> QueryContext:
         origin = self._require_peer(origin_id)
         if not self._states:
             self.elect_rendezvous()
         self.expire_advertisements()
-        response = SearchResponse(query=query)
-        query_xml = query.to_xml_text()
-        results: list[SearchResult] = []
-        first_hit: Optional[int] = None
-        latency = 0.0
+        context = self.new_context(
+            origin_id, query, max_results=max_results,
+            query_id=query.query_id or f"rdv-{self.next_query_number()}",
+        )
+        context.extra["query_xml"] = query.to_xml_text()
 
-        for stored in origin.repository.search(query)[:max_results]:
-            results.append(SearchResult.from_stored(origin_id, stored, hops=0))
-            first_hit = 0
+        for stored in local_matches(origin.repository, query, limit=max_results):
+            context.add_result(SearchResult.from_stored(origin_id, stored, hops=0))
 
         entry = origin.peer_id if origin.is_super_peer else origin.super_peer_id
         if entry is None or entry not in self._states:
             self._attach_edge(origin)
             entry = origin.super_peer_id
         if entry is None:
-            response.results = results
-            return response
+            self.kernel.finish_if_idle(context)
+            return context
 
-        hop_to_entry = 0 if origin.is_super_peer else 1
-        if hop_to_entry:
-            message = query_message(origin_id, entry, query_xml, community_id=query.community_id)
-            self._account(message)
-            response.messages_sent += 1
-            response.bytes_sent += message.size_bytes
-            latency += self.simulator.link_latency(origin_id, entry)
-
-        # Walk the rendezvous ring starting at the entry point.
+        # The walk order is fixed at submission: the ring of online
+        # rendezvous peers, rotated to start at the entry point.
         ring = sorted(peer_id for peer_id in self._states if self.peers[peer_id].online)
         if entry in ring:
             start = ring.index(entry)
@@ -230,58 +238,67 @@ class RendezvousProtocol(PeerNetwork):
         else:
             ordered = ring
         limit = self.walk_limit if self.walk_limit is not None else len(ordered)
-        probed = 0
-        previous = entry
-        walk_latency = latency
-        for position, rendezvous_id in enumerate(ordered[:limit]):
-            probed += 1
-            hops = hop_to_entry + position
-            if rendezvous_id != entry:
-                relay = query_message(previous, rendezvous_id, query_xml,
-                                      community_id=query.community_id)
-                self._account(relay)
-                response.messages_sent += 1
-                response.bytes_sent += relay.size_bytes
-                walk_latency += self.simulator.link_latency(previous, rendezvous_id)
-            taken = self._collect_results(rendezvous_id, query, origin_id, hops, results, max_results)
-            if taken:
-                metadata_bytes = sum(result.metadata_bytes() for result in results[-taken:])
-                hit = query_hit_message(rendezvous_id, origin_id, result_count=taken,
-                                        metadata_bytes=metadata_bytes,
-                                        message_id=f"rdv-{len(self.stats.queries)}")
-                self._account(hit)
-                response.messages_sent += 1
-                response.bytes_sent += hit.size_bytes
-                if first_hit is None or hops + 1 < first_hit:
-                    first_hit = hops + 1
-            previous = rendezvous_id
-            if len(results) >= max_results:
-                break
-        latency = 2 * walk_latency
+        walk = ordered[:limit]
+        context.extra["walk"] = walk
+        if not walk:
+            self.kernel.finish_if_idle(context)
+            return context
 
-        response.results = results
-        response.peers_probed = probed
-        response.latency_ms = latency
-        self.simulator.advance(latency)
-        self.stats.record_query(QueryRecord(
-            query_id=query.query_id or f"rdv-{len(self.stats.queries) + 1}",
-            origin=origin_id,
-            community_id=query.community_id,
-            results=len(results),
-            messages=response.messages_sent,
-            bytes=response.bytes_sent,
-            peers_probed=probed,
-            latency_ms=latency,
-            hops_to_first_result=first_hit,
-        ))
-        return response
+        hop_to_entry = 0 if origin.is_super_peer else 1
+        context.extra["hop_to_entry"] = hop_to_entry
+        if hop_to_entry:
+            message = query_message(origin_id, walk[0], context.extra["query_xml"],
+                                    community_id=query.community_id)
+            message.hops = hop_to_entry
+            self.kernel.send(message, context=context)
+        else:
+            self._answer_at_rendezvous(origin, hops=0, context=context)
+        self.kernel.finish_if_idle(context)
+        return context
 
     # ------------------------------------------------------------------
-    def _collect_results(self, rendezvous_id: str, query: Query, origin_id: str,
-                         hops: int, results: list[SearchResult], max_results: int) -> int:
+    # Message handlers
+    # ------------------------------------------------------------------
+    def _register_handlers(self, kernel: EventKernel) -> None:
+        kernel.register(MessageType.QUERY, self._on_query)
+        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
+
+    def _on_query(self, peer: Optional[Peer], message: Message,
+                  context: Optional[QueryContext]) -> None:
+        if peer is None or context is None:
+            return
+        self._answer_at_rendezvous(peer, hops=message.hops, context=context)
+
+    def _on_query_hit(self, peer: Optional[Peer], message: Message,
+                      context: Optional[QueryContext]) -> None:
+        """Results were attached at the rendezvous; arrival marks timing."""
+
+    def _answer_at_rendezvous(self, peer: Peer, *, hops: int, context: QueryContext) -> None:
+        """One walk step: answer from this rendezvous, relay to the next."""
+        context.peers_probed += 1
+        taken = self._collect_results(peer.peer_id, context, hops)
+        if taken:
+            metadata_bytes = sum(result.metadata_bytes() for result in context.results[-taken:])
+            hit = query_hit_message(peer.peer_id, context.origin_id, result_count=taken,
+                                    metadata_bytes=metadata_bytes,
+                                    message_id=f"rdv-{len(self.stats.queries)}")
+            self.kernel.send(hit, context=context,
+                             latency_ms=self.simulator.now - context.started_at)
+        walk: list[str] = context.extra["walk"]
+        position = hops - context.extra.get("hop_to_entry", 0)
+        if context.room() <= 0 or position + 1 >= len(walk):
+            return
+        relay = query_message(peer.peer_id, walk[position + 1], context.extra["query_xml"],
+                              community_id=context.query.community_id)
+        relay.hops = hops + 1
+        self.kernel.send(relay, context=context)
+
+    # ------------------------------------------------------------------
+    def _collect_results(self, rendezvous_id: str, context: QueryContext, hops: int) -> int:
         state = self._states.get(rendezvous_id)
         if state is None:
             return 0
+        query = context.query
         if query.is_empty:
             keys = sorted(key for key, advertisement in state.advertisements.items()
                           if advertisement.community_id == query.community_id)
@@ -293,9 +310,10 @@ class RendezvousProtocol(PeerNetwork):
             if advertisement is None:
                 continue
             provider = self.peers.get(advertisement.provider_id)
-            if provider is None or not provider.online or advertisement.provider_id == origin_id:
+            if provider is None or not provider.online \
+                    or advertisement.provider_id == context.origin_id:
                 continue
-            results.append(SearchResult(
+            context.add_result(SearchResult(
                 provider_id=advertisement.provider_id,
                 resource_id=advertisement.resource_id,
                 community_id=advertisement.community_id,
@@ -304,7 +322,7 @@ class RendezvousProtocol(PeerNetwork):
                 hops=hops + 1,
             ))
             taken += 1
-            if len(results) >= max_results:
+            if context.room() <= 0:
                 break
         return taken
 

@@ -121,6 +121,24 @@ class NetworkSimulator:
             self._now = until_ms
         return processed
 
+    def step(self) -> bool:
+        """Process exactly one pending event (skipping cancelled ones).
+
+        Returns ``True`` if an event ran, ``False`` if the queue was
+        empty.  The event kernel uses this to drain the queue only as
+        far as a query's completion, leaving later events (churn chains,
+        other queries) in place.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
     def advance(self, delta_ms: float) -> None:
         """Advance the clock without processing events (accounting style)."""
         if delta_ms < 0:

@@ -4,9 +4,16 @@ A fraction of well-connected peers are promoted to *super-peers*.  Leaf
 peers attach to one super-peer and upload the searchable metadata of
 their shared objects to it (exactly what FastTrack and later Gnutella
 ultrapeers did).  A query travels from the leaf to its super-peer and
-is then flooded only among super-peers, each of which answers from its
+is then relayed only among super-peers, each of which answers from its
 aggregated index — far fewer messages than full flooding while keeping
 much better coverage than a TTL-limited flood.
+
+On the event kernel the leaf's QUERY is delivered to its entry
+super-peer after one link latency; the entry answers from its own
+aggregated index and relays one copy to every other online super-peer,
+each of which answers independently as its copy arrives.  A super-peer
+that churns offline while a relay is in flight simply never answers —
+no special-casing, the dropped delivery is the failure model.
 """
 
 from __future__ import annotations
@@ -14,10 +21,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.network.base import PeerNetwork, SearchResponse, SearchResult
-from repro.network.messages import query_hit_message, query_message, register_message
+from repro.engine.kernel import EventKernel, QueryContext
+from repro.engine.local import local_matches
+from repro.network.base import PeerNetwork, SearchResult
+from repro.network.messages import (
+    Message,
+    MessageType,
+    query_hit_message,
+    query_message,
+    register_message,
+)
 from repro.network.peers import Peer
-from repro.network.stats import QueryRecord
 from repro.storage.index import AttributeIndex
 from repro.storage.query import Query
 
@@ -167,101 +181,101 @@ class SuperPeerProtocol(PeerNetwork):
         state.index.add(community_id, replica_key, metadata)
 
     # ------------------------------------------------------------------
-    def search(self, origin_id: str, query: Query, *, max_results: int = 100) -> SearchResponse:
+    def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
+                     **kwargs) -> QueryContext:
         origin = self._require_peer(origin_id)
         if not self._states:
             self.elect_super_peers()
-        response = SearchResponse(query=query)
-        query_xml = query.to_xml_text()
-        results: list[SearchResult] = []
-        latency = 0.0
-        first_hit_hops: Optional[int] = None
+        context = self.new_context(
+            origin_id, query, max_results=max_results,
+            query_id=query.query_id or f"sp-{self.next_query_number()}",
+        )
+        context.extra["query_xml"] = query.to_xml_text()
 
-        # Local repository is always consulted first.
-        for stored in origin.repository.search(query)[:max_results]:
-            results.append(SearchResult.from_stored(origin_id, stored, hops=0))
-            first_hit_hops = 0
+        # Local index is always consulted first.
+        for stored in local_matches(origin.repository, query, limit=max_results):
+            context.add_result(SearchResult.from_stored(origin_id, stored, hops=0))
 
-        entry_super = origin.peer_id if origin.is_super_peer else origin.super_peer_id
-        if entry_super is None:
+        entry = origin.peer_id if origin.is_super_peer else origin.super_peer_id
+        if entry is None:
             self._attach_leaf(origin)
-            entry_super = origin.super_peer_id
-        probed = 0
-        if entry_super is not None:
-            hop_to_super = 0 if origin.is_super_peer else 1
-            if hop_to_super:
-                message = query_message(origin_id, entry_super, query_xml,
-                                        community_id=query.community_id)
-                self._account(message)
-                response.messages_sent += 1
-                response.bytes_sent += message.size_bytes
-                latency += self.simulator.link_latency(origin_id, entry_super)
-            online_supers = [super_id for super_id in self._states
-                             if self.peers[super_id].online]
-            slowest_super = latency
-            for super_id in sorted(online_supers):
-                probed += 1
-                hop_count = hop_to_super if super_id == entry_super else hop_to_super + 1
-                super_latency = latency
-                if super_id != entry_super:
-                    relay = query_message(entry_super, super_id, query_xml,
-                                          community_id=query.community_id)
-                    self._account(relay)
-                    response.messages_sent += 1
-                    response.bytes_sent += relay.size_bytes
-                    super_latency += self.simulator.link_latency(entry_super, super_id)
-                matches = self._matches_at(super_id, query)
-                if matches and len(results) < max_results:
-                    metadata_bytes = 0
-                    taken = 0
-                    for resource_id, community_id, title, metadata, provider_id in matches:
-                        provider = self.peers.get(provider_id)
-                        if provider is None or not provider.online:
-                            continue
-                        if provider_id == origin_id:
-                            continue
-                        result = SearchResult(
-                            provider_id=provider_id,
-                            resource_id=resource_id,
-                            community_id=community_id,
-                            title=title,
-                            metadata={path: tuple(values) for path, values in metadata.items()},
-                            hops=hop_count + 1,
-                        )
-                        results.append(result)
-                        metadata_bytes += result.metadata_bytes()
-                        taken += 1
-                        if first_hit_hops is None or result.hops < first_hit_hops:
-                            first_hit_hops = result.hops
-                        if len(results) >= max_results:
-                            break
-                    if taken:
-                        hit = query_hit_message(super_id, origin_id, result_count=taken,
-                                                metadata_bytes=metadata_bytes,
-                                                message_id=f"sp-{len(self.stats.queries)}")
-                        for _ in range(hop_count or 1):
-                            self._account(hit)
-                            response.messages_sent += 1
-                            response.bytes_sent += hit.size_bytes
-                slowest_super = max(slowest_super, 2 * super_latency)
-            latency = slowest_super
+            entry = origin.super_peer_id
+        context.extra["entry"] = entry
+        if entry is None:
+            self.kernel.finish_if_idle(context)
+            return context
 
-        response.results = results
-        response.peers_probed = probed
-        response.latency_ms = latency
-        self.simulator.advance(latency)
-        self.stats.record_query(QueryRecord(
-            query_id=query.query_id or f"sp-{len(self.stats.queries) + 1}",
-            origin=origin_id,
-            community_id=query.community_id,
-            results=len(results),
-            messages=response.messages_sent,
-            bytes=response.bytes_sent,
-            peers_probed=probed,
-            latency_ms=latency,
-            hops_to_first_result=first_hit_hops,
-        ))
-        return response
+        if origin.is_super_peer:
+            # The origin IS the entry super-peer: answer and relay now.
+            self._answer_at_super(self.peers[entry], hops=0, context=context)
+        else:
+            message = query_message(origin_id, entry, context.extra["query_xml"],
+                                    community_id=query.community_id)
+            message.hops = 1
+            self.kernel.send(message, context=context)
+        self.kernel.finish_if_idle(context)
+        return context
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def _register_handlers(self, kernel: EventKernel) -> None:
+        kernel.register(MessageType.QUERY, self._on_query)
+        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
+
+    def _on_query(self, peer: Optional[Peer], message: Message,
+                  context: Optional[QueryContext]) -> None:
+        if peer is None or context is None:
+            return
+        self._answer_at_super(peer, hops=message.hops, context=context)
+
+    def _on_query_hit(self, peer: Optional[Peer], message: Message,
+                      context: Optional[QueryContext]) -> None:
+        """Results were attached at the super-peer; arrival marks timing."""
+
+    def _answer_at_super(self, super_peer: Peer, *, hops: int, context: QueryContext) -> None:
+        """Answer from one super-peer's aggregated index; the entry
+        super-peer additionally relays to every other online super-peer."""
+        super_id = super_peer.peer_id
+        context.peers_probed += 1
+        taken = 0
+        metadata_bytes = 0
+        for resource_id, community_id, title, metadata, provider_id in \
+                self._matches_at(super_id, context.query):
+            if context.room() <= 0:
+                break
+            provider = self.peers.get(provider_id)
+            if provider is None or not provider.online or provider_id == context.origin_id:
+                continue
+            result = SearchResult(
+                provider_id=provider_id,
+                resource_id=resource_id,
+                community_id=community_id,
+                title=title,
+                metadata={path: tuple(values) for path, values in metadata.items()},
+                hops=hops + 1,
+            )
+            context.add_result(result)
+            metadata_bytes += result.metadata_bytes()
+            taken += 1
+        if taken:
+            # One hit message per hop of the reverse path (at least one).
+            hit = query_hit_message(super_id, context.origin_id, result_count=taken,
+                                    metadata_bytes=metadata_bytes,
+                                    message_id=f"sp-{len(self.stats.queries)}")
+            self.kernel.send(hit, context=context, copies=hops or 1,
+                             latency_ms=self.simulator.now - context.started_at)
+        if super_id == context.extra.get("entry"):
+            for other_id in sorted(self._states):
+                if other_id == super_id:
+                    continue
+                other = self.peers.get(other_id)
+                if other is None or not other.online:
+                    continue
+                relay = query_message(super_id, other_id, context.extra["query_xml"],
+                                      community_id=context.query.community_id)
+                relay.hops = hops + 1
+                self.kernel.send(relay, context=context)
 
     # ------------------------------------------------------------------
     def _matches_at(

@@ -4,6 +4,13 @@ A *scenario* is a network of a chosen protocol, a population of
 servents, one or more bundled communities created and joined, a corpus
 published across the peers, and a query workload — everything a
 benchmark needs to measure a claim.
+
+The query phase runs on the event kernel: with ``concurrency`` above
+one, batches of queries are submitted at staggered virtual times and
+stay in flight together, optionally while churn events (enabled with
+``churn_session_ms``) strike mid-query.  ``cold_index`` rebuilds every
+peer's local attribute index immediately before the workload, so
+experiments can compare warm- against cold-index query phases.
 """
 
 from __future__ import annotations
@@ -15,8 +22,10 @@ from repro.communities import ALL_COMMUNITIES
 from repro.communities.base import CommunityDefinition
 from repro.core.application import Application
 from repro.core.servent import Servent
+from repro.engine.driver import QueryDriver
 from repro.network.base import PeerNetwork
 from repro.network.centralized import CentralizedProtocol
+from repro.network.churn import ChurnModel
 from repro.network.gnutella import GnutellaProtocol
 from repro.network.rendezvous import RendezvousProtocol
 from repro.network.superpeer import SuperPeerProtocol
@@ -46,6 +55,16 @@ class ScenarioConfig:
     super_peer_ratio: float = 0.1
     miss_fraction: float = 0.1
     seed: int = 0
+    #: how many queries are kept in flight together (1 = serial)
+    concurrency: int = 1
+    #: virtual-time stagger between submissions inside one batch
+    query_interarrival_ms: float = 25.0
+    #: enable churn on the non-member peers when set (mean session length)
+    churn_session_ms: Optional[float] = None
+    #: mean absence once a churning peer departs
+    churn_absence_ms: float = 2_000.0
+    #: rebuild every peer's local attribute index before the query phase
+    cold_index: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -58,6 +77,12 @@ class ScenarioConfig:
             raise ValueError("publishers must be between 1 and the peer count")
         if not self.publishers <= self.members <= self.peers:
             raise ValueError("members must be between publishers and the peer count")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if self.query_interarrival_ms < 0:
+            raise ValueError("the query interarrival must be non-negative")
+        if self.churn_session_ms is not None and self.churn_session_ms <= 0:
+            raise ValueError("the mean churn session must be positive")
 
 
 @dataclass
@@ -72,6 +97,7 @@ class Scenario:
     corpus: list[dict[str, object]]
     workload: QueryWorkload
     resource_ids: list[str] = field(default_factory=list)
+    churn: Optional[ChurnModel] = None
 
     @property
     def community_id(self) -> str:
@@ -84,16 +110,39 @@ class Scenario:
     def run_queries(self, *, max_results: int = 100) -> list[int]:
         """Run the whole query workload round-robin over members.
 
-        Returns the result count of each query (recall analysis happens
-        against ``workload.expected_matches``).
+        With ``concurrency`` of one each query completes before the
+        next is submitted; above one, the driver keeps that many
+        queries in flight together on the event kernel.  Returns the
+        result count of each query (recall analysis happens against
+        ``workload.expected_matches``).
         """
         members = self.members()
-        counts: list[int] = []
-        for index, query in enumerate(self.workload):
-            searcher = members[index % len(members)]
-            response = searcher.search(self.community_id, query, max_results=max_results)
-            counts.append(response.result_count)
+        if self.config.concurrency <= 1:
+            counts: list[int] = []
+            for index, query in enumerate(self.workload):
+                searcher = members[index % len(members)]
+                response = searcher.search(self.community_id, query, max_results=max_results)
+                counts.append(response.result_count)
+            return counts
+        requests = [
+            (members[index % len(members)].peer_id, query)
+            for index, query in enumerate(self.workload)
+        ]
+        driver = QueryDriver(self.network)
+        counts = []
+        for start in range(0, len(requests), self.config.concurrency):
+            batch = requests[start:start + self.config.concurrency]
+            outcome = driver.run_batch(
+                batch,
+                max_results=max_results,
+                interarrival_ms=self.config.query_interarrival_ms,
+            )
+            counts.extend(outcome.result_counts)
         return counts
+
+    def query_latencies_ms(self) -> list[float]:
+        """Per-query latencies recorded during the runs so far."""
+        return [record.latency_ms for record in self.network.stats.queries]
 
 
 def build_network(config: ScenarioConfig) -> PeerNetwork:
@@ -155,6 +204,27 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
         miss_fraction=config.miss_fraction,
         seed=config.seed,
     )
+
+    if config.cold_index:
+        # Cold start: every peer re-derives its index from its documents
+        # right before the workload, so the query phase pays first-touch
+        # index state instead of the one warmed by publishing.
+        for servent in servents:
+            servent.repository.rebuild_index()
+
+    churn: Optional[ChurnModel] = None
+    if config.churn_session_ms is not None:
+        # The searchers (members) stay up; the relay population churns,
+        # with departures and returns interleaved into the query phase
+        # on the shared event queue.
+        churn = ChurnModel(
+            network,
+            mean_session_ms=config.churn_session_ms,
+            mean_absence_ms=config.churn_absence_ms,
+            seed=config.seed,
+        )
+        churn.start([servent.peer_id for servent in servents[config.members:]])
+
     # Reset the statistics so experiments measure the query phase only,
     # not community creation and publishing.
     network.stats.reset()
@@ -167,4 +237,5 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
         corpus=corpus,
         workload=workload,
         resource_ids=resource_ids,
+        churn=churn,
     )

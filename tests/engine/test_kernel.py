@@ -1,0 +1,224 @@
+"""Unit tests for the event kernel and the batched query driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.driver import QueryDriver
+from repro.engine.kernel import EventKernel, QueryContext
+from repro.engine.local import local_matches
+from repro.network.centralized import CentralizedProtocol
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.messages import Message, MessageType, query_message
+from repro.network.peers import Peer
+from repro.network.simulator import NetworkSimulator
+from repro.network.stats import NetworkStats
+from repro.storage.query import Query
+from repro.storage.repository import LocalRepository
+from repro.xmlkit.parser import parse
+
+
+def make_kernel():
+    simulator = NetworkSimulator(seed=1)
+    peers = {"a": Peer(peer_id="a"), "b": Peer(peer_id="b")}
+    stats = NetworkStats()
+    return EventKernel(simulator=simulator, peers=peers, stats=stats), simulator, peers, stats
+
+
+def make_context(**overrides):
+    defaults = dict(query=Query("c"), origin_id="a")
+    defaults.update(overrides)
+    return QueryContext(**defaults)
+
+
+class TestDeliveryAndAccounting:
+    def test_message_delivered_after_link_latency(self):
+        kernel, simulator, peers, _ = make_kernel()
+        seen = []
+        kernel.register(MessageType.QUERY,
+                        lambda peer, message, context: seen.append((peer, simulator.now)))
+        message = query_message("a", "b", "<q/>")
+        kernel.send(message)
+        assert not seen
+        simulator.run()
+        assert len(seen) == 1
+        peer, at = seen[0]
+        assert peer is peers["b"]
+        assert at == pytest.approx(simulator.link_latency("a", "b"))
+
+    def test_copies_charge_stats_and_context_once_delivered_once(self):
+        kernel, simulator, _, stats = make_kernel()
+        deliveries = []
+        kernel.register(MessageType.QUERY_HIT,
+                        lambda peer, message, context: deliveries.append(message))
+        context = make_context()
+        hit = Message(type=MessageType.QUERY_HIT, sender="b", recipient="a", payload_bytes=10)
+        kernel.send(hit, context=context, copies=3)
+        simulator.run()
+        assert stats.messages_by_type["query-hit"] == 3
+        assert context.messages_sent == 3
+        assert context.bytes_sent == 3 * hit.size_bytes
+        assert len(deliveries) == 1
+
+    def test_delivery_to_offline_peer_is_dropped_but_completes(self):
+        kernel, simulator, peers, _ = make_kernel()
+        seen = []
+        kernel.register(MessageType.QUERY,
+                        lambda peer, message, context: seen.append(message))
+        peers["b"].online = False
+        context = make_context()
+        kernel.send(query_message("a", "b", "<q/>"), context=context)
+        kernel.run_until_complete([context])
+        assert not seen
+        assert context.done
+
+    def test_virtual_node_is_always_reachable(self):
+        kernel, simulator, _, _ = make_kernel()
+        seen = []
+        kernel.add_virtual_node("server")
+        kernel.register(MessageType.QUERY,
+                        lambda peer, message, context: seen.append(peer))
+        kernel.send(query_message("a", "server", "<q/>"))
+        simulator.run()
+        assert seen == [None]
+
+    def test_latency_override_controls_delivery_time(self):
+        kernel, simulator, _, _ = make_kernel()
+        times = []
+        kernel.register(MessageType.QUERY,
+                        lambda peer, message, context: times.append(simulator.now))
+        kernel.send(query_message("a", "b", "<q/>"), latency_ms=123.0)
+        simulator.run()
+        assert times == [pytest.approx(123.0)]
+
+
+class TestCompletion:
+    def test_finish_if_idle_completes_messageless_query(self):
+        kernel, simulator, _, _ = make_kernel()
+        context = make_context()
+        kernel.finish_if_idle(context)
+        assert context.done
+        assert context.latency_ms == 0.0
+
+    def test_cascade_completes_only_when_quiescent(self):
+        kernel, simulator, _, _ = make_kernel()
+        context = make_context()
+
+        def forward(peer, message, context_):
+            if message.ttl > 1:
+                copy = query_message(message.recipient, "a" if message.recipient == "b" else "b",
+                                     "<q/>", ttl=message.ttl - 1)
+                kernel.send(copy, context=context_)
+
+        kernel.register(MessageType.QUERY, forward)
+        kernel.send(query_message("a", "b", "<q/>", ttl=3), context=context)
+        kernel.run_until_complete([context])
+        assert context.done
+        # a->b, b->a, a->b: three in-flight messages total.
+        assert context.messages_sent == 3
+        assert context.latency_ms == pytest.approx(3 * kernel.simulator.link_latency("a", "b"))
+
+    def test_run_until_complete_leaves_unrelated_events_queued(self):
+        kernel, simulator, _, _ = make_kernel()
+        fired = []
+        simulator.schedule(10_000.0, lambda: fired.append("late"))
+        context = make_context()
+        kernel.register(MessageType.QUERY, lambda peer, message, context_: None)
+        kernel.send(query_message("a", "b", "<q/>"), context=context)
+        kernel.run_until_complete([context])
+        assert context.done
+        assert not fired
+        assert simulator.pending_events() == 1
+
+    def test_step_returns_false_on_empty_queue(self):
+        simulator = NetworkSimulator(seed=0)
+        assert simulator.step() is False
+        simulator.schedule(1.0, lambda: None)
+        assert simulator.step() is True
+        assert simulator.step() is False
+
+
+class TestLocalMatches:
+    def make_repository(self):
+        repository = LocalRepository(owner="a")
+        for name in ("Observer", "Visitor"):
+            document = parse(f"<pattern><name>{name}</name></pattern>").root
+            repository.publish("patterns", document, {"name": [name]}, title=name)
+        return repository
+
+    def test_constrained_query_uses_index_intersection(self):
+        repository = self.make_repository()
+        matched = local_matches(repository, Query.keyword("patterns", "observer"))
+        assert [stored.title for stored in matched] == ["Observer"]
+
+    def test_empty_query_browses_community(self):
+        repository = self.make_repository()
+        assert len(local_matches(repository, Query("patterns"))) == 2
+        assert local_matches(repository, Query("patterns"), limit=1)
+
+    def test_rebuilt_index_answers_identically(self):
+        repository = self.make_repository()
+        before = [stored.resource_id
+                  for stored in local_matches(repository, Query.keyword("patterns", "visitor"))]
+        repository.rebuild_index()
+        after = [stored.resource_id
+                 for stored in local_matches(repository, Query.keyword("patterns", "visitor"))]
+        assert before == after and before
+
+
+class TestQueryDriver:
+    def build_network(self):
+        network = GnutellaProtocol(seed=9, default_ttl=8, degree=3)
+        for index in range(12):
+            network.create_peer(f"peer-{index:02d}")
+        network.build_overlay()
+        document = parse("<pattern><name>Observer</name></pattern>").root
+        peer = network.peer("peer-05")
+        result = peer.repository.publish("patterns", document, {"name": ["Observer"]},
+                                         title="Observer")
+        network.publish("peer-05", "patterns", result.resource_id, {"name": ["Observer"]})
+        return network
+
+    def test_batch_keeps_queries_in_flight_together(self):
+        network = self.build_network()
+        driver = QueryDriver(network)
+        requests = [(f"peer-{index:02d}", Query.keyword("patterns", "observer"))
+                    for index in range(8)]
+        outcome = driver.run_batch(requests, interarrival_ms=5.0)
+        assert len(outcome.responses) == 8
+        assert outcome.failed == 0
+        assert all(response.result_count >= 1 for response in outcome.responses)
+        assert len(network.stats.queries) == 8
+
+    def test_offline_origin_fails_softly(self):
+        network = self.build_network()
+        network.set_online("peer-03", False)
+        driver = QueryDriver(network)
+        requests = [("peer-02", Query.keyword("patterns", "observer")),
+                    ("peer-03", Query.keyword("patterns", "observer"))]
+        outcome = driver.run_batch(requests)
+        assert outcome.failed == 1
+        assert outcome.responses[1].result_count == 0
+        assert outcome.responses[0].result_count >= 1
+
+    def test_negative_interarrival_rejected(self):
+        network = self.build_network()
+        with pytest.raises(ValueError):
+            QueryDriver(network).run_batch([], interarrival_ms=-1.0)
+
+    def test_centralized_batch_costs_two_messages_each(self):
+        network = CentralizedProtocol(seed=2)
+        for index in range(6):
+            network.create_peer(f"peer-{index:02d}")
+        document = parse("<pattern><name>Observer</name></pattern>").root
+        peer = network.peer("peer-00")
+        stored = peer.repository.publish("patterns", document, {"name": ["Observer"]},
+                                         title="Observer")
+        network.publish("peer-00", "patterns", stored.resource_id, {"name": ["Observer"]})
+        network.stats.reset()
+        driver = QueryDriver(network)
+        requests = [(f"peer-{index:02d}", Query.keyword("patterns", "observer"))
+                    for index in range(1, 5)]
+        outcome = driver.run_batch(requests, interarrival_ms=1.0)
+        assert all(response.messages_sent == 2 for response in outcome.responses)
+        assert network.stats.total_messages == 8

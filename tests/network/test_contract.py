@@ -1,0 +1,227 @@
+"""Contract tests every protocol adapter must pass on the event kernel.
+
+The four network organisations are interchangeable strategies over the
+same message-dispatch substrate.  This suite pins down the substrate
+contract: searches are event cascades with measurable latency, queries
+can overlap in flight, churn can strike mid-query without breaking
+anything, replicas made by retrieve survive the original provider, and
+a fixed seed makes whole concurrent workloads bit-for-bit repeatable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.centralized import CentralizedProtocol
+from repro.network.churn import ChurnModel
+from repro.network.errors import DuplicatePeerError
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.rendezvous import RendezvousProtocol
+from repro.network.superpeer import SuperPeerProtocol
+from repro.storage.query import Query
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.xmlkit.parser import parse
+
+
+def make_network(name: str):
+    if name == "centralized":
+        return CentralizedProtocol(seed=7)
+    if name == "gnutella":
+        # A ring stays connected when any single peer drops out, which
+        # keeps the churn contracts below deterministic.
+        return GnutellaProtocol(seed=7, default_ttl=20, degree=2, topology_kind="ring")
+    if name == "super-peer":
+        return SuperPeerProtocol(seed=7, super_peer_ratio=0.2)
+    return RendezvousProtocol(seed=7, rendezvous_ratio=0.2)
+
+
+PROTOCOL_NAMES = ("centralized", "gnutella", "super-peer", "rendezvous")
+
+
+def publish_pattern(network, peer_id, name, intent="decouple things"):
+    peer = network.peer(peer_id)
+    document = parse(f"<pattern><name>{name}</name><intent>{intent}</intent></pattern>").root
+    metadata = {"name": [name], "intent": [intent]}
+    result = peer.repository.publish("patterns", document, metadata, title=name)
+    network.publish(peer_id, "patterns", result.resource_id, metadata, title=name)
+    return result.resource_id
+
+
+def populate(network, peer_count=12):
+    for index in range(peer_count):
+        network.create_peer(f"peer-{index:03d}")
+    if isinstance(network, GnutellaProtocol):
+        network.build_overlay()
+    if isinstance(network, SuperPeerProtocol):
+        network.elect_super_peers()
+    if isinstance(network, RendezvousProtocol):
+        network.elect_rendezvous()
+
+
+@pytest.fixture(params=PROTOCOL_NAMES)
+def protocol_network(request):
+    return make_network(request.param)
+
+
+class TestKernelContract:
+    """The event-driven substrate behaves the same under every protocol."""
+
+    def test_start_search_returns_inflight_context(self, protocol_network):
+        populate(protocol_network)
+        publish_pattern(protocol_network, "peer-005", "Observer")
+        context = protocol_network.start_search(
+            "peer-002", Query.keyword("patterns", "observer"))
+        # The query has messages in flight until the kernel runs it.
+        assert not context.done
+        protocol_network.kernel.run_until_complete([context])
+        assert context.done
+        response = protocol_network.finish_search(context)
+        assert response.result_count >= 1
+        assert response.latency_ms > 0
+
+    def test_search_advances_virtual_time(self, protocol_network):
+        populate(protocol_network)
+        publish_pattern(protocol_network, "peer-005", "Observer")
+        before = protocol_network.simulator.now
+        response = protocol_network.search("peer-002", Query.keyword("patterns", "observer"))
+        assert protocol_network.simulator.now >= before + response.latency_ms
+
+    def test_queries_overlap_in_flight(self, protocol_network):
+        populate(protocol_network)
+        publish_pattern(protocol_network, "peer-005", "Observer")
+        first = protocol_network.start_search("peer-002", Query.keyword("patterns", "observer"))
+        second = protocol_network.start_search("peer-003", Query.keyword("patterns", "observer"))
+        assert not first.done and not second.done
+        protocol_network.kernel.run_until_complete([first, second])
+        for context in (first, second):
+            response = protocol_network.finish_search(context)
+            assert any(result.provider_id == "peer-005" for result in response.results)
+        assert len(protocol_network.stats.queries) == 2
+
+    def test_churn_mid_query_completes_without_error(self, protocol_network):
+        populate(protocol_network)
+        publish_pattern(protocol_network, "peer-005", "Observer")
+        publish_pattern(protocol_network, "peer-007", "Observer Twin")
+        context = protocol_network.start_search(
+            "peer-002", Query.keyword("patterns", "observer"), max_results=50)
+        # Knock a provider offline while the query's messages are still
+        # in flight: the cascade must still quiesce deterministically.
+        protocol_network.simulator.schedule(
+            1.0, lambda: protocol_network.set_online("peer-007", False))
+        protocol_network.kernel.run_until_complete([context])
+        assert context.done
+        protocol_network.finish_search(context)
+
+    def test_duplicate_peer_rejected(self, protocol_network):
+        protocol_network.create_peer("dup")
+        with pytest.raises(DuplicatePeerError):
+            protocol_network.create_peer("dup")
+
+
+class TestReplicationUnderChurn:
+    """Satellite contract: a replica announced by ``retrieve`` stays
+    findable after the original provider goes offline."""
+
+    @pytest.mark.parametrize("name", PROTOCOL_NAMES)
+    def test_replica_survives_provider_departure(self, name):
+        network = make_network(name)
+        populate(network)
+        provider, requester, watcher = "peer-011", "peer-006", "peer-002"
+        resource_id = publish_pattern(network, provider, "Unique Replicated Pattern",
+                                      "survives churn")
+
+        found = network.search(requester, Query.keyword("patterns", "replicated"),
+                               max_results=50)
+        hit = next(result for result in found.results if result.provider_id == provider)
+        network.retrieve(requester, provider, hit.resource_id)
+        assert network.peer(requester).repository.documents.contains(resource_id)
+
+        network.set_online(provider, False)
+        again = network.search(watcher, Query.keyword("patterns", "replicated"),
+                               max_results=50)
+        providers = {result.provider_id for result in again.results
+                     if result.resource_id == resource_id}
+        assert requester in providers
+        assert provider not in providers
+
+    @pytest.mark.parametrize("name", PROTOCOL_NAMES)
+    def test_replica_survives_under_running_churn(self, name):
+        """Same property while a churn model drives the rest of the
+        population on the shared event queue."""
+        network = make_network(name)
+        populate(network)
+        provider, requester, watcher = "peer-011", "peer-006", "peer-002"
+        resource_id = publish_pattern(network, provider, "Churnproof Pattern", "still here")
+
+        churn = ChurnModel(network, mean_session_ms=5_000, mean_absence_ms=1_000, seed=3)
+        churn.start(["peer-008", "peer-009", "peer-010"])
+
+        found = network.search(requester, Query.keyword("patterns", "churnproof"),
+                               max_results=50)
+        hits = [result for result in found.results if result.provider_id == provider]
+        assert hits, "provider must be visible before it departs"
+        network.retrieve(requester, provider, hits[0].resource_id)
+        network.set_online(provider, False)
+
+        again = network.search(watcher, Query.keyword("patterns", "churnproof"),
+                               max_results=50)
+        providers = {result.provider_id for result in again.results
+                     if result.resource_id == resource_id}
+        assert requester in providers
+
+
+class TestConcurrentDeterminism:
+    """Acceptance: ≥8 queries in flight under churn, bit-for-bit
+    repeatable for a fixed seed."""
+
+    CONFIG = dict(
+        protocol="gnutella",
+        peers=30,
+        members=12,
+        publishers=6,
+        corpus_size=40,
+        queries=16,
+        ttl=6,
+        seed=23,
+        concurrency=8,
+        query_interarrival_ms=20.0,
+        churn_session_ms=4_000.0,
+        churn_absence_ms=1_500.0,
+    )
+
+    def run_once(self, **overrides):
+        scenario = build_scenario(ScenarioConfig(**{**self.CONFIG, **overrides}))
+        counts = scenario.run_queries(max_results=100)
+        stats = scenario.network.stats
+        return {
+            "counts": counts,
+            "total_messages": stats.total_messages,
+            "total_bytes": stats.total_bytes,
+            "by_type": dict(stats.messages_by_type),
+            "latencies": [round(record.latency_ms, 6) for record in stats.queries],
+        }
+
+    def test_concurrent_churned_run_is_deterministic(self):
+        first = self.run_once()
+        second = self.run_once()
+        assert first == second
+        assert len(first["counts"]) == self.CONFIG["queries"]
+        assert first["total_messages"] > 0
+
+    @pytest.mark.parametrize("protocol", ("centralized", "super-peer", "rendezvous"))
+    def test_other_protocols_deterministic_too(self, protocol):
+        first = self.run_once(protocol=protocol)
+        second = self.run_once(protocol=protocol)
+        assert first == second
+
+    def test_concurrency_keeps_queries_overlapped(self):
+        """With stagger shorter than flood latency, later queries start
+        before earlier ones end: total elapsed virtual time is shorter
+        than the sum of individual latencies."""
+        scenario = build_scenario(ScenarioConfig(**{**self.CONFIG,
+                                                    "churn_session_ms": None}))
+        before = scenario.network.simulator.now
+        scenario.run_queries(max_results=100)
+        elapsed = scenario.network.simulator.now - before
+        total_latency = sum(record.latency_ms for record in scenario.network.stats.queries)
+        assert elapsed < total_latency

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.network.centralized import CentralizedProtocol, INDEX_SERVER_ID
-from repro.network.errors import PeerOfflineError, UnknownPeerError
+from repro.network.errors import DuplicatePeerError, PeerOfflineError, UnknownPeerError
 from repro.network.gnutella import GnutellaProtocol
 from repro.network.messages import MessageType
 from repro.network.rendezvous import RendezvousProtocol
@@ -101,7 +101,7 @@ class TestCommonBehaviour:
 
     def test_duplicate_peer_rejected(self, any_network):
         any_network.create_peer("dup")
-        with pytest.raises(UnknownPeerError):
+        with pytest.raises(DuplicatePeerError):
             any_network.create_peer("dup")
 
     def test_empty_query_browses(self, any_network):
