@@ -1,0 +1,159 @@
+"""E8 — download-and-replicate on the event kernel, all four protocols.
+
+The paper's §II availability argument measured end to end: a mixed
+search/retrieve workload (Zipf-popular downloads interleaved with
+queries on the shared event clock) grows the replica set while queries
+are in flight.  The experiment reports replica count per popularity
+rank, hit latency for the most popular object before and after the
+replication wave, and availability under random departures with and
+without the replicas — for every network organisation, since the
+replication layer rides the protocol-independent retrieve path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.query import Query
+from repro.storage.replicas import REPLICA
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+PROTOCOLS = ("centralized", "gnutella", "super-peer", "rendezvous")
+
+CONFIG = dict(
+    peers=24,
+    members=12,
+    publishers=4,
+    corpus_size=24,
+    queries=48,
+    retrieve_fraction=0.5,
+    popularity_skew=1.2,
+    concurrency=6,
+    query_interarrival_ms=10.0,
+    ttl=8,
+    seed=17,
+)
+
+
+def build_and_run(protocol: str, *, retrieve_fraction: float = CONFIG["retrieve_fraction"]):
+    scenario = build_scenario(ScenarioConfig(**{
+        **CONFIG, "protocol": protocol, "retrieve_fraction": retrieve_fraction,
+    }))
+    outcome = scenario.run_mixed_workload(max_results=100)
+    return scenario, outcome
+
+
+def availability_after_departures(scenario, *, departures: int, seed: int = 37) -> float:
+    """Fraction of corpus objects still held by some online peer."""
+    network = scenario.network
+    rng = random.Random(seed)
+    online = [peer_id for peer_id in network.peers if network.peer(peer_id).online]
+    departed = rng.sample(online, min(departures, len(online) - 1))
+    for peer_id in departed:
+        network.set_online(peer_id, False)
+    available = sum(
+        1 for resource_id in scenario.resource_ids
+        if network.locate_provider(resource_id) is not None
+    )
+    for peer_id in departed:
+        network.set_online(peer_id, True)
+    return available / len(scenario.resource_ids)
+
+
+@pytest.fixture(scope="module", params=PROTOCOLS)
+def world(request):
+    scenario, outcome = build_and_run(request.param)
+    return request.param, scenario, outcome
+
+
+def test_bench_e8_mixed_workload(benchmark):
+    benchmark.pedantic(
+        lambda: build_and_run("gnutella"),
+        rounds=1, iterations=1,
+    )
+
+
+def test_bench_e8_replicas_grow_with_popularity(world, report):
+    protocol, scenario, outcome = world
+    assert outcome.downloads_completed > 0
+    degrees = scenario.replication_degrees()
+    rows = [
+        [rank, scenario.resource_ids[rank][:10], degrees[rank]]
+        for rank in (0, 1, 2, 5, 11, len(degrees) - 1)
+    ]
+    report(f"E8  [{protocol}] replicas per popularity rank after the mixed workload",
+           ["popularity rank", "resource", "copies"], rows)
+    head = sum(degrees[:5])
+    tail = sum(degrees[-5:])
+    assert head > tail, "popular objects must accumulate more copies"
+    assert max(degrees[:3]) >= 2, "the head of the distribution must have replicated"
+
+
+def test_bench_e8_queries_resolve_to_midrun_replicas(world):
+    """Acceptance: every protocol resolves queries to replicas created
+    while the workload was running."""
+    protocol, scenario, outcome = world
+    network = scenario.network
+    replicas = network.replicas
+    community_id = scenario.community_id
+    # Pick downloaded objects that now have replicas recorded mid-run.
+    replicated = [
+        resource_id for resource_id in scenario.resource_ids
+        if any(entry.provenance == REPLICA and entry.recorded_at_ms > 0
+               for entry in replicas.entries_for(resource_id))
+    ]
+    assert replicated, "the workload must have created replicas"
+    hit_on_replica = False
+    searcher = scenario.members()[-1].peer_id
+    for resource_id in replicated[:6]:
+        response = network.search(searcher, Query(community_id), max_results=2000)
+        for result in response.results:
+            if result.resource_id != resource_id:
+                continue
+            if replicas.provenance(result.resource_id, result.provider_id) == REPLICA:
+                hit_on_replica = True
+                break
+        if hit_on_replica:
+            break
+    assert hit_on_replica, f"{protocol} never resolved a query to a mid-run replica"
+
+
+def test_bench_e8_hit_latency_before_and_after_replication(report):
+    """First-hit distance for the most popular object, before any
+    downloads versus after the replication wave (gnutella, where
+    proximity matters most)."""
+    rows = []
+    before_after = {}
+    for phase, fraction in (("before", 0.0), ("after", CONFIG["retrieve_fraction"])):
+        scenario, _ = build_and_run("gnutella", retrieve_fraction=fraction)
+        network = scenario.network
+        popular = scenario.resource_ids[0]
+        searcher = scenario.members()[-1].peer_id
+        response = network.search(searcher, Query(scenario.community_id), max_results=2000)
+        providers = [r for r in response.results if r.resource_id == popular]
+        closest = min((r.hops for r in providers), default=None)
+        degree = network.replication_degree(popular)
+        before_after[phase] = (closest, degree, len(providers))
+        rows.append([phase, degree, len(providers), closest])
+    report("E8  most-popular object: copies and first-hit distance (gnutella)",
+           ["phase", "copies", "providers found", "closest hit (hops)"], rows)
+    assert before_after["after"][1] > before_after["before"][1]
+    # More copies can only bring the object closer, never farther.
+    if before_after["before"][0] is not None and before_after["after"][0] is not None:
+        assert before_after["after"][0] <= before_after["before"][0]
+
+
+def test_bench_e8_availability_with_and_without_replicas(report):
+    rows = []
+    for protocol in PROTOCOLS:
+        without_scenario, _ = build_and_run(protocol, retrieve_fraction=0.0)
+        with_scenario, _ = build_and_run(protocol)
+        for departures in (6, 12):
+            without = availability_after_departures(without_scenario, departures=departures)
+            with_replicas = availability_after_departures(with_scenario, departures=departures)
+            rows.append([protocol, departures, f"{without:.2f}", f"{with_replicas:.2f}"])
+            assert with_replicas >= without
+    report("E8  availability after random departures, without vs with replication",
+           ["protocol", "departed", "no replicas", "with replicas"], rows)

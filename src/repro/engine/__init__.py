@@ -9,8 +9,18 @@ what lets many queries overlap in virtual time and lets churn strike a
 query mid-flight.
 """
 
-from repro.engine.kernel import EventKernel, QueryContext
-from repro.engine.driver import QueryDriver
+from repro.engine.kernel import EventKernel, ExchangeContext, QueryContext, RetrieveContext
+from repro.engine.driver import BatchOutcome, QueryDriver, RetrieveOp, SearchOp
 from repro.engine.local import local_matches
 
-__all__ = ["EventKernel", "QueryContext", "QueryDriver", "local_matches"]
+__all__ = [
+    "EventKernel",
+    "ExchangeContext",
+    "QueryContext",
+    "RetrieveContext",
+    "QueryDriver",
+    "BatchOutcome",
+    "SearchOp",
+    "RetrieveOp",
+    "local_matches",
+]

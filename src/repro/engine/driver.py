@@ -1,23 +1,54 @@
-"""The batched query driver: many searches in flight at once.
+"""The batched workload driver: searches *and* downloads in flight at once.
 
-``PeerNetwork.search`` submits one query and drains the event queue
-until it completes — convenient, but serial.  The driver instead
-schedules a whole batch of submissions at staggered virtual times and
-then runs the kernel until every query in the batch has quiesced, so
-their message cascades interleave on the shared clock (and with churn
-events).  This is the load model the latency-distribution and
-churn-during-query experiments need.
+``PeerNetwork.search`` and ``PeerNetwork.retrieve`` each submit one
+exchange and drain the event queue until it completes — convenient, but
+serial.  The driver instead schedules a whole batch of submissions at
+staggered virtual times and then runs the kernel until every exchange
+in the batch has quiesced, so their message cascades interleave on the
+shared clock (and with churn events).  A batch may mix
+:class:`SearchOp` and :class:`RetrieveOp` entries — the load model the
+paper's download-and-replicate story needs: popular objects are fetched
+while queries are still flooding, and the replicas they leave behind
+answer later queries of the same batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro.engine.kernel import QueryContext
 from repro.network.errors import NetworkError
+from repro.storage.errors import StorageError
 from repro.storage.query import Query
+
+
+@dataclass(frozen=True)
+class SearchOp:
+    """One search submission of a mixed batch."""
+
+    origin_id: str
+    query: Query
+    max_results: Optional[int] = None  # None -> the batch default
+
+
+@dataclass(frozen=True)
+class RetrieveOp:
+    """One download submission of a mixed batch.
+
+    With ``provider_id`` of ``None`` the provider is resolved at
+    submission time from the network's replica registry
+    (:meth:`PeerNetwork.locate_provider`), so a batch's later downloads
+    can be served by replicas its earlier downloads created.
+    """
+
+    requester_id: str
+    resource_id: str
+    provider_id: Optional[str] = None
+    bandwidth_kbps: float = 512.0
+
+
+WorkloadOp = Union[SearchOp, RetrieveOp]
 
 
 @dataclass
@@ -25,7 +56,10 @@ class BatchOutcome:
     """What one driver batch produced."""
 
     responses: list = field(default_factory=list)   # list[SearchResponse]
-    failed: int = 0                                 # submissions refused (origin offline/unknown)
+    retrieves: list = field(default_factory=list)   # list[Optional[RetrieveResult]]
+    failed: int = 0              # search submissions refused (origin offline/unknown)
+    retrieve_failures: int = 0   # downloads refused or dropped in flight
+    starved: int = 0             # exchanges completed only because the queue drained
 
     @property
     def result_counts(self) -> list[int]:
@@ -35,9 +69,22 @@ class BatchOutcome:
     def latencies_ms(self) -> list[float]:
         return [response.latency_ms for response in self.responses]
 
+    @property
+    def downloads_completed(self) -> int:
+        return sum(1 for result in self.retrieves if result is not None)
+
+    def merge(self, other: "BatchOutcome") -> "BatchOutcome":
+        """Fold another batch's outcome into this one (scenario phases)."""
+        self.responses.extend(other.responses)
+        self.retrieves.extend(other.retrieves)
+        self.failed += other.failed
+        self.retrieve_failures += other.retrieve_failures
+        self.starved += other.starved
+        return self
+
 
 class QueryDriver:
-    """Keeps a batch of queries concurrently in flight on one network."""
+    """Keeps a batch of searches and downloads concurrently in flight."""
 
     def __init__(self, network) -> None:
         self.network = network
@@ -47,38 +94,68 @@ class QueryDriver:
                   max_events: int = 5_000_000) -> BatchOutcome:
         """Submit ``(origin_id, query)`` pairs and run until all complete.
 
+        Search-only convenience over :meth:`run_mixed`.
+        """
+        ops = [SearchOp(origin_id=origin_id, query=query) for origin_id, query in requests]
+        return self.run_mixed(ops, max_results=max_results,
+                              interarrival_ms=interarrival_ms, max_events=max_events)
+
+    def run_mixed(self, ops: Sequence[WorkloadOp], *, max_results: int = 100,
+                  interarrival_ms: float = 0.0,
+                  max_events: int = 5_000_000) -> BatchOutcome:
+        """Submit a mixed sequence of searches and downloads.
+
         Submissions are scheduled ``interarrival_ms`` apart, so later
-        queries launch while earlier ones are still flooding.  A
-        submission whose origin has churned offline (or vanished) by its
-        start time fails softly: it yields an empty response instead of
-        raising, because under churn that is an outcome to measure, not
-        an error.
+        operations launch while earlier ones are still in flight.  A
+        submission whose peer has churned offline (or vanished) by its
+        start time fails softly: under churn that is an outcome to
+        measure, not an error.  Likewise a download dropped in flight
+        (provider or requester churned mid-transfer) yields ``None`` in
+        ``retrieves`` and bumps ``retrieve_failures``.  If the event
+        queue drains with exchanges still pending, they are completed
+        at the drain time and counted in ``starved``.
         """
         if interarrival_ms < 0:
             raise ValueError("interarrival must be non-negative")
-        contexts: list[Optional[QueryContext]] = [None] * len(requests)
+        contexts: list[Optional[object]] = [None] * len(ops)
         failures: set[int] = set()
 
-        def submit(index: int, origin_id: str, query: Query) -> None:
+        def submit(index: int, op: WorkloadOp) -> None:
             try:
-                contexts[index] = self.network.start_search(
-                    origin_id, query, max_results=max_results)
+                if isinstance(op, SearchOp):
+                    contexts[index] = self.network.start_search(
+                        op.origin_id, op.query,
+                        max_results=op.max_results if op.max_results is not None else max_results)
+                else:
+                    provider_id = op.provider_id or self.network.locate_provider(
+                        op.resource_id, exclude=op.requester_id)
+                    if provider_id is None:
+                        failures.add(index)
+                        return
+                    contexts[index] = self.network.start_retrieve(
+                        op.requester_id, provider_id, op.resource_id,
+                        bandwidth_kbps=op.bandwidth_kbps)
             except NetworkError:
                 failures.add(index)
 
-        for index, (origin_id, query) in enumerate(requests):
+        for index, op in enumerate(ops):
             self.network.simulator.schedule(
-                index * interarrival_ms, partial(submit, index, origin_id, query))
+                index * interarrival_ms, partial(submit, index, op))
 
         def finished() -> bool:
             return all(
                 index in failures or (contexts[index] is not None and contexts[index].done)
-                for index in range(len(requests))
+                for index in range(len(ops))
             )
 
         processed = 0
         while not finished():
             if not self.network.simulator.step():
+                # The queue drained with exchanges still pending: their
+                # deliveries are lost, so complete them at the drain time
+                # instead of leaving a bogus zero completion stamp.
+                self.network.kernel.mark_starved(
+                    [context for context in contexts if context is not None])
                 break
             processed += 1
             if processed > max_events:
@@ -87,11 +164,26 @@ class QueryDriver:
         outcome = BatchOutcome()
         from repro.network.base import SearchResponse  # local import: cycle
 
-        for index, (_, query) in enumerate(requests):
+        for index, op in enumerate(ops):
             context = contexts[index]
-            if context is None:
-                outcome.failed += 1
-                outcome.responses.append(SearchResponse(query=query))
-            else:
+            if isinstance(op, SearchOp):
+                if context is None:
+                    outcome.failed += 1
+                    outcome.responses.append(SearchResponse(query=op.query))
+                    continue
+                if context.starved:
+                    outcome.starved += 1
                 outcome.responses.append(self.network.finish_search(context))
+            else:
+                if context is None:
+                    outcome.retrieve_failures += 1
+                    outcome.retrieves.append(None)
+                    continue
+                if context.starved:
+                    outcome.starved += 1
+                try:
+                    outcome.retrieves.append(self.network.finish_retrieve(context))
+                except (NetworkError, StorageError):
+                    outcome.retrieve_failures += 1
+                    outcome.retrieves.append(None)
         return outcome

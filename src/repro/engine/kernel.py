@@ -1,4 +1,4 @@
-"""The event kernel: scheduled message delivery plus per-query state.
+"""The event kernel: scheduled message delivery plus per-exchange state.
 
 The kernel sits between the protocol adapters and the
 :class:`~repro.network.simulator.NetworkSimulator`.  A protocol sends a
@@ -7,16 +7,23 @@ the kernel accounts it, schedules its delivery one link latency later,
 and, at delivery time, dispatches it to the handler the protocol
 registered for that message type.  Handlers typically send further
 messages (forwarding a flood, relaying between super-peers, returning a
-query hit), so a whole search unfolds as a cascade of events
-interleaved — on the same clock — with churn events and with the events
-of every other in-flight query.
+query hit, streaming a download's attachments), so a whole search or
+download unfolds as a cascade of events interleaved — on the same
+clock — with churn events and with the events of every other in-flight
+exchange.
 
-Completion detection is reference counting: each query carries a
-:class:`QueryContext` whose ``pending`` counter is incremented per send
-and decremented per processed delivery.  Because handlers send any
+Completion detection is reference counting: each exchange carries an
+:class:`ExchangeContext` whose ``pending`` counter is incremented per
+send and decremented per processed delivery.  Because handlers send any
 follow-up messages *during* their own delivery, ``pending`` can only
-reach zero when no message of the query remains in flight, at which
+reach zero when no message of the exchange remains in flight, at which
 point the context is marked done and stamped with the completion time.
+
+Two concrete context kinds exist: :class:`QueryContext` for searches
+and :class:`RetrieveContext` for downloads.  Both ride the same queue,
+so a download taken while queries are in flight perturbs neither their
+latencies nor their event ordering — the clock only ever moves by
+processing events, never by side-effecting mutation.
 """
 
 from __future__ import annotations
@@ -32,30 +39,33 @@ from repro.storage.query import Query
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.base import SearchResult
     from repro.network.peers import Peer
+    from repro.storage.document_store import StoredObject
 
 #: handler(peer, message, context) — ``peer`` is the recipient (``None``
 #: for virtual nodes such as the centralized index server).
-Handler = Callable[[Optional["Peer"], Message, Optional["QueryContext"]], None]
+Handler = Callable[[Optional["Peer"], Message, Optional["ExchangeContext"]], None]
 
 
-@dataclass
-class QueryContext:
-    """Everything one in-flight query accumulates while its messages fly."""
+@dataclass(kw_only=True)
+class ExchangeContext:
+    """Reference-counted state shared by every in-flight kernel exchange.
 
-    query: Query
-    origin_id: str
-    max_results: int = 100
+    A search and a download are both *exchanges*: a cascade of messages
+    whose completion is detected by the ``pending`` counter reaching
+    zero.  ``starved`` is set when the event queue drained while the
+    exchange still had messages outstanding (a lost delivery that will
+    never come) — the context is completed at the drain time instead of
+    hanging forever with a bogus zero latency.
+    """
+
     started_at: float = 0.0
-    results: list["SearchResult"] = field(default_factory=list)
     messages_sent: int = 0
     bytes_sent: int = 0
-    peers_probed: int = 0
-    first_hit_hops: Optional[int] = None
-    visited: set[str] = field(default_factory=set)
     extra: dict = field(default_factory=dict)
     pending: int = 0
     done: bool = False
     finalized: bool = False
+    starved: bool = False
     completed_at: float = 0.0
 
     @property
@@ -63,9 +73,37 @@ class QueryContext:
         """Virtual time between submission and the last delivery."""
         return max(0.0, self.completed_at - self.started_at)
 
+
+@dataclass
+class QueryContext(ExchangeContext):
+    """Everything one in-flight query accumulates while its messages fly.
+
+    Results are appended only when a QUERY-HIT *arrives* at an online
+    origin; ``claimed`` counts results already promised by generated
+    hits still in flight, so flow-control decisions (how far to flood
+    or walk) see the same numbers they would if hits were instantaneous.
+    """
+
+    query: Query
+    origin_id: str
+    max_results: int = 100
+    results: list["SearchResult"] = field(default_factory=list)
+    peers_probed: int = 0
+    first_hit_hops: Optional[int] = None
+    visited: set[str] = field(default_factory=set)
+    claimed: int = 0
+
     def room(self) -> int:
-        """How many more results fit under ``max_results``."""
-        return self.max_results - len(self.results)
+        """How many more results fit under ``max_results``.
+
+        Counts both arrived results and results claimed by in-flight
+        hits, so concurrent generation sites never oversubscribe.
+        """
+        return self.max_results - max(self.claimed, len(self.results))
+
+    def claim(self, count: int) -> None:
+        """Reserve space for ``count`` results riding an in-flight hit."""
+        self.claimed += count
 
     def add_result(self, result: "SearchResult") -> None:
         self.results.append(result)
@@ -73,8 +111,28 @@ class QueryContext:
             self.first_hit_hops = result.hops
 
 
+@dataclass
+class RetrieveContext(ExchangeContext):
+    """One in-flight download: DOWNLOAD-REQUEST / DOWNLOAD-RESPONSE plus
+    per-attachment transfer events, quiescing by reference counting."""
+
+    requester_id: str
+    provider_id: str
+    resource_id: str
+    bandwidth_kbps: float = 512.0
+    stored: Optional["StoredObject"] = None
+    transfer_bytes: int = 0
+    attachments_transferred: int = 0
+    replicated: bool = False
+    error: Optional[Exception] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.stored is not None and self.error is None
+
+
 class EventKernel:
-    """Message scheduling, dispatch and per-query accounting."""
+    """Message scheduling, dispatch and per-exchange accounting."""
 
     def __init__(self, *, simulator: NetworkSimulator, peers: dict[str, "Peer"],
                  stats: NetworkStats) -> None:
@@ -99,7 +157,7 @@ class EventKernel:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send(self, message: Message, *, context: Optional[QueryContext] = None,
+    def send(self, message: Message, *, context: Optional[ExchangeContext] = None,
              copies: int = 1, latency_ms: Optional[float] = None) -> None:
         """Account ``message`` and schedule its delivery.
 
@@ -108,7 +166,8 @@ class EventKernel:
         while still scheduling a single delivery event.  ``latency_ms``
         overrides the link latency — reverse-path replies pass the
         accumulated forward-path latency here so the round trip costs
-        the same virtual time in both directions.
+        the same virtual time in both directions, and download
+        responses pass link latency plus transmission time.
         """
         for _ in range(copies):
             self.stats.record_message(message)
@@ -120,15 +179,15 @@ class EventKernel:
             message.sender, message.recipient)
         self.simulator.schedule(delay, lambda: self._deliver(message, context))
 
-    def finish_if_idle(self, context: QueryContext) -> None:
-        """Complete a query that sent no messages (purely local answer)."""
+    def finish_if_idle(self, context: ExchangeContext) -> None:
+        """Complete an exchange that sent no messages (purely local answer)."""
         if context.pending == 0 and not context.done:
             self._complete(context)
 
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
-    def _deliver(self, message: Message, context: Optional[QueryContext]) -> None:
+    def _deliver(self, message: Message, context: Optional[ExchangeContext]) -> None:
         try:
             peer = self.peers.get(message.recipient)
             reachable = message.recipient in self.virtual_nodes or (
@@ -143,24 +202,44 @@ class EventKernel:
                 if context.pending <= 0 and not context.done:
                     self._complete(context)
 
-    def _complete(self, context: QueryContext) -> None:
+    def _complete(self, context: ExchangeContext) -> None:
         context.done = True
         context.completed_at = self.simulator.now
+
+    def mark_starved(self, contexts: list[ExchangeContext]) -> int:
+        """Complete every unfinished context at the current virtual time.
+
+        Called when the event queue drained while exchanges still had
+        messages outstanding: their deliveries are lost and will never
+        decrement ``pending``, so without this they would keep a
+        ``completed_at`` of ``0.0`` and report a bogus clamped latency.
+        Returns how many contexts were starved.
+        """
+        starved = 0
+        for context in contexts:
+            if not context.done:
+                context.starved = True
+                self._complete(context)
+                starved += 1
+        return starved
 
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
-    def run_until_complete(self, contexts: list[QueryContext], *,
+    def run_until_complete(self, contexts: list[ExchangeContext], *,
                            max_events: int = 5_000_000) -> int:
         """Process events until every context is done.
 
-        Other events on the shared queue (churn, other queries) are
-        processed as they come up — that interleaving is the point.
-        Events scheduled after the last context completes stay queued.
+        Other events on the shared queue (churn, other exchanges) are
+        processed as their times come up — that interleaving is the
+        point.  Events scheduled after the last context completes stay
+        queued.  If the queue drains while contexts are still pending,
+        they are marked ``starved`` and completed at the drain time.
         """
         processed = 0
         while any(not context.done for context in contexts):
             if not self.simulator.step():
+                self.mark_starved(contexts)
                 break
             processed += 1
             if processed > max_events:

@@ -20,23 +20,52 @@ of the system (and the experiments) can swap them freely:
   network layer).
 """
 
-from repro.network.base import PeerNetwork, SearchResponse, SearchResult
-from repro.network.centralized import CentralizedProtocol
-from repro.network.churn import ChurnModel
-from repro.network.errors import NetworkError, PeerOfflineError, UnknownPeerError
-from repro.network.gnutella import GnutellaProtocol
+# Leaf modules (no dependency on the engine) import eagerly; the
+# network classes built *on* the engine resolve lazily below, so
+# ``import repro.engine`` — whose kernel needs ``network.messages`` —
+# does not re-enter this package while the engine is still initializing.
+from repro.network.errors import (
+    DuplicatePeerError,
+    NetworkError,
+    PeerOfflineError,
+    TransferError,
+    UnknownPeerError,
+)
 from repro.network.messages import Message, MessageType
 from repro.network.peers import Peer
-from repro.network.rendezvous import RendezvousProtocol
 from repro.network.simulator import NetworkSimulator
 from repro.network.stats import NetworkStats
-from repro.network.superpeer import SuperPeerProtocol
 from repro.network.topology import Topology, build_topology
+
+_LAZY = {
+    "PeerNetwork": ("repro.network.base", "PeerNetwork"),
+    "SearchResult": ("repro.network.base", "SearchResult"),
+    "SearchResponse": ("repro.network.base", "SearchResponse"),
+    "RetrieveResult": ("repro.network.base", "RetrieveResult"),
+    "CentralizedProtocol": ("repro.network.centralized", "CentralizedProtocol"),
+    "GnutellaProtocol": ("repro.network.gnutella", "GnutellaProtocol"),
+    "SuperPeerProtocol": ("repro.network.superpeer", "SuperPeerProtocol"),
+    "RendezvousProtocol": ("repro.network.rendezvous", "RendezvousProtocol"),
+    "ChurnModel": ("repro.network.churn", "ChurnModel"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value
+
 
 __all__ = [
     "PeerNetwork",
     "SearchResult",
     "SearchResponse",
+    "RetrieveResult",
     "CentralizedProtocol",
     "GnutellaProtocol",
     "SuperPeerProtocol",
@@ -52,4 +81,6 @@ __all__ = [
     "NetworkError",
     "UnknownPeerError",
     "PeerOfflineError",
+    "DuplicatePeerError",
+    "TransferError",
 ]

@@ -15,14 +15,27 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.engine.kernel import EventKernel, QueryContext
-from repro.network.errors import DuplicatePeerError, PeerOfflineError, UnknownPeerError
-from repro.network.messages import Message, download_request, download_response
+from repro.engine.kernel import EventKernel, QueryContext, RetrieveContext
+from repro.network.errors import (
+    DuplicatePeerError,
+    PeerOfflineError,
+    TransferError,
+    UnknownPeerError,
+)
+from repro.network.messages import (
+    Message,
+    MessageType,
+    attachment_transfer,
+    download_request,
+    download_response,
+)
 from repro.network.peers import Peer
 from repro.network.simulator import NetworkSimulator
-from repro.network.stats import NetworkStats, QueryRecord
+from repro.network.stats import DownloadRecord, NetworkStats, QueryRecord
 from repro.storage.document_store import StoredObject
+from repro.storage.errors import ObjectNotFoundError
 from repro.storage.query import Query
+from repro.storage.replicas import ReplicaRegistry
 
 
 @dataclass(frozen=True)
@@ -110,6 +123,7 @@ class PeerNetwork(ABC):
         self.stats = stats or NetworkStats()
         self.peers: dict[str, Peer] = {}
         self.kernel = EventKernel(simulator=self.simulator, peers=self.peers, stats=self.stats)
+        self.replicas = ReplicaRegistry()
         self._query_sequence = itertools.count(1)
         self._register_handlers(self.kernel)
 
@@ -132,6 +146,7 @@ class PeerNetwork(ABC):
         """Remove a peer entirely (it will not come back)."""
         peer = self._require_peer(peer_id, allow_offline=True)
         self._on_peer_removed(peer)
+        self.replicas.forget_peer(peer_id)
         del self.peers[peer_id]
 
     def set_online(self, peer_id: str, online: bool) -> None:
@@ -206,7 +221,7 @@ class PeerNetwork(ABC):
             context.finalized = True
             self.stats.record_query(QueryRecord(
                 query_id=context.extra.get("query_id")
-                or f"{self.protocol_name}-{len(self.stats.queries) + 1}",
+                or f"{self.protocol_name}-{self.next_query_number()}",
                 origin=context.origin_id,
                 community_id=context.query.community_id,
                 results=len(context.results),
@@ -240,60 +255,195 @@ class PeerNetwork(ABC):
             context.extra["query_id"] = query_id
         return context
 
+    def start_retrieve(self, requester_id: str, provider_id: str, resource_id: str,
+                       *, bandwidth_kbps: float = 512.0) -> RetrieveContext:
+        """Inject a download into the event kernel and return its context.
+
+        The DOWNLOAD-REQUEST is scheduled like any other message; the
+        provider answers at delivery time with a DOWNLOAD-RESPONSE plus
+        one transfer event per attachment, and the object replicates
+        into the requester's repository when the response *arrives*.
+        The context quiesces by reference counting — the shared clock is
+        never mutated, so downloads compose deterministically with any
+        queries in flight.
+        """
+        self._require_peer(requester_id)
+        self._require_peer(provider_id)
+        if bandwidth_kbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        context = RetrieveContext(
+            requester_id=requester_id,
+            provider_id=provider_id,
+            resource_id=resource_id,
+            bandwidth_kbps=bandwidth_kbps,
+            started_at=self.simulator.now,
+        )
+        request = download_request(requester_id, provider_id, resource_id)
+        self.kernel.send(request, context=context)
+        return context
+
     def retrieve(self, requester_id: str, provider_id: str, resource_id: str,
                  *, bandwidth_kbps: float = 512.0) -> RetrieveResult:
         """Download the full object (and attachments) from ``provider_id``.
 
         The object is replicated into the requester's repository, which
-        is how popular objects gain availability (paper §II).
+        is how popular objects gain availability (paper §II).  This is
+        the synchronous convenience wrapper over
+        :meth:`start_retrieve` / :meth:`finish_retrieve`; batched mixed
+        workloads go through :class:`~repro.engine.driver.QueryDriver`.
         """
-        requester = self._require_peer(requester_id)
-        provider = self._require_peer(provider_id)
-        stored = provider.repository.retrieve(resource_id)
+        context = self.start_retrieve(requester_id, provider_id, resource_id,
+                                      bandwidth_kbps=bandwidth_kbps)
+        self.kernel.run_until_complete([context])
+        return self.finish_retrieve(context)
 
-        request = download_request(requester_id, provider_id, resource_id)
-        self._account(request)
+    def finish_retrieve(self, context: RetrieveContext) -> RetrieveResult:
+        """Turn a completed retrieve context into a result, or raise.
+
+        Raises the failure recorded during the exchange (e.g. the
+        provider had no such object) or :class:`TransferError` when the
+        transfer never completed (provider churned offline mid-request,
+        requester churned before the response arrived, starvation).
+        """
+        if not context.finalized:
+            context.finalized = True
+            if context.succeeded:
+                self.stats.record_download(context.transfer_bytes, DownloadRecord(
+                    resource_id=context.resource_id,
+                    requester=context.requester_id,
+                    provider=context.provider_id,
+                    bytes=context.transfer_bytes,
+                    latency_ms=context.latency_ms,
+                    attachments=context.attachments_transferred,
+                ))
+        if context.error is not None:
+            raise context.error
+        if context.stored is None:
+            raise TransferError(
+                f"download of {context.resource_id!r} from {context.provider_id!r} "
+                f"did not complete (dropped in flight)"
+            )
+        return RetrieveResult(
+            stored=context.stored,
+            provider_id=context.provider_id,
+            transfer_bytes=context.transfer_bytes,
+            latency_ms=context.latency_ms,
+            attachments_transferred=context.attachments_transferred,
+        )
+
+    def locate_provider(self, resource_id: str, *, exclude: Optional[str] = None) -> Optional[str]:
+        """An online peer currently holding ``resource_id``, or ``None``.
+
+        Deterministic: originals are preferred over replicas, ties
+        break by peer id.  Used by the mixed-workload driver to resolve
+        a download target at submission time, so downloads follow the
+        replica set as it grows mid-run.
+        """
+        for holder in self.replicas.holders(resource_id):
+            if holder == exclude:
+                continue
+            peer = self.peers.get(holder)
+            if peer is not None and peer.online \
+                    and peer.repository.documents.contains(resource_id):
+                return holder
+        return None
+
+    def replication_degree(self, resource_id: str, *, online_only: bool = False) -> int:
+        """How many peers hold a copy of ``resource_id``."""
+        holders = self.replicas.holders(resource_id)
+        if not online_only:
+            return len(holders)
+        return sum(
+            1 for holder in holders
+            if holder in self.peers and self.peers[holder].online
+        )
+
+    # ------------------------------------------------------------------
+    # Download message handlers (shared by every protocol)
+    # ------------------------------------------------------------------
+    def _on_download_request(self, peer: Optional[Peer], message: Message,
+                             context) -> None:
+        """The provider serves the object: a response event for the
+        document plus one transfer event per attachment, each arriving
+        after its cumulative transmission time."""
+        if peer is None or not isinstance(context, RetrieveContext):
+            return
+        try:
+            stored = peer.repository.retrieve(message.resource_id)
+        except ObjectNotFoundError as error:
+            context.error = error
+            return
         payload = len(stored.to_xml_text().encode("utf-8"))
-        response = download_response(provider_id, requester_id, resource_id,
-                                     payload_bytes=payload, message_id=request.message_id)
-        self._account(response)
+        latency = self.simulator.transfer_time(peer.peer_id, context.requester_id, payload,
+                                               bandwidth_kbps=context.bandwidth_kbps)
+        response = download_response(peer.peer_id, context.requester_id, message.resource_id,
+                                     payload_bytes=payload, message_id=message.message_id,
+                                     payload_object=stored)
+        self.kernel.send(response, context=context, latency_ms=latency)
+        for uri in stored.metadata.get("__attachments__", []):
+            if not peer.repository.attachments.has(uri):
+                continue
+            attachment = peer.repository.attachments.serve(uri)
+            latency += self.simulator.transfer_time(peer.peer_id, context.requester_id,
+                                                    attachment.size_bytes,
+                                                    bandwidth_kbps=context.bandwidth_kbps)
+            transfer = attachment_transfer(peer.peer_id, context.requester_id,
+                                           message.resource_id, uri=uri,
+                                           size_bytes=attachment.size_bytes,
+                                           payload_object=attachment)
+            self.kernel.send(transfer, context=context, latency_ms=latency)
 
-        latency = 2 * self.simulator.link_latency(requester_id, provider_id)
-        latency += self.simulator.transfer_time(provider_id, requester_id, payload,
-                                                bandwidth_kbps=bandwidth_kbps)
-        transferred = payload
-        attachments = 0
-        for entry in stored.metadata.get("__attachments__", []):
-            if provider.repository.attachments.has(entry):
-                attachment = provider.repository.attachments.serve(entry)
-                requester.repository.attachments.receive(attachment)
-                latency += self.simulator.transfer_time(provider_id, requester_id,
-                                                        attachment.size_bytes,
-                                                        bandwidth_kbps=bandwidth_kbps)
-                transferred += attachment.size_bytes
-                attachments += 1
-        self.simulator.advance(latency)
-        self.stats.record_download(transferred)
-
-        replica = requester.repository.publish(
+    def _on_download_response(self, peer: Optional[Peer], message: Message,
+                              context) -> None:
+        """The requester receives the document (replicating it and
+        re-announcing through this protocol's own publish path) or one
+        attachment.  A requester that churned offline never gets here —
+        the kernel dropped the delivery."""
+        if peer is None or not isinstance(context, RetrieveContext):
+            return
+        if message.attachment_uri:
+            attachment = message.payload_object
+            if attachment is not None:
+                peer.repository.attachments.receive(attachment)
+                context.attachments_transferred += 1
+                context.transfer_bytes += attachment.size_bytes
+            return
+        stored = message.payload_object
+        if stored is None:
+            return
+        context.stored = stored
+        context.transfer_bytes += message.payload_bytes
+        replica = peer.repository.publish(
             stored.community_id, stored.document, dict(stored.metadata), title=stored.title
         )
+        self.replicas.note_replica(replica.resource_id, peer.peer_id,
+                                   at_ms=self.simulator.now)
+        context.replicated = True
         # The new replica is announced so later searches can find it here.
-        self.publish(requester_id, stored.community_id, replica.resource_id,
+        self.publish(peer.peer_id, stored.community_id, replica.resource_id,
                      dict(stored.metadata), title=stored.title)
-        return RetrieveResult(
-            stored=stored,
-            provider_id=provider_id,
-            transfer_bytes=transferred,
-            latency_ms=latency,
-            attachments_transferred=attachments,
-        )
+
+    def _on_query_hit(self, peer: Optional[Peer], message: Message,
+                      context) -> None:
+        """Results ride the QUERY-HIT and count only on arrival at an
+        online origin: if the origin churned offline while the hit was
+        in flight, the kernel dropped the delivery and the promised
+        results never existed."""
+        if peer is None or not isinstance(context, QueryContext):
+            return
+        for result in message.carried_results:
+            if len(context.results) >= context.max_results:
+                break
+            context.add_result(result)
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
     # ------------------------------------------------------------------
     def _register_handlers(self, kernel: EventKernel) -> None:
-        """Subclass hook: register this protocol's message handlers."""
+        """Register the shared handlers; subclasses extend via super()."""
+        kernel.register(MessageType.DOWNLOAD_REQUEST, self._on_download_request)
+        kernel.register(MessageType.DOWNLOAD_RESPONSE, self._on_download_response)
+        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
 
     def _on_peer_added(self, peer: Peer) -> None:
         """Subclass hook: wire a new peer into the overlay."""

@@ -65,8 +65,8 @@ class CentralizedProtocol(PeerNetwork):
         message = register_message(peer_id, INDEX_SERVER_ID, community_id=community_id,
                                    resource_id=resource_id, metadata_bytes=metadata_bytes)
         self._account(message)
-        self.simulator.advance(self.simulator.link_latency(peer_id, INDEX_SERVER_ID))
         self.stats.registrations += 1
+        self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
 
         entry = self._catalog.get(resource_id)
         if entry is None:
@@ -102,18 +102,21 @@ class CentralizedProtocol(PeerNetwork):
     # Message handlers
     # ------------------------------------------------------------------
     def _register_handlers(self, kernel: EventKernel) -> None:
+        super()._register_handlers(kernel)
         kernel.add_virtual_node(INDEX_SERVER_ID)
         kernel.register(MessageType.QUERY, self._on_query)
-        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
 
     def _on_query(self, peer: Optional[Peer], message: Message,
                   context: Optional[QueryContext]) -> None:
         """The server answers from the catalog, filtering offline providers
-        *at delivery time* — churn between submission and arrival counts."""
+        *at delivery time* — churn between submission and arrival counts.
+        The results ride the QUERY-HIT and are appended only when it
+        arrives at a still-online origin."""
         if context is None or message.recipient != INDEX_SERVER_ID:
             return
         metadata_bytes = 0
-        result_count = 0
+        results: list[SearchResult] = []
+        room = context.room()
         for resource_id in sorted(self._matching_ids(context.query)):
             entry = self._catalog[resource_id]
             for provider_id in sorted(entry.providers):
@@ -128,21 +131,18 @@ class CentralizedProtocol(PeerNetwork):
                     metadata={path: tuple(values) for path, values in entry.metadata.items()},
                     hops=1,
                 )
-                context.add_result(result)
+                results.append(result)
                 metadata_bytes += result.metadata_bytes()
-                result_count += 1
-                if context.room() <= 0:
+                if len(results) >= room:
                     break
-            if context.room() <= 0:
+            if len(results) >= room:
                 break
-        hit = query_hit_message(INDEX_SERVER_ID, context.origin_id, result_count=result_count,
+        context.claim(len(results))
+        hit = query_hit_message(INDEX_SERVER_ID, context.origin_id, result_count=len(results),
                                 metadata_bytes=metadata_bytes, message_id=message.message_id)
+        hit.carried_results = tuple(results)
         self.kernel.send(hit, context=context,
                          latency_ms=self.simulator.now - context.started_at)
-
-    def _on_query_hit(self, peer: Optional[Peer], message: Message,
-                      context: Optional[QueryContext]) -> None:
-        """Results were attached at the server; arrival closes the query."""
 
     # ------------------------------------------------------------------
     def _matching_ids(self, query: Query) -> set[str]:

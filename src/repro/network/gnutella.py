@@ -85,6 +85,7 @@ class GnutellaProtocol(PeerNetwork):
         """Publishing is free in Gnutella: the object simply sits in the
         peer's repository waiting for queries to reach it."""
         self._require_peer(peer_id)
+        self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
 
     def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
                      ttl: Optional[int] = None, **kwargs) -> QueryContext:
@@ -110,12 +111,18 @@ class GnutellaProtocol(PeerNetwork):
     # Message handlers
     # ------------------------------------------------------------------
     def _register_handlers(self, kernel: EventKernel) -> None:
+        super()._register_handlers(kernel)
         kernel.register(MessageType.QUERY, self._on_query)
-        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
 
     def _on_query(self, peer: Optional[Peer], message: Message,
                   context: Optional[QueryContext]) -> None:
-        """One QUERY copy arrived at ``peer``: accept, answer, re-flood."""
+        """One QUERY copy arrived at ``peer``: accept, answer, re-flood.
+
+        Hits ride the QUERY-HIT back to the origin and only count on
+        arrival (see ``PeerNetwork._on_query_hit``); here we claim the
+        room they will occupy so concurrent answerers never promise
+        more than ``max_results`` between them.
+        """
         if peer is None or context is None:
             return
         if peer.peer_id in context.visited:
@@ -124,30 +131,29 @@ class GnutellaProtocol(PeerNetwork):
         context.peers_probed += 1
         hops = message.hops
 
-        hits = local_matches(peer.repository, context.query)
-        if hits and context.room() > 0:
-            taken = hits[: context.room()]
+        room = context.room()
+        taken = local_matches(peer.repository, context.query, limit=room) if room > 0 else []
+        if taken:
+            results = []
             metadata_bytes = 0
             for stored in taken:
                 result = SearchResult.from_stored(peer.peer_id, stored, hops=hops)
-                context.add_result(result)
+                results.append(result)
                 metadata_bytes += result.metadata_bytes()
+            context.claim(len(results))
             # The query hit travels back along the reverse path: one
             # message per hop, arriving after the same latency the query
             # spent getting here.
             hit = query_hit_message(peer.peer_id, context.origin_id, result_count=len(taken),
                                     metadata_bytes=metadata_bytes,
                                     message_id=message.message_id)
+            hit.carried_results = tuple(results)
             self.kernel.send(hit, context=context, copies=max(1, hops),
                              latency_ms=self.simulator.now - context.started_at)
 
         remaining = message.ttl - 1
         if remaining > 0:
             self._flood_from(peer, ttl=remaining, hops=hops + 1, context=context)
-
-    def _on_query_hit(self, peer: Optional[Peer], message: Message,
-                      context: Optional[QueryContext]) -> None:
-        """Hits were appended when generated; arrival only marks timing."""
 
     def _flood_from(self, peer: Peer, *, ttl: int, hops: int, context: QueryContext) -> None:
         """Send one QUERY copy to every online neighbour of ``peer``."""

@@ -41,7 +41,16 @@ def next_message_id() -> str:
 
 @dataclass
 class Message:
-    """One protocol message in flight."""
+    """One protocol message in flight.
+
+    ``carried_results`` and ``payload_object`` model the data riding a
+    message (query hits on a QUERY-HIT, the stored object or one
+    attachment on a DOWNLOAD-RESPONSE).  The receiving handler applies
+    them on *arrival*, so a recipient that churns offline while the
+    message is in flight never observes the payload — the drop is the
+    failure model, not a special case.  Neither field contributes to
+    ``size_bytes``; the wire cost is already in ``payload_bytes``.
+    """
 
     type: MessageType
     sender: str
@@ -53,6 +62,9 @@ class Message:
     query_xml: str = ""
     resource_id: str = ""
     community_id: str = ""
+    attachment_uri: str = ""
+    carried_results: tuple = ()
+    payload_object: object = None
 
     def forwarded(self, sender: str, recipient: str) -> "Message":
         """A copy of this message forwarded one hop further."""
@@ -129,7 +141,8 @@ def download_request(sender: str, recipient: str, resource_id: str) -> Message:
 
 
 def download_response(sender: str, recipient: str, resource_id: str, *,
-                      payload_bytes: int, message_id: Optional[str] = None) -> Message:
+                      payload_bytes: int, message_id: Optional[str] = None,
+                      payload_object: object = None) -> Message:
     return Message(
         type=MessageType.DOWNLOAD_RESPONSE,
         sender=sender,
@@ -137,4 +150,21 @@ def download_response(sender: str, recipient: str, resource_id: str, *,
         resource_id=resource_id,
         message_id=message_id or next_message_id(),
         payload_bytes=payload_bytes,
+        payload_object=payload_object,
+    )
+
+
+def attachment_transfer(sender: str, recipient: str, resource_id: str, *,
+                        uri: str, size_bytes: int, payload_object: object = None,
+                        message_id: Optional[str] = None) -> Message:
+    """One attachment of a download, transferred as its own event."""
+    return Message(
+        type=MessageType.DOWNLOAD_RESPONSE,
+        sender=sender,
+        recipient=recipient,
+        resource_id=resource_id,
+        message_id=message_id or next_message_id(),
+        payload_bytes=size_bytes,
+        attachment_uri=uri,
+        payload_object=payload_object,
     )

@@ -30,6 +30,7 @@ walk instead of a full broadcast.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -100,7 +101,7 @@ class RendezvousProtocol(PeerNetwork):
         chosen = sorted(online, key=lambda peer: peer.peer_id)[:count]
         chosen_ids = {peer.peer_id for peer in chosen}
         self._states = {peer_id: self._states.get(peer_id, _RendezvousState())
-                        for peer_id in chosen_ids}
+                        for peer_id in sorted(chosen_ids)}
         for peer in self.peers.values():
             peer.is_super_peer = peer.peer_id in chosen_ids
             peer.super_peer_id = peer.peer_id if peer.is_super_peer else None
@@ -117,8 +118,10 @@ class RendezvousProtocol(PeerNetwork):
         if not online:
             peer.super_peer_id = None
             return
-        # Deterministic assignment: hash of the peer id picks the rendezvous.
-        target = online[hash(peer.peer_id) % len(online)]
+        # Deterministic assignment: a stable hash of the peer id picks
+        # the rendezvous (crc32, not the salted builtin hash, so runs
+        # agree across processes and CI).
+        target = sorted(online)[zlib.crc32(peer.peer_id.encode("utf-8")) % len(online)]
         peer.super_peer_id = target
         self._states[target].edges.add(peer.peer_id)
 
@@ -153,6 +156,7 @@ class RendezvousProtocol(PeerNetwork):
                 metadata: dict[str, list[str]], *, title: str = "") -> None:
         """Publish an advertisement with a lease to the peer's rendezvous."""
         peer = self._require_peer(peer_id)
+        self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
         if not self._states:
             self.elect_rendezvous()
         target = peer.peer_id if peer.is_super_peer else peer.super_peer_id
@@ -168,7 +172,6 @@ class RendezvousProtocol(PeerNetwork):
                                        resource_id=resource_id, metadata_bytes=metadata_bytes)
             self._account(message)
             self.stats.registrations += 1
-            self.simulator.advance(self.simulator.link_latency(peer_id, target))
         key = f"{resource_id}@{peer_id}"
         state.advertisements[key] = Advertisement(
             resource_id=resource_id,
@@ -260,8 +263,8 @@ class RendezvousProtocol(PeerNetwork):
     # Message handlers
     # ------------------------------------------------------------------
     def _register_handlers(self, kernel: EventKernel) -> None:
+        super()._register_handlers(kernel)
         kernel.register(MessageType.QUERY, self._on_query)
-        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
 
     def _on_query(self, peer: Optional[Peer], message: Message,
                   context: Optional[QueryContext]) -> None:
@@ -269,19 +272,21 @@ class RendezvousProtocol(PeerNetwork):
             return
         self._answer_at_rendezvous(peer, hops=message.hops, context=context)
 
-    def _on_query_hit(self, peer: Optional[Peer], message: Message,
-                      context: Optional[QueryContext]) -> None:
-        """Results were attached at the rendezvous; arrival marks timing."""
-
     def _answer_at_rendezvous(self, peer: Peer, *, hops: int, context: QueryContext) -> None:
-        """One walk step: answer from this rendezvous, relay to the next."""
+        """One walk step: answer from this rendezvous, relay to the next.
+
+        Results ride the QUERY-HIT and count only on arrival at the
+        origin; their room is claimed here so the walk stops at the
+        same point it would if hits were instantaneous."""
         context.peers_probed += 1
-        taken = self._collect_results(peer.peer_id, context, hops)
-        if taken:
-            metadata_bytes = sum(result.metadata_bytes() for result in context.results[-taken:])
-            hit = query_hit_message(peer.peer_id, context.origin_id, result_count=taken,
+        results = self._collect_results(peer.peer_id, context, hops)
+        if results:
+            context.claim(len(results))
+            metadata_bytes = sum(result.metadata_bytes() for result in results)
+            hit = query_hit_message(peer.peer_id, context.origin_id, result_count=len(results),
                                     metadata_bytes=metadata_bytes,
                                     message_id=f"rdv-{len(self.stats.queries)}")
+            hit.carried_results = tuple(results)
             self.kernel.send(hit, context=context,
                              latency_ms=self.simulator.now - context.started_at)
         walk: list[str] = context.extra["walk"]
@@ -294,17 +299,19 @@ class RendezvousProtocol(PeerNetwork):
         self.kernel.send(relay, context=context)
 
     # ------------------------------------------------------------------
-    def _collect_results(self, rendezvous_id: str, context: QueryContext, hops: int) -> int:
+    def _collect_results(self, rendezvous_id: str, context: QueryContext,
+                         hops: int) -> list[SearchResult]:
         state = self._states.get(rendezvous_id)
         if state is None:
-            return 0
+            return []
         query = context.query
         if query.is_empty:
             keys = sorted(key for key, advertisement in state.advertisements.items()
                           if advertisement.community_id == query.community_id)
         else:
             keys = sorted(query.evaluate(state.index))
-        taken = 0
+        results: list[SearchResult] = []
+        room = context.room()
         for key in keys:
             advertisement = state.advertisements.get(key)
             if advertisement is None:
@@ -313,7 +320,7 @@ class RendezvousProtocol(PeerNetwork):
             if provider is None or not provider.online \
                     or advertisement.provider_id == context.origin_id:
                 continue
-            context.add_result(SearchResult(
+            results.append(SearchResult(
                 provider_id=advertisement.provider_id,
                 resource_id=advertisement.resource_id,
                 community_id=advertisement.community_id,
@@ -321,10 +328,9 @@ class RendezvousProtocol(PeerNetwork):
                 metadata={path: tuple(values) for path, values in advertisement.metadata.items()},
                 hops=hops + 1,
             ))
-            taken += 1
-            if context.room() <= 0:
+            if len(results) >= room:
                 break
-        return taken
+        return results
 
     def advertisement_count(self) -> int:
         """Live advertisements across all rendezvous peers."""

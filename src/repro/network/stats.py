@@ -25,12 +25,25 @@ class QueryRecord:
 
 
 @dataclass
+class DownloadRecord:
+    """Outcome of one retrieve operation (replication provenance rows)."""
+
+    resource_id: str
+    requester: str
+    provider: str
+    bytes: int
+    latency_ms: float
+    attachments: int = 0
+
+
+@dataclass
 class NetworkStats:
     """Counters accumulated while a protocol runs."""
 
     messages_by_type: Counter = field(default_factory=Counter)
     bytes_by_type: Counter = field(default_factory=Counter)
     queries: list[QueryRecord] = field(default_factory=list)
+    download_records: list[DownloadRecord] = field(default_factory=list)
     downloads: int = 0
     download_bytes: int = 0
     registrations: int = 0
@@ -43,9 +56,12 @@ class NetworkStats:
     def record_query(self, record: QueryRecord) -> None:
         self.queries.append(record)
 
-    def record_download(self, size_bytes: int) -> None:
+    def record_download(self, size_bytes: int,
+                        record: Optional[DownloadRecord] = None) -> None:
         self.downloads += 1
         self.download_bytes += size_bytes
+        if record is not None:
+            self.download_records.append(record)
 
     # ------------------------------------------------------------------
     @property
@@ -80,6 +96,11 @@ class NetworkStats:
             return 0.0
         return sum(1 for record in self.queries if record.results > 0) / len(self.queries)
 
+    def mean_download_latency_ms(self) -> float:
+        if not self.download_records:
+            return 0.0
+        return sum(record.latency_ms for record in self.download_records) / len(self.download_records)
+
     def summary(self) -> dict[str, float]:
         """A flat dictionary used by the benchmark reports."""
         return {
@@ -92,6 +113,7 @@ class NetworkStats:
             "success_rate": self.success_rate(),
             "downloads": float(self.downloads),
             "download_bytes": float(self.download_bytes),
+            "mean_download_latency_ms": self.mean_download_latency_ms(),
             "registrations": float(self.registrations),
         }
 
@@ -100,6 +122,7 @@ class NetworkStats:
         self.messages_by_type.clear()
         self.bytes_by_type.clear()
         self.queries.clear()
+        self.download_records.clear()
         self.downloads = 0
         self.download_bytes = 0
         self.registrations = 0

@@ -155,6 +155,7 @@ class SuperPeerProtocol(PeerNetwork):
     def publish(self, peer_id: str, community_id: str, resource_id: str,
                 metadata: dict[str, list[str]], *, title: str = "") -> None:
         peer = self._require_peer(peer_id)
+        self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
         if not self._states:
             self.elect_super_peers()
         target = peer.peer_id if peer.is_super_peer else peer.super_peer_id
@@ -175,7 +176,6 @@ class SuperPeerProtocol(PeerNetwork):
                                        resource_id=resource_id, metadata_bytes=metadata_bytes)
             self._account(message)
             self.stats.registrations += 1
-            self.simulator.advance(self.simulator.link_latency(peer_id, super_id))
         replica_key = f"{resource_id}@{peer_id}"
         state.records[replica_key] = (community_id, title, dict(metadata), peer_id)
         state.index.add(community_id, replica_key, metadata)
@@ -220,8 +220,8 @@ class SuperPeerProtocol(PeerNetwork):
     # Message handlers
     # ------------------------------------------------------------------
     def _register_handlers(self, kernel: EventKernel) -> None:
+        super()._register_handlers(kernel)
         kernel.register(MessageType.QUERY, self._on_query)
-        kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
 
     def _on_query(self, peer: Optional[Peer], message: Message,
                   context: Optional[QueryContext]) -> None:
@@ -229,20 +229,19 @@ class SuperPeerProtocol(PeerNetwork):
             return
         self._answer_at_super(peer, hops=message.hops, context=context)
 
-    def _on_query_hit(self, peer: Optional[Peer], message: Message,
-                      context: Optional[QueryContext]) -> None:
-        """Results were attached at the super-peer; arrival marks timing."""
-
     def _answer_at_super(self, super_peer: Peer, *, hops: int, context: QueryContext) -> None:
         """Answer from one super-peer's aggregated index; the entry
-        super-peer additionally relays to every other online super-peer."""
+        super-peer additionally relays to every other online super-peer.
+        Results ride the QUERY-HIT and count only on arrival at the
+        origin; the room they will occupy is claimed here."""
         super_id = super_peer.peer_id
         context.peers_probed += 1
-        taken = 0
+        results: list[SearchResult] = []
         metadata_bytes = 0
+        room = context.room()
         for resource_id, community_id, title, metadata, provider_id in \
                 self._matches_at(super_id, context.query):
-            if context.room() <= 0:
+            if len(results) >= room:
                 break
             provider = self.peers.get(provider_id)
             if provider is None or not provider.online or provider_id == context.origin_id:
@@ -255,14 +254,15 @@ class SuperPeerProtocol(PeerNetwork):
                 metadata={path: tuple(values) for path, values in metadata.items()},
                 hops=hops + 1,
             )
-            context.add_result(result)
+            results.append(result)
             metadata_bytes += result.metadata_bytes()
-            taken += 1
-        if taken:
+        if results:
+            context.claim(len(results))
             # One hit message per hop of the reverse path (at least one).
-            hit = query_hit_message(super_id, context.origin_id, result_count=taken,
+            hit = query_hit_message(super_id, context.origin_id, result_count=len(results),
                                     metadata_bytes=metadata_bytes,
                                     message_id=f"sp-{len(self.stats.queries)}")
+            hit.carried_results = tuple(results)
             self.kernel.send(hit, context=context, copies=hops or 1,
                              latency_ms=self.simulator.now - context.started_at)
         if super_id == context.extra.get("entry"):

@@ -22,6 +22,7 @@ from repro.storage.errors import StorageError
 from repro.storage.index import AttributeIndex, IndexEntry
 from repro.storage.persistence import load_repository, save_repository
 from repro.storage.query import Criterion, Operator, Query
+from repro.storage.replicas import ReplicaEntry, ReplicaRegistry
 from repro.storage.repository import LocalRepository
 from repro.storage.xquery import XQueryLite, XQueryResult, xquery
 
@@ -36,6 +37,8 @@ __all__ = [
     "Attachment",
     "AttachmentStore",
     "LocalRepository",
+    "ReplicaEntry",
+    "ReplicaRegistry",
     "XQueryLite",
     "XQueryResult",
     "xquery",

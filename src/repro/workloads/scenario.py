@@ -15,6 +15,7 @@ experiments can compare warm- against cold-index query phases.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -22,13 +23,14 @@ from repro.communities import ALL_COMMUNITIES
 from repro.communities.base import CommunityDefinition
 from repro.core.application import Application
 from repro.core.servent import Servent
-from repro.engine.driver import QueryDriver
+from repro.engine.driver import BatchOutcome, QueryDriver, RetrieveOp, SearchOp, WorkloadOp
 from repro.network.base import PeerNetwork
 from repro.network.centralized import CentralizedProtocol
 from repro.network.churn import ChurnModel
 from repro.network.gnutella import GnutellaProtocol
 from repro.network.rendezvous import RendezvousProtocol
 from repro.network.superpeer import SuperPeerProtocol
+from repro.workloads.popularity import ZipfDistribution
 from repro.workloads.queries import QueryWorkload, build_query_workload
 
 PROTOCOLS = {
@@ -65,6 +67,12 @@ class ScenarioConfig:
     churn_absence_ms: float = 2_000.0
     #: rebuild every peer's local attribute index before the query phase
     cold_index: bool = False
+    #: fraction of workload operations that are downloads instead of
+    #: searches (the paper's download-and-replicate load)
+    retrieve_fraction: float = 0.0
+    #: Zipf exponent of the download popularity distribution over the
+    #: corpus (0 = uniform; 1+ = the skew early measurements reported)
+    popularity_skew: float = 1.0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -83,6 +91,10 @@ class ScenarioConfig:
             raise ValueError("the query interarrival must be non-negative")
         if self.churn_session_ms is not None and self.churn_session_ms <= 0:
             raise ValueError("the mean churn session must be positive")
+        if not 0.0 <= self.retrieve_fraction <= 1.0:
+            raise ValueError("retrieve_fraction must be within [0, 1]")
+        if self.popularity_skew < 0:
+            raise ValueError("popularity_skew must be non-negative")
 
 
 @dataclass
@@ -143,6 +155,60 @@ class Scenario:
     def query_latencies_ms(self) -> list[float]:
         """Per-query latencies recorded during the runs so far."""
         return [record.latency_ms for record in self.network.stats.queries]
+
+    def mixed_operations(self) -> list[WorkloadOp]:
+        """The workload as a mixed op sequence, decided deterministically.
+
+        Each position of the query workload either stays a search or —
+        with probability ``retrieve_fraction`` — becomes a download of
+        a corpus object drawn from a Zipf(``popularity_skew``)
+        popularity distribution over the publication order.  Download
+        providers are left unresolved (``provider_id=None``) so the
+        driver resolves them at submission time against the replica set
+        as it exists *then* — replicas created earlier in the run serve
+        later downloads.
+        """
+        members = self.members()
+        chooser = random.Random(f"mixed:{self.config.seed}")
+        zipf = ZipfDistribution(max(1, len(self.resource_ids)),
+                                exponent=self.config.popularity_skew,
+                                seed=self.config.seed + 1)
+        ops: list[WorkloadOp] = []
+        for index, query in enumerate(self.workload):
+            member = members[index % len(members)]
+            if self.resource_ids and chooser.random() < self.config.retrieve_fraction:
+                rank = zipf.sample()
+                ops.append(RetrieveOp(requester_id=member.peer_id,
+                                      resource_id=self.resource_ids[rank]))
+            else:
+                ops.append(SearchOp(origin_id=member.peer_id, query=query))
+        return ops
+
+    def run_mixed_workload(self, *, max_results: int = 100) -> BatchOutcome:
+        """Run the workload with searches and downloads concurrently in
+        flight (honouring ``retrieve_fraction`` / ``popularity_skew``).
+
+        Operations run in batches of ``concurrency`` on the event
+        kernel; inside a batch, downloads interleave with searches (and
+        churn) on the shared clock without perturbing their latencies.
+        Returns the merged :class:`~repro.engine.driver.BatchOutcome`.
+        """
+        ops = self.mixed_operations()
+        driver = QueryDriver(self.network)
+        outcome = BatchOutcome()
+        step = max(1, self.config.concurrency)
+        for start in range(0, len(ops), step):
+            outcome.merge(driver.run_mixed(
+                ops[start:start + step],
+                max_results=max_results,
+                interarrival_ms=self.config.query_interarrival_ms,
+            ))
+        return outcome
+
+    def replication_degrees(self) -> list[int]:
+        """Replication degree per corpus object, in popularity-rank order."""
+        return [self.network.replication_degree(resource_id)
+                for resource_id in self.resource_ids]
 
 
 def build_network(config: ScenarioConfig) -> PeerNetwork:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine.driver import QueryDriver, RetrieveOp, SearchOp
 from repro.network.centralized import CentralizedProtocol
 from repro.network.churn import ChurnModel
 from repro.network.errors import DuplicatePeerError
@@ -112,6 +113,24 @@ class TestKernelContract:
         assert context.done
         protocol_network.finish_search(context)
 
+    def test_origin_churning_mid_query_receives_no_results(self, protocol_network):
+        """Hits count on *arrival*: if the origin churns offline before a
+        generated QUERY-HIT reaches it, the dropped delivery must not
+        have contributed results — even though remote peers matched."""
+        populate(protocol_network)
+        publish_pattern(protocol_network, "peer-005", "Observer")
+        publish_pattern(protocol_network, "peer-007", "Observer Twin")
+        context = protocol_network.start_search(
+            "peer-002", Query.keyword("patterns", "observer"), max_results=50)
+        # The origin departs before any hit can arrive (hits need at
+        # least one full round trip, i.e. tens of virtual milliseconds).
+        protocol_network.simulator.schedule(
+            0.5, lambda: protocol_network.set_online("peer-002", False))
+        protocol_network.kernel.run_until_complete([context])
+        assert context.done
+        response = protocol_network.finish_search(context)
+        assert response.result_count == 0
+
     def test_duplicate_peer_rejected(self, protocol_network):
         protocol_network.create_peer("dup")
         with pytest.raises(DuplicatePeerError):
@@ -168,6 +187,51 @@ class TestReplicationUnderChurn:
         providers = {result.provider_id for result in again.results
                      if result.resource_id == resource_id}
         assert requester in providers
+
+
+class TestRetrieveComposition:
+    """Acceptance: retrieval composes with in-flight queries
+    deterministically.  A download taken mid-batch schedules its own
+    events on the shared queue but never mutates the clock, so every
+    concurrent query's measured latency is bit-identical to a batch run
+    without the download."""
+
+    SEARCHERS = ("peer-001", "peer-002", "peer-003", "peer-004", "peer-006", "peer-008")
+
+    def run_batch(self, name: str, *, with_download: bool):
+        network = make_network(name)
+        populate(network)
+        publish_pattern(network, "peer-005", "Observer")
+        publish_pattern(network, "peer-007", "Observer Twin")
+        # The download target matches no concurrent query, so the only
+        # possible interference would be through the clock or the queue.
+        payload_id = publish_pattern(network, "peer-009", "Payload Blob",
+                                     "unrelated binary")
+        ops = [SearchOp(origin_id, Query.keyword("patterns", "observer"))
+               for origin_id in self.SEARCHERS]
+        if with_download:
+            # Appended, so every search keeps its exact submission time;
+            # the download is submitted at 30 ms while the searches
+            # (latencies well beyond that) are still in flight, and its
+            # request/response/transfer events interleave with theirs.
+            ops.append(RetrieveOp(requester_id="peer-010", resource_id=payload_id,
+                                  provider_id="peer-009"))
+        outcome = QueryDriver(network).run_mixed(ops, interarrival_ms=5.0)
+        assert outcome.failed == 0 and outcome.retrieve_failures == 0
+        if with_download:
+            assert outcome.retrieves[0] is not None
+            assert network.peer("peer-010").repository.documents.contains(payload_id)
+        return {
+            "latencies": [response.latency_ms for response in outcome.responses],
+            "counts": [response.result_count for response in outcome.responses],
+            "probed": [response.peers_probed for response in outcome.responses],
+        }
+
+    @pytest.mark.parametrize("name", PROTOCOL_NAMES)
+    def test_download_mid_batch_leaves_query_latencies_bit_identical(self, name):
+        without = self.run_batch(name, with_download=False)
+        with_download = self.run_batch(name, with_download=True)
+        assert with_download == without
 
 
 class TestConcurrentDeterminism:

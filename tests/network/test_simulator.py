@@ -24,6 +24,28 @@ class TestLatencyModel:
         with pytest.raises(ValueError):
             LatencyModel(base_ms=-1)
 
+    def test_deterministic_across_instances(self):
+        """Two models with the same seed agree on every pair — fresh
+        networks built for A/B comparisons see identical link costs."""
+        first = LatencyModel(seed=11)
+        second = LatencyModel(seed=11)
+        for pair in (("a", "b"), ("b", "c"), ("peer-000", "peer-013")):
+            assert first.latency(*pair) == second.latency(*pair)
+            # Symmetry holds across instances too, not just within one.
+            assert first.latency(*pair) == second.latency(*reversed(pair))
+
+    def test_different_seeds_differ_somewhere(self):
+        first = LatencyModel(seed=1, jitter_ms=30)
+        second = LatencyModel(seed=2, jitter_ms=30)
+        pairs = [("a", "b"), ("c", "d"), ("e", "f"), ("g", "h")]
+        assert any(first.latency(*pair) != second.latency(*pair) for pair in pairs)
+
+    def test_cache_does_not_change_values(self):
+        model = LatencyModel(seed=5)
+        cold = model.latency("x", "y")
+        assert model.latency("x", "y") == cold
+        assert model.latency("y", "x") == cold
+
 
 class TestSimulator:
     def test_clock_starts_at_zero(self):
@@ -87,9 +109,52 @@ class TestSimulator:
         simulator.run()
         assert simulator.now == 150 and fired == ["x"]
 
+    def test_schedule_at_past_time_clamps_to_now(self):
+        """An absolute time already in the past fires immediately at the
+        current clock instead of raising or travelling backwards."""
+        simulator = NetworkSimulator()
+        simulator.advance(100)
+        fired = []
+        handle = simulator.schedule_at(40, lambda: fired.append(simulator.now))
+        assert handle.time == 100
+        simulator.run()
+        assert fired == [100]
+        assert simulator.now == 100
+
     def test_negative_delay_rejected(self):
         with pytest.raises(ValueError):
             NetworkSimulator().schedule(-1, lambda: None)
+
+    def test_cancelled_events_skipped_by_run(self):
+        simulator = NetworkSimulator()
+        fired = []
+        cancelled = simulator.schedule(5, lambda: fired.append("cancelled"))
+        simulator.schedule(10, lambda: fired.append("kept"))
+        cancelled.cancel()
+        processed = simulator.run()
+        assert fired == ["kept"]
+        # The cancelled event is not counted as processed work.
+        assert processed == 1
+        assert simulator.events_processed == 1
+
+    def test_cancelled_events_skipped_by_step(self):
+        simulator = NetworkSimulator()
+        fired = []
+        cancelled = simulator.schedule(5, lambda: fired.append("cancelled"))
+        simulator.schedule(10, lambda: fired.append("kept"))
+        cancelled.cancel()
+        # One step skips straight over the cancelled event to the live one.
+        assert simulator.step() is True
+        assert fired == ["kept"]
+        assert simulator.now == 10
+        assert simulator.step() is False
+
+    def test_step_returns_false_when_only_cancelled_events_remain(self):
+        simulator = NetworkSimulator()
+        handle = simulator.schedule(5, lambda: None)
+        handle.cancel()
+        assert simulator.step() is False
+        assert simulator.pending_events() == 0
 
     def test_advance(self):
         simulator = NetworkSimulator()

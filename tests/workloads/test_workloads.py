@@ -117,3 +117,76 @@ class TestScenario:
         scenario = build_scenario(ScenarioConfig(peers=10, members=5, publishers=3,
                                                  corpus_size=10, queries=5, seed=1))
         assert scenario.network.stats.total_messages == 0
+
+
+class TestMixedWorkload:
+    CONFIG = dict(
+        protocol="gnutella", peers=20, members=10, publishers=4,
+        corpus_size=20, queries=30, seed=7,
+        retrieve_fraction=0.4, popularity_skew=1.2,
+        concurrency=5, query_interarrival_ms=10.0,
+    )
+
+    def test_new_knobs_validated(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(retrieve_fraction=-0.1)
+        with pytest.raises(ValueError):
+            ScenarioConfig(retrieve_fraction=1.5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(popularity_skew=-1.0)
+
+    def test_mixed_operations_split_and_determinism(self):
+        scenario = build_scenario(ScenarioConfig(**self.CONFIG))
+        ops = scenario.mixed_operations()
+        assert len(ops) == self.CONFIG["queries"]
+        from repro.engine.driver import RetrieveOp, SearchOp
+        retrieve_ops = [op for op in ops if isinstance(op, RetrieveOp)]
+        search_ops = [op for op in ops if isinstance(op, SearchOp)]
+        assert retrieve_ops and search_ops
+        # The op sequence is a pure function of the config.
+        again = build_scenario(ScenarioConfig(**self.CONFIG)).mixed_operations()
+        assert [type(op).__name__ for op in again] == [type(op).__name__ for op in ops]
+        assert [op.resource_id for op in retrieve_ops] == \
+            [op.resource_id for op in again if isinstance(op, RetrieveOp)]
+
+    def test_zero_fraction_keeps_pure_search_workload(self):
+        scenario = build_scenario(ScenarioConfig(**{**self.CONFIG, "retrieve_fraction": 0.0}))
+        from repro.engine.driver import SearchOp
+        assert all(isinstance(op, SearchOp) for op in scenario.mixed_operations())
+
+    def test_run_mixed_workload_replicates_popular_objects(self):
+        scenario = build_scenario(ScenarioConfig(**self.CONFIG))
+        outcome = scenario.run_mixed_workload()
+        assert outcome.downloads_completed > 0
+        assert scenario.network.stats.downloads == outcome.downloads_completed
+        degrees = scenario.replication_degrees()
+        # Downloads concentrate on popular ranks, so the head of the
+        # popularity order carries more copies than the tail.
+        head = sum(degrees[:5])
+        tail = sum(degrees[-5:])
+        assert head > tail
+
+    def test_run_mixed_workload_deterministic(self):
+        def run_once():
+            scenario = build_scenario(ScenarioConfig(**self.CONFIG))
+            outcome = scenario.run_mixed_workload()
+            return {
+                "counts": outcome.result_counts,
+                "latencies": [round(value, 9) for value in outcome.latencies_ms],
+                "downloads": outcome.downloads_completed,
+                "bytes": scenario.network.stats.download_bytes,
+                "degrees": scenario.replication_degrees(),
+            }
+        assert run_once() == run_once()
+
+    def test_mixed_workload_under_churn_fails_softly(self):
+        scenario = build_scenario(ScenarioConfig(**{
+            **self.CONFIG,
+            "churn_session_ms": 2_000.0,
+            "churn_absence_ms": 1_000.0,
+        }))
+        outcome = scenario.run_mixed_workload()
+        # Under churn some downloads may fail; the run itself completes
+        # and accounts every operation one way or the other.
+        total = len(outcome.responses) + len(outcome.retrieves)
+        assert total == self.CONFIG["queries"]
