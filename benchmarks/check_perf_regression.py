@@ -1,0 +1,95 @@
+"""Fail CI when hot-path throughput regresses against the committed record.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BASELINE.json CURRENT.json \
+        [--tolerance 0.20]
+
+Compares every ``queries_per_s`` (and ``messages_per_s``) sample of the
+current ``BENCH_perf.json`` against the committed baseline and exits
+non-zero if any workload is more than ``tolerance`` slower.  Faster is
+always fine — the committed file is refreshed by re-running
+``pytest benchmarks/test_bench_p1_hot_path.py`` and committing the
+result, which is how intentional trajectory changes land.
+
+When both records carry ``calibration_events_per_s`` (a synthetic
+kernel-shaped loop measured in the same run), throughput is normalized
+by the calibration ratio first, so a slower or faster machine — a
+shared CI runner versus the laptop that committed the baseline — does
+not read as a code regression or mask one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def samples(record: dict):
+    """Yield (label, metrics) pairs comparable across runs."""
+    for protocol, workloads in sorted(record.get("protocols", {}).items()):
+        for workload, sample in sorted(workloads.items()):
+            yield f"{protocol}/{workload}", sample
+    headline = record.get("e3_concurrent_200")
+    if headline:
+        yield "e3_concurrent_200", headline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional queries/sec regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    current = json.loads(args.current.read_text(encoding="utf-8"))
+    current_samples = dict(samples(current))
+
+    # Hardware normalization: scale the current numbers as if they had
+    # been measured on the baseline machine.
+    base_calibration = baseline.get("calibration_events_per_s")
+    now_calibration = current.get("calibration_events_per_s")
+    if base_calibration and now_calibration:
+        hardware = now_calibration / base_calibration
+        print(f"calibration: baseline={base_calibration:.0f} ev/s, "
+              f"current={now_calibration:.0f} ev/s -> normalizing by {hardware:.2f}x")
+    else:
+        hardware = 1.0
+        print("calibration missing from one record; comparing raw throughput")
+
+    failures = []
+    for label, base in samples(baseline):
+        now = current_samples.get(label)
+        if now is None:
+            failures.append(f"{label}: missing from current record")
+            continue
+        for metric in ("queries_per_s", "messages_per_s"):
+            base_value = base.get(metric)
+            now_value = now.get(metric)
+            if not base_value or not now_value:
+                continue
+            ratio = now_value / hardware / base_value
+            marker = "OK " if ratio >= 1.0 - args.tolerance else "REG"
+            print(f"{marker} {label:28s} {metric:16s} "
+                  f"baseline={base_value:>12.1f} current={now_value:>12.1f} "
+                  f"({ratio:.2f}x)")
+            if ratio < 1.0 - args.tolerance:
+                failures.append(
+                    f"{label} {metric} regressed to {ratio:.2f}x of baseline "
+                    f"({base_value:.1f} -> {now_value:.1f})")
+
+    if failures:
+        print("\nPerformance regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nNo hot-path regression beyond tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,263 @@
+"""P1 — the kernel→index hot path: wall-clock throughput trajectory.
+
+Unlike the E-series benchmarks (which reproduce the paper's *virtual*
+cost metrics), this suite measures what the repository had no record of:
+real wall-clock throughput of the evaluation hot path — messages/sec
+and queries/sec for flood-heavy and mixed workloads across all four
+protocols — and writes the result to ``BENCH_perf.json`` at the repo
+root so the perf trajectory is tracked commit over commit (CI fails on
+a >20% queries/sec regression against the committed file; see
+``benchmarks/check_perf_regression.py``).
+
+It also pins the two properties the compiled-plan fast path must keep:
+
+* *identity*: with compilation disabled the same scenario produces the
+  same results, hit counts, message counts and byte counts;
+* *speed*: compiled evaluation beats naive evaluation, and the whole
+  flood scenario is at least as fast with compilation on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.storage.plan import compile_query
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+PERF_PATH = REPO_ROOT / "BENCH_perf.json"
+
+PROTOCOLS = ("centralized", "gnutella", "super-peer", "rendezvous")
+
+#: the E3 concurrent-query scenario, scaled to 200 peers (the headline
+#: hot-path measurement; BASE mirrors test_bench_e3_protocol_comparison)
+E3_200 = dict(peers=200, members=24, publishers=12, corpus_size=90, queries=16,
+              community="design-patterns", ttl=6, seed=11,
+              concurrency=8, query_interarrival_ms=20.0)
+
+#: mixed search/download workload (the paper's download-and-replicate load)
+MIXED = dict(peers=120, members=24, publishers=12, corpus_size=90, queries=24,
+             community="design-patterns", ttl=6, seed=11,
+             concurrency=8, query_interarrival_ms=20.0,
+             retrieve_fraction=0.3, popularity_skew=1.0)
+
+#: collected by the tests below; the final test writes it to disk
+RECORD: dict = {
+    "suite": "p1_hot_path",
+    "schema_version": 1,
+    "protocols": {},
+    # Pre-compiled-plan reference, measured once (same machine, clean
+    # worktree at the commit below, best of 5): the e3 concurrent
+    # gnutella scenario at 200 peers took 0.157 s wall — compare with
+    # e3_concurrent_200.wall_s_compiled for the fast-path speedup.
+    "baseline_reference": {
+        "commit": "3c79856",
+        "e3_concurrent_200_wall_s_gnutella": 0.157,
+    },
+}
+
+
+def timed_run(config: dict, *, repeats: int = 3, mixed: bool = False) -> dict:
+    """Best-of-``repeats`` wall-clock measurement of one scenario's
+    query phase (build time excluded)."""
+    best = None
+    for _ in range(repeats):
+        scenario = build_scenario(ScenarioConfig(**config))
+        start = time.perf_counter()
+        if mixed:
+            outcome = scenario.run_mixed_workload(max_results=200)
+            operations = len(outcome.responses) + len(outcome.retrieves)
+        else:
+            counts = scenario.run_queries(max_results=200)
+            operations = len(counts)
+        wall = time.perf_counter() - start
+        stats = scenario.network.stats
+        sample = {
+            "wall_s": round(wall, 6),
+            "messages": stats.total_messages,
+            "bytes": stats.total_bytes,
+            "operations": operations,
+            "messages_per_s": round(stats.total_messages / wall, 1),
+            "queries_per_s": round(operations / wall, 1),
+        }
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    return best
+
+
+def scenario_signature(config: dict) -> dict:
+    """Everything the identity contract compares between two runs."""
+    scenario = build_scenario(ScenarioConfig(**config))
+    counts = scenario.run_queries(max_results=200)
+    stats = scenario.network.stats
+    return {
+        "counts": counts,
+        "messages": stats.total_messages,
+        "bytes": stats.total_bytes,
+        "by_type": dict(stats.messages_by_type),
+        "per_query": [(r.results, r.messages, r.bytes, r.peers_probed,
+                       round(r.latency_ms, 6)) for r in stats.queries],
+    }
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_bench_p1_flood_throughput(benchmark, protocol):
+    """Wall-clock throughput of the concurrent query phase at 200 peers."""
+    config = dict(protocol=protocol, **E3_200)
+    sample = benchmark.pedantic(lambda: timed_run(config), rounds=1, iterations=1)
+    RECORD["protocols"].setdefault(protocol, {})["flood"] = sample
+    assert sample["operations"] == E3_200["queries"]
+    assert sample["messages"] > 0
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_bench_p1_mixed_throughput(benchmark, protocol):
+    """Wall-clock throughput with downloads interleaved mid-flood."""
+    config = dict(protocol=protocol, **MIXED)
+    sample = benchmark.pedantic(lambda: timed_run(config, mixed=True),
+                                rounds=1, iterations=1)
+    RECORD["protocols"].setdefault(protocol, {})["mixed"] = sample
+    assert sample["operations"] == MIXED["queries"]
+
+
+def test_bench_p1_compiled_identical_to_naive(benchmark):
+    """Contract: identical search results, hit counts, message counts
+    and byte counts with and without the compiled fast path — the e3
+    concurrent scenario at 200 peers, fixed seed."""
+    config = dict(protocol="gnutella", **E3_200)
+    compiled = benchmark.pedantic(
+        lambda: scenario_signature({**config, "compile_queries": True}),
+        rounds=1, iterations=1)
+    naive = scenario_signature({**config, "compile_queries": False})
+    assert compiled == naive
+    RECORD["e3_concurrent_200_contract"] = {
+        "messages": compiled["messages"],
+        "bytes": compiled["bytes"],
+        "results_total": sum(compiled["counts"]),
+    }
+
+
+def test_bench_p1_compiled_vs_naive_wall(benchmark):
+    """The compiled path must not be slower than the naive path on the
+    same build (10% noise allowance), and the ratio is recorded."""
+    config = dict(protocol="gnutella", **E3_200)
+    compiled = benchmark.pedantic(
+        lambda: timed_run({**config, "compile_queries": True}),
+        rounds=1, iterations=1)
+    naive = timed_run({**config, "compile_queries": False})
+    ratio = naive["wall_s"] / compiled["wall_s"]
+    RECORD["e3_concurrent_200"] = {
+        "wall_s_compiled": compiled["wall_s"],
+        "wall_s_naive": naive["wall_s"],
+        "messages": compiled["messages"],
+        "messages_per_s": compiled["messages_per_s"],
+        "queries_per_s": compiled["queries_per_s"],
+        "speedup_compiled_vs_naive": round(ratio, 3),
+    }
+    assert compiled["wall_s"] <= naive["wall_s"] * 1.10
+
+
+def test_bench_p1_evaluate_microbench(benchmark):
+    """Compile-once/evaluate-everywhere beats per-visit re-evaluation.
+
+    This isolates what a flood actually repeats per peer: evaluating
+    one query against many local indices.  Gate is conservative (1.3×)
+    to stay robust on noisy CI hardware; typical is >2×.
+    """
+    scenario = build_scenario(ScenarioConfig(
+        protocol="gnutella", peers=60, members=24, publishers=12, corpus_size=90,
+        queries=30, community="design-patterns", ttl=6, seed=11))
+    indices = [servent.repository.index for servent in scenario.servents[:24]]
+    queries = list(scenario.workload)
+
+    def naive_pass():
+        for query in queries:
+            for index in indices:
+                query.evaluate(index)
+
+    def compiled_pass():
+        for query in queries:
+            plan = compile_query(query)
+            for index in indices:
+                plan.evaluate(index)
+
+    def measure(function, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(10):
+                function()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    naive_s = measure(naive_pass)
+    compiled_s = benchmark.pedantic(lambda: measure(compiled_pass),
+                                    rounds=1, iterations=1)
+    # Sanity: the two passes agree on a sample query/index.
+    sample = queries[0]
+    assert compile_query(sample).evaluate(indices[0]) == sample.evaluate(indices[0])
+    speedup = naive_s / compiled_s
+    RECORD["evaluate_microbench"] = {
+        "naive_s": round(naive_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "speedup": round(speedup, 3),
+    }
+    assert speedup >= 1.3
+
+
+def measure_calibration() -> float:
+    """Events/sec of a synthetic kernel-shaped loop on this machine.
+
+    Recorded alongside the throughput samples so the CI regression
+    checker can normalize away hardware speed: a slower runner scores
+    proportionally lower on both the calibration and the scenarios, and
+    the *normalized* queries/sec stays comparable across machines.
+    """
+    from repro.network.simulator import NetworkSimulator
+
+    def tick() -> None:
+        return None
+
+    best = 0.0
+    for _ in range(3):
+        simulator = NetworkSimulator(seed=0)
+        count = 200_000
+        start = time.perf_counter()
+        for index in range(count):
+            simulator.post(float(index % 50), tick)
+        simulator.run(max_events=count + 1)
+        wall = time.perf_counter() - start
+        best = max(best, count / wall)
+    return round(best, 1)
+
+
+def test_bench_p1_write_record(benchmark, report, request):
+    """Write ``BENCH_perf.json`` — the perf trajectory record — and
+    print the throughput table.
+
+    Skipped under ``--benchmark-disable`` (the tier-1/fast-CI mode):
+    timings from that mode are not meaningful and rewriting the
+    committed record on every plain test run would dirty working trees.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(RECORD["protocols"]) == set(PROTOCOLS), \
+        "run the whole module so every protocol is measured"
+    if request.config.getoption("benchmark_disable", False):
+        pytest.skip("benchmark timing disabled; not rewriting BENCH_perf.json")
+    RECORD["calibration_events_per_s"] = measure_calibration()
+    PERF_PATH.write_text(json.dumps(RECORD, indent=2, sort_keys=True) + "\n",
+                         encoding="utf-8")
+    rows = []
+    for protocol in PROTOCOLS:
+        for workload in ("flood", "mixed"):
+            sample = RECORD["protocols"][protocol][workload]
+            rows.append([protocol, workload, f"{sample['wall_s']:.3f}",
+                         f"{sample['messages_per_s']:.0f}",
+                         f"{sample['queries_per_s']:.0f}"])
+    report("P1  wall-clock hot-path throughput (written to BENCH_perf.json)",
+           ["protocol", "workload", "wall s", "msgs/s", "queries/s"], rows)
+    assert PERF_PATH.exists()

@@ -15,7 +15,6 @@ answer later queries of the same batch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import partial
 from typing import Optional, Sequence, Union
 
 from repro.network.errors import NetworkError
@@ -119,11 +118,20 @@ class QueryDriver:
             raise ValueError("interarrival must be non-negative")
         contexts: list[Optional[object]] = [None] * len(ops)
         failures: set[int] = set()
+        # Completion is counted by the kernel's per-context watcher hook,
+        # so the drive loop below is O(1) per processed event instead of
+        # re-scanning every context of the batch after each event.
+        settled = 0
+
+        def note_done(_context) -> None:
+            nonlocal settled
+            settled += 1
 
         def submit(index: int, op: WorkloadOp) -> None:
+            nonlocal settled
             try:
                 if isinstance(op, SearchOp):
-                    contexts[index] = self.network.start_search(
+                    context = self.network.start_search(
                         op.origin_id, op.query,
                         max_results=op.max_results if op.max_results is not None else max_results)
                 else:
@@ -131,26 +139,31 @@ class QueryDriver:
                         op.resource_id, exclude=op.requester_id)
                     if provider_id is None:
                         failures.add(index)
+                        settled += 1
                         return
-                    contexts[index] = self.network.start_retrieve(
+                    context = self.network.start_retrieve(
                         op.requester_id, provider_id, op.resource_id,
                         bandwidth_kbps=op.bandwidth_kbps)
             except NetworkError:
                 failures.add(index)
+                settled += 1
+                return
+            contexts[index] = context
+            if context.done:
+                # Answered purely locally, before a watcher could be
+                # attached — count it here instead.
+                settled += 1
+            else:
+                context.watcher = note_done
 
         for index, op in enumerate(ops):
-            self.network.simulator.schedule(
-                index * interarrival_ms, partial(submit, index, op))
+            self.network.simulator.schedule(index * interarrival_ms, submit, index, op)
 
-        def finished() -> bool:
-            return all(
-                index in failures or (contexts[index] is not None and contexts[index].done)
-                for index in range(len(ops))
-            )
-
+        expected = len(ops)
         processed = 0
-        while not finished():
-            if not self.network.simulator.step():
+        step = self.network.simulator.step
+        while settled < expected:
+            if not step():
                 # The queue drained with exchanges still pending: their
                 # deliveries are lost, so complete them at the drain time
                 # instead of leaving a bogus zero completion stamp.

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.base import SearchResult
     from repro.network.peers import Peer
     from repro.storage.document_store import StoredObject
+    from repro.storage.plan import CompiledQuery
 
 #: handler(peer, message, context) — ``peer`` is the recipient (``None``
 #: for virtual nodes such as the centralized index server).
@@ -67,6 +68,10 @@ class ExchangeContext:
     finalized: bool = False
     starved: bool = False
     completed_at: float = 0.0
+    #: invoked once, with the context, when the exchange completes; the
+    #: batch driver uses this to count completions in O(1) instead of
+    #: polling every context after every processed event
+    watcher: Optional[Callable[["ExchangeContext"], None]] = None
 
     @property
     def latency_ms(self) -> float:
@@ -92,6 +97,10 @@ class QueryContext(ExchangeContext):
     first_hit_hops: Optional[int] = None
     visited: set[str] = field(default_factory=set)
     claimed: int = 0
+    #: the query compiled once at search start; every protocol handler's
+    #: ``local_matches`` call reuses it, so per-hop evaluation is pure
+    #: index intersection (``None`` when compilation is disabled)
+    plan: Optional["CompiledQuery"] = None
 
     def room(self) -> int:
         """How many more results fit under ``max_results``.
@@ -139,7 +148,13 @@ class EventKernel:
         self.simulator = simulator
         self.peers = peers
         self.stats = stats
-        self._handlers: dict[MessageType, Handler] = {}
+        # Keyed by the message type's *value string*: string hashing is
+        # C-level, while hashing an Enum member goes through a Python
+        # __hash__ on every dispatch.
+        self._handlers: dict[str, Handler] = {}
+        # Bound method of the latency model, resolved once: the send
+        # path calls it per message.
+        self._link_latency = simulator.latency_model.latency
         #: always-on endpoints that are not peers (e.g. the index server)
         self.virtual_nodes: set[str] = set()
 
@@ -148,7 +163,7 @@ class EventKernel:
     # ------------------------------------------------------------------
     def register(self, message_type: MessageType, handler: Handler) -> None:
         """Install the handler invoked when a ``message_type`` arrives."""
-        self._handlers[message_type] = handler
+        self._handlers[message_type.value] = handler
 
     def add_virtual_node(self, node_id: str) -> None:
         """Declare an always-online endpoint (it has no :class:`Peer`)."""
@@ -169,15 +184,18 @@ class EventKernel:
         the same virtual time in both directions, and download
         responses pass link latency plus transmission time.
         """
-        for _ in range(copies):
-            self.stats.record_message(message)
+        # ``_value_`` reads the member's slot directly, skipping the
+        # DynamicClassAttribute descriptor behind ``.value`` — this line
+        # runs once per message.
+        size = message.size_bytes
+        self.stats.record(message.type._value_, size, copies)
         if context is not None:
             context.messages_sent += copies
-            context.bytes_sent += copies * message.size_bytes
+            context.bytes_sent += copies * size
             context.pending += 1
-        delay = latency_ms if latency_ms is not None else self.simulator.link_latency(
+        delay = latency_ms if latency_ms is not None else self._link_latency(
             message.sender, message.recipient)
-        self.simulator.schedule(delay, lambda: self._deliver(message, context))
+        self.simulator.post(delay, self._deliver, message, context)
 
     def finish_if_idle(self, context: ExchangeContext) -> None:
         """Complete an exchange that sent no messages (purely local answer)."""
@@ -189,11 +207,10 @@ class EventKernel:
     # ------------------------------------------------------------------
     def _deliver(self, message: Message, context: Optional[ExchangeContext]) -> None:
         try:
-            peer = self.peers.get(message.recipient)
-            reachable = message.recipient in self.virtual_nodes or (
-                peer is not None and peer.online)
-            if reachable:
-                handler = self._handlers.get(message.type)
+            recipient = message.recipient
+            peer = self.peers.get(recipient)
+            if (peer is not None and peer.online) or recipient in self.virtual_nodes:
+                handler = self._handlers.get(message.type._value_)
                 if handler is not None:
                     handler(peer, message, context)
         finally:
@@ -205,6 +222,8 @@ class EventKernel:
     def _complete(self, context: ExchangeContext) -> None:
         context.done = True
         context.completed_at = self.simulator.now
+        if context.watcher is not None:
+            context.watcher(context)
 
     def mark_starved(self, contexts: list[ExchangeContext]) -> int:
         """Complete every unfinished context at the current virtual time.

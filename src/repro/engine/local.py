@@ -9,6 +9,11 @@ candidate-set intersection over the peer's
 the call keeps the four protocol handler sets on one evaluation path,
 so a change to local matching semantics lands in every protocol at
 once and can be costed uniformly.
+
+When the caller holds a :class:`~repro.storage.plan.CompiledQuery`
+(every kernel :class:`~repro.engine.kernel.QueryContext` compiles one
+at search start), passing it here turns each peer visit into pure
+index intersection — no re-normalization, no re-tokenization.
 """
 
 from __future__ import annotations
@@ -16,14 +21,16 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.storage.document_store import StoredObject
+from repro.storage.plan import CompiledQuery
 from repro.storage.query import Query
 from repro.storage.repository import LocalRepository
 
 
 def local_matches(repository: LocalRepository, query: Query,
-                  *, limit: Optional[int] = None) -> list[StoredObject]:
+                  *, plan: Optional[CompiledQuery] = None,
+                  limit: Optional[int] = None) -> list[StoredObject]:
     """Objects in ``repository`` matching ``query``, in resource-id order."""
-    matched = repository.search(query)
+    matched = repository.search(query, plan=plan)
     if limit is not None:
         return matched[:limit]
     return matched

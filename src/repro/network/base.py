@@ -34,6 +34,7 @@ from repro.network.simulator import NetworkSimulator
 from repro.network.stats import DownloadRecord, NetworkStats, QueryRecord
 from repro.storage.document_store import StoredObject
 from repro.storage.errors import ObjectNotFoundError
+from repro.storage.plan import CompiledQuery, compile_query
 from repro.storage.query import Query
 from repro.storage.replicas import ReplicaRegistry
 
@@ -57,12 +58,14 @@ class SearchResult:
 
     @classmethod
     def from_stored(cls, provider_id: str, stored: StoredObject, *, hops: int = 0) -> "SearchResult":
+        # Zero-copy: the stored object's tuple-valued metadata view is
+        # built once and shared by every result generated for it.
         return cls(
             provider_id=provider_id,
             resource_id=stored.resource_id,
             community_id=stored.community_id,
             title=stored.title,
-            metadata={path: tuple(values) for path, values in stored.metadata.items()},
+            metadata=stored.metadata_view(),
             hops=hops,
         )
 
@@ -118,12 +121,17 @@ class PeerNetwork(ABC):
     protocol_name = "abstract"
 
     def __init__(self, *, simulator: Optional[NetworkSimulator] = None,
-                 stats: Optional[NetworkStats] = None, seed: int = 0) -> None:
+                 stats: Optional[NetworkStats] = None, seed: int = 0,
+                 compile_queries: bool = True) -> None:
         self.simulator = simulator or NetworkSimulator(seed=seed)
         self.stats = stats or NetworkStats()
         self.peers: dict[str, Peer] = {}
         self.kernel = EventKernel(simulator=self.simulator, peers=self.peers, stats=self.stats)
         self.replicas = ReplicaRegistry()
+        #: compile each query once at search start (the fast path); the
+        #: flag exists so the contract suite can pin that the compiled
+        #: path is result- and message-count-identical to the naive one
+        self.compile_queries = compile_queries
         self._query_sequence = itertools.count(1)
         self._register_handlers(self.kernel)
 
@@ -242,14 +250,38 @@ class PeerNetwork(ABC):
         """
         return next(self._query_sequence)
 
+    def compile(self, query: Query) -> Optional[CompiledQuery]:
+        """The query's compiled plan, or ``None`` when compilation is off."""
+        return compile_query(query) if self.compile_queries else None
+
+    def wire_form(self, query: Query, plan: Optional[CompiledQuery]) -> tuple[str, int]:
+        """The query's serialized wire form and its byte length.
+
+        With a plan both are computed once per search and shared by
+        every hop's QUERY message; without one they are recomputed here
+        (the naive path the contract suite compares against).
+        """
+        if plan is not None:
+            return plan.wire_xml, plan.wire_bytes
+        xml = query.to_xml_text()
+        return xml, len(xml.encode("utf-8"))
+
     def new_context(self, origin_id: str, query: Query, *, max_results: int,
-                    query_id: str = "") -> QueryContext:
-        """A fresh context stamped with the current virtual time."""
+                    query_id: str = "",
+                    plan: Optional[CompiledQuery] = None) -> QueryContext:
+        """A fresh context stamped with the current virtual time.
+
+        The query is compiled here, once per search — every protocol
+        handler that evaluates it downstream reuses ``context.plan``.
+        Callers that compiled earlier (to build the opening message)
+        pass their plan in to avoid compiling twice.
+        """
         context = QueryContext(
             query=query,
             origin_id=origin_id,
             max_results=max_results,
             started_at=self.simulator.now,
+            plan=plan if plan is not None else self.compile(query),
         )
         if query_id:
             context.extra["query_id"] = query_id

@@ -38,13 +38,20 @@ INDEX_SERVER_ID = "index-server"
 
 @dataclass
 class _CatalogEntry:
-    """The server's record of one published object replica."""
+    """The server's record of one published object replica.
+
+    The tuple-valued metadata view and its wire byte count are built
+    once at registration and shared by every search result generated
+    from this entry — answering a query never re-copies metadata.
+    """
 
     resource_id: str
     community_id: str
     title: str
     metadata: dict[str, list[str]]
     providers: set[str] = field(default_factory=set)
+    metadata_view: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    metadata_bytes: int = 0
 
 
 class CentralizedProtocol(PeerNetwork):
@@ -70,8 +77,12 @@ class CentralizedProtocol(PeerNetwork):
 
         entry = self._catalog.get(resource_id)
         if entry is None:
-            entry = _CatalogEntry(resource_id=resource_id, community_id=community_id,
-                                  title=title, metadata=dict(metadata))
+            entry = _CatalogEntry(
+                resource_id=resource_id, community_id=community_id,
+                title=title, metadata=dict(metadata),
+                metadata_view={path: tuple(values) for path, values in metadata.items()},
+                metadata_bytes=metadata_bytes,
+            )
             self._catalog[resource_id] = entry
             self._index.add(community_id, resource_id, metadata)
         entry.providers.add(peer.peer_id)
@@ -90,10 +101,13 @@ class CentralizedProtocol(PeerNetwork):
     def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
                      **kwargs) -> QueryContext:
         self._require_peer(origin_id)
-        request = query_message(origin_id, INDEX_SERVER_ID, query.to_xml_text(),
-                                community_id=query.community_id)
+        plan = self.compile(query)
+        wire_xml, wire_bytes = self.wire_form(query, plan)
+        request = query_message(origin_id, INDEX_SERVER_ID, wire_xml,
+                                community_id=query.community_id,
+                                payload_bytes=wire_bytes)
         context = self.new_context(origin_id, query, max_results=max_results,
-                                   query_id=request.message_id)
+                                   query_id=request.message_id, plan=plan)
         context.peers_probed = 1
         self.kernel.send(request, context=context)
         return context
@@ -117,7 +131,7 @@ class CentralizedProtocol(PeerNetwork):
         metadata_bytes = 0
         results: list[SearchResult] = []
         room = context.room()
-        for resource_id in sorted(self._matching_ids(context.query)):
+        for resource_id in sorted(self._matching_ids(context)):
             entry = self._catalog[resource_id]
             for provider_id in sorted(entry.providers):
                 provider = self.peers.get(provider_id)
@@ -128,11 +142,11 @@ class CentralizedProtocol(PeerNetwork):
                     resource_id=resource_id,
                     community_id=entry.community_id,
                     title=entry.title,
-                    metadata={path: tuple(values) for path, values in entry.metadata.items()},
+                    metadata=entry.metadata_view,
                     hops=1,
                 )
                 results.append(result)
-                metadata_bytes += result.metadata_bytes()
+                metadata_bytes += entry.metadata_bytes
                 if len(results) >= room:
                     break
             if len(results) >= room:
@@ -145,14 +159,18 @@ class CentralizedProtocol(PeerNetwork):
                          latency_ms=self.simulator.now - context.started_at)
 
     # ------------------------------------------------------------------
-    def _matching_ids(self, query: Query) -> set[str]:
-        if query.is_empty:
+    def _matching_ids(self, context: QueryContext) -> set[str]:
+        # Query and CompiledQuery share the evaluation surface
+        # (is_empty / community_id / evaluate), so the compiled plan
+        # substitutes for the query wherever one exists.
+        evaluator = context.plan if context.plan is not None else context.query
+        if evaluator.is_empty:
             return {
                 resource_id
                 for resource_id, entry in self._catalog.items()
-                if entry.community_id == query.community_id
+                if entry.community_id == evaluator.community_id
             }
-        return query.evaluate(self._index)
+        return evaluator.evaluate(self._index)
 
     # ------------------------------------------------------------------
     # Churn hooks: the catalog keeps entries of offline peers but search

@@ -27,7 +27,7 @@ from typing import Optional
 from repro.engine.kernel import EventKernel, QueryContext
 from repro.engine.local import local_matches
 from repro.network.base import PeerNetwork, SearchResult
-from repro.network.messages import Message, MessageType, query_hit_message, query_message
+from repro.network.messages import Message, MessageType, query_hit_message
 from repro.network.peers import Peer
 from repro.network.topology import Topology, build_topology
 from repro.storage.query import Query
@@ -48,6 +48,11 @@ class GnutellaProtocol(PeerNetwork):
         self.degree = degree
         self._seed = seed
         self.topology = Topology()
+        # peer id -> its neighbour ids in flood order, cached because a
+        # flood re-visits the same adjacency for every in-flight query;
+        # invalidated whenever the overlay changes (churn only toggles
+        # the online flag, which is checked at send time).
+        self._flood_order: dict[str, list[str]] = {}
 
     # ------------------------------------------------------------------
     # Overlay maintenance
@@ -57,12 +62,14 @@ class GnutellaProtocol(PeerNetwork):
         self.topology = build_topology(
             self.peers, kind=self.topology_kind, degree=self.degree, seed=self._seed
         )
+        self._flood_order.clear()
         for peer in self.peers.values():
             peer.neighbors = set(self.topology.neighbors(peer.peer_id))
 
     def _on_peer_added(self, peer: Peer) -> None:
         # Attach the newcomer to a few random online peers; experiments
         # that want a specific topology call build_overlay() afterwards.
+        self._flood_order.clear()
         others = [candidate for candidate in self.online_peers() if candidate.peer_id != peer.peer_id]
         if not others:
             return
@@ -73,6 +80,7 @@ class GnutellaProtocol(PeerNetwork):
             neighbor.connect(peer.peer_id)
 
     def _on_peer_removed(self, peer: Peer) -> None:
+        self._flood_order.clear()
         self.topology.remove_peer(peer.peer_id)
         for other in self.peers.values():
             other.disconnect(peer.peer_id)
@@ -96,10 +104,15 @@ class GnutellaProtocol(PeerNetwork):
             query_id=query.query_id or f"flood-{self.next_query_number()}",
         )
         context.visited.add(origin_id)
-        context.extra["query_xml"] = query.to_xml_text()
+        # The wire form is rendered and measured once; every hop's QUERY
+        # message shares the same payload string and byte count.
+        wire_xml, wire_bytes = self.wire_form(query, context.plan)
+        context.extra["query_xml"] = wire_xml
+        context.extra["query_bytes"] = wire_bytes
 
         # The origin searches its own index first (no messages).
-        for stored in local_matches(origin.repository, query, limit=max_results):
+        for stored in local_matches(origin.repository, query, plan=context.plan,
+                                    limit=max_results):
             context.add_result(SearchResult.from_stored(origin_id, stored, hops=0))
 
         if ttl > 0:
@@ -132,14 +145,15 @@ class GnutellaProtocol(PeerNetwork):
         hops = message.hops
 
         room = context.room()
-        taken = local_matches(peer.repository, context.query, limit=room) if room > 0 else []
+        taken = local_matches(peer.repository, context.query, plan=context.plan,
+                              limit=room) if room > 0 else []
         if taken:
             results = []
             metadata_bytes = 0
             for stored in taken:
                 result = SearchResult.from_stored(peer.peer_id, stored, hops=hops)
                 results.append(result)
-                metadata_bytes += result.metadata_bytes()
+                metadata_bytes += stored.metadata_wire_bytes()
             context.claim(len(results))
             # The query hit travels back along the reverse path: one
             # message per hop, arriving after the same latency the query
@@ -156,15 +170,37 @@ class GnutellaProtocol(PeerNetwork):
             self._flood_from(peer, ttl=remaining, hops=hops + 1, context=context)
 
     def _flood_from(self, peer: Peer, *, ttl: int, hops: int, context: QueryContext) -> None:
-        """Send one QUERY copy to every online neighbour of ``peer``."""
-        for neighbor_id in sorted(peer.neighbors):
-            neighbor = self.peers.get(neighbor_id)
+        """Send one QUERY copy to every online neighbour of ``peer``.
+
+        Every copy shares the immutable wire form rendered at search
+        start — no per-neighbour serialization or byte counting.
+        """
+        extra = context.extra
+        query_xml = extra["query_xml"]
+        query_bytes = extra["query_bytes"]
+        community_id = context.query.community_id
+        peers = self.peers
+        send = self.kernel.send
+        peer_id = peer.peer_id
+        order = self._flood_order.get(peer_id)
+        if order is None:
+            order = sorted(peer.neighbors)
+            self._flood_order[peer_id] = order
+        for neighbor_id in order:
+            neighbor = peers.get(neighbor_id)
             if neighbor is None or not neighbor.online:
                 continue
-            message = query_message(peer.peer_id, neighbor_id, context.extra["query_xml"],
-                                    ttl=ttl, community_id=context.query.community_id)
-            message.hops = hops
-            self.kernel.send(message, context=context)
+            message = Message(
+                type=MessageType.QUERY,
+                sender=peer_id,
+                recipient=neighbor_id,
+                ttl=ttl,
+                hops=hops,
+                payload_bytes=query_bytes,
+                query_xml=query_xml,
+                community_id=community_id,
+            )
+            send(message, context=context)
 
     # ------------------------------------------------------------------
     def reachable_peers(self, origin_id: str, ttl: Optional[int] = None) -> int:

@@ -35,11 +35,16 @@ _message_counter = itertools.count(1)
 
 
 def next_message_id() -> str:
-    """Globally unique message identifier (for duplicate suppression)."""
-    return f"msg-{next(_message_counter):08d}"
+    """Globally unique message identifier (for duplicate suppression).
+
+    Unpadded on purpose: the id is an opaque correlation token created
+    once per message on the kernel hot path, and zero-padding costs
+    measurable format time at flood volumes.
+    """
+    return f"msg-{next(_message_counter)}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One protocol message in flight.
 
@@ -50,6 +55,11 @@ class Message:
     message is in flight never observes the payload — the drop is the
     failure model, not a special case.  Neither field contributes to
     ``size_bytes``; the wire cost is already in ``payload_bytes``.
+
+    The class is slotted: a flood constructs one message per neighbour
+    per hop, so construction cost is squarely on the kernel hot path.
+    ``query_xml`` holds a *shared* reference to the query's wire form —
+    serialized once per search, never per hop.
     """
 
     type: MessageType
@@ -67,7 +77,12 @@ class Message:
     payload_object: object = None
 
     def forwarded(self, sender: str, recipient: str) -> "Message":
-        """A copy of this message forwarded one hop further."""
+        """A copy of this message forwarded one hop further.
+
+        The immutable query payload (``query_xml``, ``payload_bytes``)
+        is shared, not recomputed — forwarding never re-serializes or
+        re-measures the wire form.
+        """
         return Message(
             type=self.type,
             sender=sender,
@@ -92,14 +107,19 @@ class Message:
 
 
 def query_message(sender: str, recipient: str, query_xml: str, *, ttl: int = 7,
-                  community_id: str = "") -> Message:
-    """Build a QUERY message carrying a serialized structured query."""
+                  community_id: str = "", payload_bytes: Optional[int] = None) -> Message:
+    """Build a QUERY message carrying a serialized structured query.
+
+    ``payload_bytes`` lets callers that measured the wire form once (a
+    compiled plan) skip the per-message UTF-8 encode.
+    """
     return Message(
         type=MessageType.QUERY,
         sender=sender,
         recipient=recipient,
         ttl=ttl,
-        payload_bytes=len(query_xml.encode("utf-8")),
+        payload_bytes=payload_bytes if payload_bytes is not None
+        else len(query_xml.encode("utf-8")),
         query_xml=query_xml,
         community_id=community_id,
     )

@@ -51,7 +51,12 @@ from repro.storage.query import Query
 
 @dataclass
 class Advertisement:
-    """One advertised object replica held by a rendezvous peer."""
+    """One advertised object replica held by a rendezvous peer.
+
+    ``metadata_view`` (tuple-valued) and ``metadata_bytes`` are built
+    once at publish time and shared by every search result generated
+    from this advertisement — the walk never re-copies metadata.
+    """
 
     resource_id: str
     community_id: str
@@ -59,6 +64,8 @@ class Advertisement:
     metadata: dict[str, list[str]]
     provider_id: str
     expires_at_ms: float
+    metadata_view: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    metadata_bytes: int = 0
 
 
 @dataclass
@@ -180,6 +187,8 @@ class RendezvousProtocol(PeerNetwork):
             metadata=dict(metadata),
             provider_id=peer_id,
             expires_at_ms=self.simulator.now + self.lease_ms,
+            metadata_view={path: tuple(values) for path, values in metadata.items()},
+            metadata_bytes=metadata_bytes,
         )
         state.index.add(community_id, key, metadata)
 
@@ -219,9 +228,12 @@ class RendezvousProtocol(PeerNetwork):
             origin_id, query, max_results=max_results,
             query_id=query.query_id or f"rdv-{self.next_query_number()}",
         )
-        context.extra["query_xml"] = query.to_xml_text()
+        wire_xml, wire_bytes = self.wire_form(query, context.plan)
+        context.extra["query_xml"] = wire_xml
+        context.extra["query_bytes"] = wire_bytes
 
-        for stored in local_matches(origin.repository, query, limit=max_results):
+        for stored in local_matches(origin.repository, query, plan=context.plan,
+                                    limit=max_results):
             context.add_result(SearchResult.from_stored(origin_id, stored, hops=0))
 
         entry = origin.peer_id if origin.is_super_peer else origin.super_peer_id
@@ -250,8 +262,9 @@ class RendezvousProtocol(PeerNetwork):
         hop_to_entry = 0 if origin.is_super_peer else 1
         context.extra["hop_to_entry"] = hop_to_entry
         if hop_to_entry:
-            message = query_message(origin_id, walk[0], context.extra["query_xml"],
-                                    community_id=query.community_id)
+            message = query_message(origin_id, walk[0], wire_xml,
+                                    community_id=query.community_id,
+                                    payload_bytes=wire_bytes)
             message.hops = hop_to_entry
             self.kernel.send(message, context=context)
         else:
@@ -279,10 +292,9 @@ class RendezvousProtocol(PeerNetwork):
         origin; their room is claimed here so the walk stops at the
         same point it would if hits were instantaneous."""
         context.peers_probed += 1
-        results = self._collect_results(peer.peer_id, context, hops)
+        results, metadata_bytes = self._collect_results(peer.peer_id, context, hops)
         if results:
             context.claim(len(results))
-            metadata_bytes = sum(result.metadata_bytes() for result in results)
             hit = query_hit_message(peer.peer_id, context.origin_id, result_count=len(results),
                                     metadata_bytes=metadata_bytes,
                                     message_id=f"rdv-{len(self.stats.queries)}")
@@ -294,23 +306,27 @@ class RendezvousProtocol(PeerNetwork):
         if context.room() <= 0 or position + 1 >= len(walk):
             return
         relay = query_message(peer.peer_id, walk[position + 1], context.extra["query_xml"],
-                              community_id=context.query.community_id)
+                              community_id=context.query.community_id,
+                              payload_bytes=context.extra["query_bytes"])
         relay.hops = hops + 1
         self.kernel.send(relay, context=context)
 
     # ------------------------------------------------------------------
     def _collect_results(self, rendezvous_id: str, context: QueryContext,
-                         hops: int) -> list[SearchResult]:
+                         hops: int) -> tuple[list[SearchResult], int]:
+        """Matching results at one rendezvous plus their metadata bytes
+        (summed from the per-advertisement counts measured at publish)."""
         state = self._states.get(rendezvous_id)
         if state is None:
-            return []
-        query = context.query
-        if query.is_empty:
+            return [], 0
+        evaluator = context.plan if context.plan is not None else context.query
+        if evaluator.is_empty:
             keys = sorted(key for key, advertisement in state.advertisements.items()
-                          if advertisement.community_id == query.community_id)
+                          if advertisement.community_id == evaluator.community_id)
         else:
-            keys = sorted(query.evaluate(state.index))
+            keys = sorted(evaluator.evaluate(state.index))
         results: list[SearchResult] = []
+        metadata_bytes = 0
         room = context.room()
         for key in keys:
             advertisement = state.advertisements.get(key)
@@ -325,12 +341,13 @@ class RendezvousProtocol(PeerNetwork):
                 resource_id=advertisement.resource_id,
                 community_id=advertisement.community_id,
                 title=advertisement.title,
-                metadata={path: tuple(values) for path, values in advertisement.metadata.items()},
+                metadata=advertisement.metadata_view,
                 hops=hops + 1,
             ))
+            metadata_bytes += advertisement.metadata_bytes
             if len(results) >= room:
                 break
-        return results
+        return results, metadata_bytes
 
     def advertisement_count(self) -> int:
         """Live advertisements across all rendezvous peers."""

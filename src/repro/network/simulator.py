@@ -18,30 +18,29 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# Heap entries are plain lists ``[time, sequence, callback, args]`` so
+# the heap compares (time, sequence) with C-level float/int comparisons
+# — the callback slot is never reached.  A cancelled entry has its
+# callback replaced by ``None`` and is skipped on pop.
+_TIME, _SEQUENCE, _CALLBACK, _ARGS = 0, 1, 2, 3
 
 
 class EventHandle:
     """Handle returned by :meth:`NetworkSimulator.schedule`; allows cancelling."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
-        self._event = event
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._entry[_CALLBACK] = None
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
 
 class LatencyModel:
@@ -63,12 +62,15 @@ class LatencyModel:
         """Latency in milliseconds of the link ``source`` ↔ ``target``."""
         if source == target:
             return 0.0
-        key = (source, target) if source <= target else (target, source)
-        cached = self._cache.get(key)
+        cached = self._cache.get((source, target))
         if cached is None:
-            rng = random.Random(f"{self._seed}:{key[0]}:{key[1]}")
+            ordered = (source, target) if source <= target else (target, source)
+            rng = random.Random(f"{self._seed}:{ordered[0]}:{ordered[1]}")
             cached = self.base_ms + rng.random() * self.jitter_ms
-            self._cache[key] = cached
+            # Cache both directions so the symmetric hit path skips the
+            # ordering comparison entirely.
+            self._cache[(source, target)] = cached
+            self._cache[(target, source)] = cached
         return cached
 
 
@@ -79,7 +81,7 @@ class NetworkSimulator:
         self.latency_model = latency or LatencyModel(seed=seed)
         self.random = random.Random(seed)
         self._now = 0.0
-        self._queue: list[_ScheduledEvent] = []
+        self._queue: list[list] = []
         self._sequence = itertools.count()
         self.events_processed = 0
 
@@ -89,17 +91,33 @@ class NetworkSimulator:
         """Current virtual time in milliseconds."""
         return self._now
 
-    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` to run ``delay_ms`` from now."""
+    def schedule(self, delay_ms: float, callback: Callable[..., None],
+                 *args) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay_ms`` from now.
+
+        Passing ``args`` here instead of closing over them avoids one
+        closure allocation per scheduled message on the kernel hot path.
+        """
         if delay_ms < 0:
             raise ValueError("cannot schedule events in the past")
-        event = _ScheduledEvent(self._now + delay_ms, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        entry = [self._now + delay_ms, next(self._sequence), callback, args]
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
 
-    def schedule_at(self, time_ms: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at absolute virtual time ``time_ms``."""
-        return self.schedule(max(0.0, time_ms - self._now), callback)
+    def post(self, delay_ms: float, callback: Callable[..., None], *args) -> None:
+        """Fire-and-forget :meth:`schedule` for the kernel hot path.
+
+        No :class:`EventHandle` is allocated and no negative-delay check
+        runs — callers pass link latencies, which are non-negative by
+        construction.  One list allocation per posted message.
+        """
+        heapq.heappush(self._queue,
+                       [self._now + delay_ms, next(self._sequence), callback, args])
+
+    def schedule_at(self, time_ms: float, callback: Callable[..., None],
+                    *args) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time_ms``."""
+        return self.schedule(max(0.0, time_ms - self._now), callback, *args)
 
     def run(self, until_ms: Optional[float] = None, *, max_events: int = 1_000_000) -> int:
         """Process events until the queue is empty or ``until_ms`` is reached.
@@ -108,13 +126,16 @@ class NetworkSimulator:
         """
         processed = 0
         while self._queue and processed < max_events:
-            if until_ms is not None and self._queue[0].time > until_ms:
+            if until_ms is not None and self._queue[0][_TIME] > until_ms:
                 break
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            entry = heapq.heappop(self._queue)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 continue
-            self._now = max(self._now, event.time)
-            event.callback()
+            time = entry[_TIME]
+            if time > self._now:
+                self._now = time
+            callback(*entry[_ARGS])
             processed += 1
             self.events_processed += 1
         if until_ms is not None and self._now < until_ms:
@@ -129,12 +150,17 @@ class NetworkSimulator:
         far as a query's completion, leaving later events (churn chains,
         other queries) in place.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            entry = pop(queue)
+            callback = entry[2]
+            if callback is None:
                 continue
-            self._now = max(self._now, event.time)
-            event.callback()
+            time = entry[0]
+            if time > self._now:
+                self._now = time
+            callback(*entry[3])
             self.events_processed += 1
             return True
         return False
@@ -146,7 +172,7 @@ class NetworkSimulator:
         self._now += delta_ms
 
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(1 for entry in self._queue if entry[_CALLBACK] is not None)
 
     # ------------------------------------------------------------------
     def link_latency(self, source: str, target: str) -> float:

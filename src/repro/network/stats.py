@@ -49,9 +49,18 @@ class NetworkStats:
     registrations: int = 0
 
     # ------------------------------------------------------------------
-    def record_message(self, message: Message) -> None:
-        self.messages_by_type[message.type.value] += 1
-        self.bytes_by_type[message.type.value] += message.size_bytes
+    def record_message(self, message: Message, copies: int = 1) -> None:
+        self.record(message.type.value, message.size_bytes, copies)
+
+    def record(self, type_value: str, size_bytes: int, copies: int = 1) -> None:
+        """Count ``copies`` messages of one already-resolved type/size.
+
+        The kernel resolves the enum value and wire size exactly once
+        per message and calls this — the hot-path variant of
+        :meth:`record_message`.
+        """
+        self.messages_by_type[type_value] += copies
+        self.bytes_by_type[type_value] += copies * size_bytes
 
     def record_query(self, record: QueryRecord) -> None:
         self.queries.append(record)

@@ -41,8 +41,12 @@ class _SuperPeerState:
     """Index and bookkeeping one super-peer maintains for its leaves."""
 
     index: AttributeIndex = field(default_factory=AttributeIndex)
-    records: dict[str, tuple[str, str, dict[str, list[str]], str]] = field(default_factory=dict)
-    # resource_id -> (community_id, title, metadata, provider_id)
+    records: dict[str, tuple[str, str, dict[str, tuple[str, ...]], str, int]] = \
+        field(default_factory=dict)
+    # replica key -> (community_id, title, metadata view, provider_id,
+    # metadata wire bytes).  The tuple-valued metadata view and its byte
+    # count are built once at registration, so answering a query shares
+    # them with every generated SearchResult instead of re-copying.
     leaves: set[str] = field(default_factory=set)
 
 
@@ -170,14 +174,15 @@ class SuperPeerProtocol(PeerNetwork):
     def _register(self, peer_id: str, super_id: str, community_id: str, resource_id: str,
                   metadata: dict[str, list[str]], title: str, *, count_message: bool = True) -> None:
         state = self._states.setdefault(super_id, _SuperPeerState())
+        metadata_bytes = sum(len(p) + sum(len(v) for v in values) for p, values in metadata.items())
         if count_message and peer_id != super_id:
-            metadata_bytes = sum(len(p) + sum(len(v) for v in values) for p, values in metadata.items())
             message = register_message(peer_id, super_id, community_id=community_id,
                                        resource_id=resource_id, metadata_bytes=metadata_bytes)
             self._account(message)
             self.stats.registrations += 1
         replica_key = f"{resource_id}@{peer_id}"
-        state.records[replica_key] = (community_id, title, dict(metadata), peer_id)
+        view = {path: tuple(values) for path, values in metadata.items()}
+        state.records[replica_key] = (community_id, title, view, peer_id, metadata_bytes)
         state.index.add(community_id, replica_key, metadata)
 
     # ------------------------------------------------------------------
@@ -190,10 +195,13 @@ class SuperPeerProtocol(PeerNetwork):
             origin_id, query, max_results=max_results,
             query_id=query.query_id or f"sp-{self.next_query_number()}",
         )
-        context.extra["query_xml"] = query.to_xml_text()
+        wire_xml, wire_bytes = self.wire_form(query, context.plan)
+        context.extra["query_xml"] = wire_xml
+        context.extra["query_bytes"] = wire_bytes
 
         # Local index is always consulted first.
-        for stored in local_matches(origin.repository, query, limit=max_results):
+        for stored in local_matches(origin.repository, query, plan=context.plan,
+                                    limit=max_results):
             context.add_result(SearchResult.from_stored(origin_id, stored, hops=0))
 
         entry = origin.peer_id if origin.is_super_peer else origin.super_peer_id
@@ -209,8 +217,9 @@ class SuperPeerProtocol(PeerNetwork):
             # The origin IS the entry super-peer: answer and relay now.
             self._answer_at_super(self.peers[entry], hops=0, context=context)
         else:
-            message = query_message(origin_id, entry, context.extra["query_xml"],
-                                    community_id=query.community_id)
+            message = query_message(origin_id, entry, wire_xml,
+                                    community_id=query.community_id,
+                                    payload_bytes=wire_bytes)
             message.hops = 1
             self.kernel.send(message, context=context)
         self.kernel.finish_if_idle(context)
@@ -239,8 +248,8 @@ class SuperPeerProtocol(PeerNetwork):
         results: list[SearchResult] = []
         metadata_bytes = 0
         room = context.room()
-        for resource_id, community_id, title, metadata, provider_id in \
-                self._matches_at(super_id, context.query):
+        for resource_id, community_id, title, view, provider_id, record_bytes in \
+                self._matches_at(super_id, context):
             if len(results) >= room:
                 break
             provider = self.peers.get(provider_id)
@@ -251,11 +260,11 @@ class SuperPeerProtocol(PeerNetwork):
                 resource_id=resource_id,
                 community_id=community_id,
                 title=title,
-                metadata={path: tuple(values) for path, values in metadata.items()},
+                metadata=view,
                 hops=hops + 1,
             )
             results.append(result)
-            metadata_bytes += result.metadata_bytes()
+            metadata_bytes += record_bytes
         if results:
             context.claim(len(results))
             # One hit message per hop of the reverse path (at least one).
@@ -266,44 +275,50 @@ class SuperPeerProtocol(PeerNetwork):
             self.kernel.send(hit, context=context, copies=hops or 1,
                              latency_ms=self.simulator.now - context.started_at)
         if super_id == context.extra.get("entry"):
+            query_xml = context.extra["query_xml"]
+            query_bytes = context.extra["query_bytes"]
             for other_id in sorted(self._states):
                 if other_id == super_id:
                     continue
                 other = self.peers.get(other_id)
                 if other is None or not other.online:
                     continue
-                relay = query_message(super_id, other_id, context.extra["query_xml"],
-                                      community_id=context.query.community_id)
+                relay = query_message(super_id, other_id, query_xml,
+                                      community_id=context.query.community_id,
+                                      payload_bytes=query_bytes)
                 relay.hops = hops + 1
                 self.kernel.send(relay, context=context)
 
     # ------------------------------------------------------------------
     def _matches_at(
-        self, super_id: str, query: Query
-    ) -> list[tuple[str, str, str, dict[str, list[str]], str]]:
+        self, super_id: str, context: QueryContext
+    ) -> list[tuple[str, str, str, dict[str, tuple[str, ...]], str, int]]:
         """Matching records at one super-peer.
 
-        Returns tuples ``(resource_id, community_id, title, metadata,
-        provider_id)``.  The aggregated index keys replicas as
-        ``"<resource_id>@<provider>"`` so the same object shared by two
-        leaves stays distinguishable; the bare id is recovered here.
+        Returns tuples ``(resource_id, community_id, title, metadata
+        view, provider_id, metadata bytes)``.  The aggregated index keys
+        replicas as ``"<resource_id>@<provider>"`` so the same object
+        shared by two leaves stays distinguishable; the bare id is
+        recovered here.  Evaluation goes through the context's compiled
+        plan when one exists.
         """
         state = self._states.get(super_id)
         if state is None:
             return []
-        if query.is_empty:
+        evaluator = context.plan if context.plan is not None else context.query
+        if evaluator.is_empty:
             keys = sorted(key for key, record in state.records.items()
-                          if record[0] == query.community_id)
+                          if record[0] == evaluator.community_id)
         else:
-            keys = sorted(query.evaluate(state.index))
+            keys = sorted(evaluator.evaluate(state.index))
         matches = []
         for key in keys:
             record = state.records.get(key)
             if record is None:
                 continue
-            community_id, title, metadata, provider_id = record
+            community_id, title, view, provider_id, record_bytes = record
             bare_id = key.rsplit("@", 1)[0]
-            matches.append((bare_id, community_id, title, metadata, provider_id))
+            matches.append((bare_id, community_id, title, view, provider_id, record_bytes))
         return matches
 
     def super_peer_ids(self) -> list[str]:

@@ -10,6 +10,9 @@ This package plays that role:
   attribute values of stored objects.
 * :mod:`repro.storage.query` — the structured (CMIP-like) query model
   that travels between servents, with an XML wire form.
+* :mod:`repro.storage.plan` — compiled query plans: criterion values
+  normalized once, criteria cost-ordered, postings intersected without
+  intermediate copies (the per-peer evaluation hot path).
 * :mod:`repro.storage.attachments` — simulated storage of the binary
   files attached to shared objects.
 * :mod:`repro.storage.repository` — the per-peer façade combining the
@@ -21,6 +24,7 @@ from repro.storage.document_store import DocumentStore, StoredObject
 from repro.storage.errors import StorageError
 from repro.storage.index import AttributeIndex, IndexEntry
 from repro.storage.persistence import load_repository, save_repository
+from repro.storage.plan import CompiledCriterion, CompiledQuery, compile_query
 from repro.storage.query import Criterion, Operator, Query
 from repro.storage.replicas import ReplicaEntry, ReplicaRegistry
 from repro.storage.repository import LocalRepository
@@ -34,6 +38,9 @@ __all__ = [
     "Query",
     "Criterion",
     "Operator",
+    "CompiledQuery",
+    "CompiledCriterion",
+    "compile_query",
     "Attachment",
     "AttachmentStore",
     "LocalRepository",

@@ -39,10 +39,36 @@ class StoredObject:
     publisher: str = ""
     size_bytes: int = 0
     metadata: dict[str, list[str]] = field(default_factory=dict)
+    _metadata_view: Optional[dict[str, tuple[str, ...]]] = field(
+        default=None, repr=False, compare=False)
+    _metadata_wire_bytes: int = field(default=-1, repr=False, compare=False)
 
     def to_xml_text(self) -> str:
         """Serialize the stored document (used for transfer size accounting)."""
         return serialize(self.document, xml_declaration=False)
+
+    def metadata_view(self) -> dict[str, tuple[str, ...]]:
+        """The searchable metadata as a path → value-tuple mapping.
+
+        Built once and shared: every :class:`SearchResult` generated for
+        this object (one per answering peer per query) references the
+        same immutable-valued mapping instead of re-copying the
+        metadata dictionary.  Callers must treat it as read-only.
+        """
+        if self._metadata_view is None:
+            self._metadata_view = {
+                path: tuple(values) for path, values in self.metadata.items()
+            }
+        return self._metadata_view
+
+    def metadata_wire_bytes(self) -> int:
+        """Approximate wire size of the metadata, measured once."""
+        if self._metadata_wire_bytes < 0:
+            self._metadata_wire_bytes = sum(
+                len(path) + sum(len(value) for value in values)
+                for path, values in self.metadata.items()
+            )
+        return self._metadata_wire_bytes
 
 
 class DocumentStore:

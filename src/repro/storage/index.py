@@ -17,6 +17,10 @@ from typing import Iterable, Optional
 
 _TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
 
+#: shared empty posting set returned by the non-copying lookups, so a
+#: miss costs no allocation (callers must treat postings as read-only)
+EMPTY_POSTING: frozenset[str] = frozenset()
+
 
 def tokenize(text: str) -> list[str]:
     """Lower-case word tokens of ``text``."""
@@ -25,12 +29,25 @@ def tokenize(text: str) -> list[str]:
 
 @dataclass(frozen=True)
 class IndexEntry:
-    """One indexed (field, value) pair of one object."""
+    """One indexed (field, value) pair of one object.
+
+    The entry carries its normalized form (``value_lower``) and word
+    tokens, computed once at ``add`` time, so :meth:`AttributeIndex.remove`
+    never re-tokenizes stored values.
+    """
 
     community_id: str
     resource_id: str
     field_path: str
     value: str
+    value_lower: str = ""
+    tokens: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.value_lower:
+            object.__setattr__(self, "value_lower", self.value.lower())
+        if not self.tokens:
+            object.__setattr__(self, "tokens", tuple(tokenize(self.value)))
 
 
 class AttributeIndex:
@@ -64,9 +81,9 @@ class AttributeIndex:
                 entry = IndexEntry(community_id, resource_id, field_path, value)
                 entries.append(entry)
                 field_values = self._values.setdefault(community_id, {}).setdefault(field_path, {})
-                field_values.setdefault(value.lower(), set()).add(resource_id)
+                field_values.setdefault(entry.value_lower, set()).add(resource_id)
                 field_tokens = self._tokens.setdefault(community_id, {}).setdefault(field_path, {})
-                for token in tokenize(value):
+                for token in entry.tokens:
                     field_tokens.setdefault(token, set()).add(resource_id)
         self._entries[resource_id] = entries
         return len(entries)
@@ -75,41 +92,78 @@ class AttributeIndex:
         """Remove every entry of ``resource_id`` (peer un-sharing)."""
         for entry in self._entries.pop(resource_id, []):
             values = self._values.get(entry.community_id, {}).get(entry.field_path, {})
-            bucket = values.get(entry.value.lower())
+            bucket = values.get(entry.value_lower)
             if bucket is not None:
                 bucket.discard(resource_id)
                 if not bucket:
-                    values.pop(entry.value.lower(), None)
+                    values.pop(entry.value_lower, None)
             tokens = self._tokens.get(entry.community_id, {}).get(entry.field_path, {})
-            for token in tokenize(entry.value):
+            for token in entry.tokens:
                 token_bucket = tokens.get(token)
                 if token_bucket is not None:
                     token_bucket.discard(resource_id)
                     if not token_bucket:
                         tokens.pop(token, None)
+            # Prune emptied field/community levels so an add/remove
+            # round-trip leaves the index structurally identical to the
+            # state before the add (pinned by the round-trip test).
+            for table in (self._values, self._tokens):
+                community = table.get(entry.community_id)
+                if community is not None and not community.get(entry.field_path, True):
+                    del community[entry.field_path]
+                    if not community:
+                        del table[entry.community_id]
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def exact(self, community_id: str, field_path: str, value: str) -> set[str]:
         """Resource ids whose field equals ``value`` (case-insensitive)."""
-        return set(
-            self._values.get(community_id, {}).get(field_path, {}).get(value.strip().lower(), set())
-        )
+        return set(self.exact_ref(community_id, field_path, value.strip().lower()))
+
+    def exact_ref(self, community_id: str, field_path: str, normalized_value: str):
+        """Non-copying variant of :meth:`exact`: the *live* posting set.
+
+        ``normalized_value`` must already be stripped and lowered (a
+        compiled plan does this once).  The returned set is internal
+        state — callers must not mutate it.
+        """
+        return self._values.get(community_id, {}).get(field_path, {}).get(
+            normalized_value, EMPTY_POSTING)
 
     def keyword(self, community_id: str, field_path: str, text: str) -> set[str]:
         """Resource ids whose field contains every word of ``text``."""
-        tokens = tokenize(text)
-        if not tokens:
+        postings = self.keyword_postings(community_id, field_path, tokenize(text))
+        if postings is None:
             return set()
-        field_tokens = self._tokens.get(community_id, {}).get(field_path, {})
-        result: Optional[set[str]] = None
-        for token in tokens:
-            bucket = field_tokens.get(token, set())
-            result = set(bucket) if result is None else result & bucket
+        if len(postings) == 1:
+            return set(postings[0])
+        postings.sort(key=len)
+        result = postings[0] & postings[1]
+        for bucket in postings[2:]:
+            result &= bucket
             if not result:
-                return set()
-        return result or set()
+                break
+        return result
+
+    def keyword_postings(self, community_id: str, field_path: str,
+                         tokens) -> Optional[list]:
+        """Non-copying variant of :meth:`keyword`: one live posting set
+        per token, or ``None`` when no match is possible (no tokens, or
+        a token with no postings).  Callers must not mutate the sets.
+        """
+        if not tokens:
+            return None
+        field_tokens = self._tokens.get(community_id, {}).get(field_path)
+        if field_tokens is None:
+            return None
+        postings = []
+        for token in tokens:
+            bucket = field_tokens.get(token)
+            if not bucket:
+                return None
+            postings.append(bucket)
+        return postings
 
     def prefix(self, community_id: str, field_path: str, stem: str) -> set[str]:
         """Resource ids whose field has a token starting with ``stem``."""
@@ -124,9 +178,29 @@ class AttributeIndex:
 
     def any_field_keyword(self, community_id: str, text: str) -> set[str]:
         """Keyword match across every indexed field of a community."""
+        return self.any_field_keyword_tokens(community_id, tokenize(text))
+
+    def any_field_keyword_tokens(self, community_id: str, tokens) -> set[str]:
+        """Non-copying variant of :meth:`any_field_keyword`: the text is
+        tokenized once by the caller instead of once per indexed field.
+        Returns a fresh set (the union is computed, never aliased).
+        """
         matches: set[str] = set()
-        for field_path in self._tokens.get(community_id, {}):
-            matches.update(self.keyword(community_id, field_path, text))
+        if not tokens:
+            return matches
+        for field_tokens in self._tokens.get(community_id, {}).values():
+            current = None
+            for token in tokens:
+                bucket = field_tokens.get(token)
+                if not bucket:
+                    current = None
+                    break
+                current = bucket if current is None else current & bucket
+                if not current:
+                    current = None
+                    break
+            if current:
+                matches.update(current)
         return matches
 
     def fields_for(self, community_id: str) -> list[str]:

@@ -47,7 +47,8 @@ class Criterion:
     def matches(self, values: list[str]) -> bool:
         """Check this criterion against the values of one field."""
         if self.operator == Operator.EQUALS:
-            return any(value.strip().lower() == self.value.strip().lower() for value in values)
+            wanted_value = self.value.strip().lower()  # hoisted: loop-invariant
+            return any(value.strip().lower() == wanted_value for value in values)
         if self.operator == Operator.CONTAINS or self.operator == Operator.ANY:
             wanted = set(tokenize(self.value))
             if not wanted:
@@ -55,7 +56,9 @@ class Criterion:
             present = set()
             for value in values:
                 present.update(tokenize(value))
-            return wanted.issubset(present)
+                if wanted.issubset(present):
+                    return True
+            return False
         if self.operator == Operator.PREFIX:
             stem = self.value.strip().lower()
             return any(
@@ -99,8 +102,22 @@ class Query:
             if not criterion.value.strip():
                 continue
             if criterion.operator == Operator.ANY or criterion.field_path == "*":
-                all_values = [value for values in metadata.values() for value in values]
-                if not Criterion("*", criterion.value, Operator.CONTAINS).matches(all_values):
+                # Tokenize the wanted value once and stream the field
+                # values instead of flattening them into a copy first.
+                wanted = set(tokenize(criterion.value))
+                if not wanted:
+                    continue
+                present: set[str] = set()
+                satisfied = False
+                for values in metadata.values():
+                    for value in values:
+                        present.update(tokenize(value))
+                        if wanted.issubset(present):
+                            satisfied = True
+                            break
+                    if satisfied:
+                        break
+                if not satisfied:
                     return False
                 continue
             values = metadata.get(criterion.field_path, [])

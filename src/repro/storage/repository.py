@@ -13,6 +13,7 @@ from typing import Optional
 from repro.storage.attachments import Attachment, AttachmentStore
 from repro.storage.document_store import DocumentStore, StoredObject
 from repro.storage.index import AttributeIndex
+from repro.storage.plan import CompiledQuery
 from repro.storage.query import Query
 from repro.xmlkit.dom import Element
 
@@ -92,14 +93,19 @@ class LocalRepository:
         return indexed
 
     # ------------------------------------------------------------------
-    def search(self, query: Query) -> list[StoredObject]:
+    def search(self, query: Query, *, plan: Optional[CompiledQuery] = None) -> list[StoredObject]:
         """Evaluate ``query`` against the local index.
 
-        An empty query returns every object of the community (browsing).
+        An empty query returns every object of the community (browsing);
+        the returned list is always a fresh copy, never an alias of the
+        store's internals.  With ``plan`` (a :class:`CompiledQuery` of
+        the same query, compiled once per search) evaluation skips all
+        per-call normalization and intersects index postings directly.
         """
-        if query.is_empty:
-            return self.documents.objects_in(query.community_id)
-        ids = query.evaluate(self.index)
+        evaluator = plan if plan is not None else query
+        if evaluator.is_empty:
+            return self.documents.objects_in(evaluator.community_id)
+        ids = evaluator.evaluate(self.index)
         return [self.documents.get(resource_id) for resource_id in sorted(ids)]
 
     def retrieve(self, resource_id: str) -> StoredObject:

@@ -73,6 +73,10 @@ class ScenarioConfig:
     #: Zipf exponent of the download popularity distribution over the
     #: corpus (0 = uniform; 1+ = the skew early measurements reported)
     popularity_skew: float = 1.0
+    #: compile each query once at search start (the hot path); turned
+    #: off by the contract/benchmark suites to compare against the
+    #: naive re-evaluating path, which must behave identically
+    compile_queries: bool = True
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -214,12 +218,15 @@ class Scenario:
 def build_network(config: ScenarioConfig) -> PeerNetwork:
     """Instantiate the protocol named by ``config`` with its knobs."""
     if config.protocol == "gnutella":
-        return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, seed=config.seed)
+        return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, seed=config.seed,
+                                compile_queries=config.compile_queries)
     if config.protocol == "super-peer":
-        return SuperPeerProtocol(super_peer_ratio=config.super_peer_ratio, seed=config.seed)
+        return SuperPeerProtocol(super_peer_ratio=config.super_peer_ratio, seed=config.seed,
+                                 compile_queries=config.compile_queries)
     if config.protocol == "rendezvous":
-        return RendezvousProtocol(rendezvous_ratio=config.super_peer_ratio, seed=config.seed)
-    return CentralizedProtocol(seed=config.seed)
+        return RendezvousProtocol(rendezvous_ratio=config.super_peer_ratio, seed=config.seed,
+                                  compile_queries=config.compile_queries)
+    return CentralizedProtocol(seed=config.seed, compile_queries=config.compile_queries)
 
 
 def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scenario:

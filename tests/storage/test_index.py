@@ -106,3 +106,33 @@ class TestMaintenance:
         assert index.entry_count() == 2
         assert index.size_bytes() > 0
         assert len(list(index.entries_for("r1"))) == 2
+
+    def test_entries_carry_tokens_from_add_time(self):
+        """Removal relies on the tokens stored on the entry, so they must
+        be exactly the tokens the add indexed."""
+        index = AttributeIndex()
+        index.add("c", "r1", {"name": ["Abstract Factory, 2nd"]})
+        (entry,) = index.entries_for("r1")
+        assert entry.tokens == ("abstract", "factory", "2nd")
+        assert entry.value_lower == "abstract factory, 2nd"
+
+    def test_add_remove_round_trip_is_bit_identical(self):
+        """Adding then removing an object leaves the index internals —
+        every nested dict and posting set — exactly as they were."""
+        import copy
+
+        index = AttributeIndex()
+        index.add("patterns", "r1", {"name": ["Observer"], "intent": ["decouple subject"]})
+        index.add("mp3s", "m1", {"title": ["Blue Train"]})
+        snapshot = (
+            copy.deepcopy(index._tokens),
+            copy.deepcopy(index._values),
+            copy.deepcopy(index._entries),
+        )
+        # The new object introduces a new community, a new field of an
+        # existing community, and new tokens of an existing field.
+        index.add("genes", "g1", {"symbol": ["BRCA1"]})
+        index.add("patterns", "r9", {"name": ["Observer Deluxe"], "category": ["behavioral"]})
+        index.remove("g1")
+        index.remove("r9")
+        assert (index._tokens, index._values, index._entries) == snapshot

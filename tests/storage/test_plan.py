@@ -1,0 +1,158 @@
+"""Equivalence suite for compiled query plans.
+
+The compiled fast path is only allowed to exist because it is
+observationally identical to the naive one: :meth:`CompiledQuery.evaluate`
+must return exactly the ids :meth:`Query.evaluate` returns, and
+:meth:`CompiledQuery.matches_metadata` exactly the booleans
+:meth:`Query.matches_metadata` returns — for every operator, over
+randomized corpora and queries (fixed seeds), and at every handcrafted
+edge (blank values, punctuation-only values, "*" field paths, missing
+fields).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.index import AttributeIndex
+from repro.storage.plan import CompiledQuery, compile_query
+from repro.storage.query import Criterion, Operator, Query
+
+VOCABULARY = [
+    "observer", "factory", "abstract", "singleton", "visitor", "builder",
+    "decouple", "create", "objects", "subject", "families", "defer",
+    "Blue", "Train", "Jazz", "2nd", "Edition", "GoF",
+]
+FIELDS = ["name", "intent", "category", "artist"]
+
+
+def random_metadata(rng: random.Random) -> dict[str, list[str]]:
+    metadata = {}
+    for field in rng.sample(FIELDS, rng.randint(1, len(FIELDS))):
+        values = [
+            " ".join(rng.sample(VOCABULARY, rng.randint(1, 3)))
+            for _ in range(rng.randint(1, 2))
+        ]
+        metadata[field] = values
+    return metadata
+
+
+def random_query(rng: random.Random, community: str) -> Query:
+    query = Query(community)
+    for _ in range(rng.randint(1, 3)):
+        operator = rng.choice(list(Operator))
+        field = rng.choice(FIELDS + ["*"])
+        if rng.random() < 0.15:
+            value = rng.choice(["", "   ", "!!!", "?,;"])  # degenerate values
+        elif operator is Operator.PREFIX:
+            value = rng.choice(VOCABULARY)[: rng.randint(1, 4)]
+        else:
+            value = " ".join(rng.sample(VOCABULARY, rng.randint(1, 2)))
+        query.where(field, value, operator)
+    return query
+
+
+def build_corpus(seed: int, size: int = 40):
+    rng = random.Random(seed)
+    index = AttributeIndex()
+    corpus = {}
+    for number in range(size):
+        resource_id = f"r{number:03d}"
+        metadata = random_metadata(rng)
+        corpus[resource_id] = metadata
+        index.add("patterns", resource_id, metadata)
+    return rng, index, corpus
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+class TestRandomizedEquivalence:
+    def test_evaluate_identical(self, seed):
+        rng, index, _ = build_corpus(seed)
+        for _ in range(120):
+            query = random_query(rng, "patterns")
+            plan = compile_query(query)
+            assert plan.evaluate(index) == query.evaluate(index), query.describe()
+
+    def test_matches_metadata_identical(self, seed):
+        rng, _, corpus = build_corpus(seed)
+        for _ in range(40):
+            query = random_query(rng, "patterns")
+            plan = compile_query(query)
+            for metadata in corpus.values():
+                assert plan.matches_metadata(metadata) == query.matches_metadata(metadata), \
+                    query.describe()
+
+    def test_evaluate_result_is_a_fresh_set(self, seed):
+        """The plan intersects live postings but must never leak them."""
+        rng, index, _ = build_corpus(seed)
+        for _ in range(60):
+            query = random_query(rng, "patterns")
+            result = compile_query(query).evaluate(index)
+            before = query.evaluate(index)
+            result.add("sentinel-mutation")
+            assert query.evaluate(index) == before
+
+
+class TestOperatorEdges:
+    def build_index(self):
+        index = AttributeIndex()
+        index.add("patterns", "r1", {"name": ["Observer"], "intent": ["decouple subject"]})
+        index.add("patterns", "r2", {"name": ["Abstract Factory"], "intent": ["create families"]})
+        return index
+
+    def pairs(self):
+        index = self.build_index()
+        corpora = [
+            {"name": ["Observer"], "intent": ["decouple subject"]},
+            {"name": ["Abstract Factory"], "intent": ["create families"]},
+            {},
+        ]
+        return index, corpora
+
+    @pytest.mark.parametrize("operator", list(Operator))
+    def test_each_operator_agrees(self, operator):
+        index, corpora = self.pairs()
+        for field in ("name", "intent", "*", "missing"):
+            for value in ("Observer", "abstract factory", "obs", "", "!!!", "  OBSERVER  "):
+                query = Query("patterns", [Criterion(field, value, operator)])
+                plan = compile_query(query)
+                assert plan.evaluate(index) == query.evaluate(index), (operator, field, value)
+                for metadata in corpora:
+                    assert plan.matches_metadata(metadata) == query.matches_metadata(metadata), \
+                        (operator, field, value, metadata)
+
+    def test_conjunction_reordered_cheapest_first(self):
+        query = (Query("patterns")
+                 .where("*", "observer", Operator.ANY)
+                 .where("name", "obs", Operator.PREFIX)
+                 .where("intent", "decouple", Operator.CONTAINS)
+                 .where("name", "Observer", Operator.EQUALS))
+        plan = compile_query(query)
+        operators = [criterion.operator for criterion in plan.criteria]
+        assert operators == [Operator.EQUALS, Operator.CONTAINS, Operator.PREFIX, Operator.ANY]
+        index = self.build_index()
+        assert plan.evaluate(index) == query.evaluate(index) == {"r1"}
+
+    def test_blank_criteria_are_dropped(self):
+        query = Query("patterns").where("name", "   ").where("name", "Observer", Operator.EQUALS)
+        plan = compile_query(query)
+        assert len(plan.criteria) == 1
+        assert not plan.is_empty
+        empty = compile_query(Query("patterns").where("name", " "))
+        assert empty.is_empty
+
+    def test_wire_form_cached_and_identical(self):
+        query = Query.keyword("patterns", "observer factory")
+        plan = compile_query(query)
+        assert plan.wire_xml == query.to_xml_text()
+        assert plan.wire_bytes == query.wire_size_bytes()
+        assert plan.wire_xml is plan.wire_xml  # same object, rendered once
+
+    def test_compiled_query_exposes_source(self):
+        query = Query.keyword("patterns", "observer")
+        plan = CompiledQuery(query)
+        assert plan.source is query
+        assert plan.community_id == "patterns"
+        assert "observer" in plan.describe()

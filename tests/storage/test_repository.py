@@ -73,6 +73,32 @@ class TestRepository:
         assert len(repository.search(Query("patterns"))) == 1
         assert repository.search(Query("other")) == []
 
+    def test_empty_query_result_is_not_aliased_to_the_store(self):
+        """Mutating a browse result must never corrupt the document
+        store shared by every in-process peer (mutation aliasing)."""
+        repository = LocalRepository()
+        self.publish_sample(repository)
+        first = repository.search(Query("patterns"))
+        first.clear()
+        again = repository.search(Query("patterns"))
+        assert len(again) == 1
+        assert len(repository.documents.objects_in("patterns")) == 1
+
+    def test_search_with_compiled_plan_matches_naive(self):
+        from repro.storage.plan import compile_query
+        from repro.storage.query import Operator
+
+        repository = LocalRepository()
+        self.publish_sample(repository)
+        for query in (
+            Query.keyword("patterns", "observer"),
+            Query("patterns").where("name", "Observer", Operator.EQUALS),
+            Query("patterns"),  # empty query: the browse path
+            Query.keyword("patterns", "visitor"),
+        ):
+            plan = compile_query(query)
+            assert repository.search(query, plan=plan) == repository.search(query)
+
     def test_retrieve(self):
         repository = LocalRepository()
         result = self.publish_sample(repository)
