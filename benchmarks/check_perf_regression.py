@@ -35,6 +35,11 @@ def samples(record: dict):
     headline = record.get("e3_concurrent_200")
     if headline:
         yield "e3_concurrent_200", headline
+    # Live-membership flood throughput (E9's headline sample): the
+    # maintenance-traffic hot path is guarded alongside the plain one.
+    flood_live = record.get("membership", {}).get("flood_live")
+    if flood_live:
+        yield "membership/flood_live", flood_live
 
 
 def main(argv=None) -> int:

@@ -9,7 +9,25 @@ figures' data; EXPERIMENTS.md records the interpretation.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
+
+
+def write_perf_record(path: pathlib.Path, updates: dict) -> None:
+    """Merge ``updates`` into the perf record at ``path`` and write it.
+
+    Each benchmark suite owns a disjoint set of top-level keys (p1 the
+    hot-path samples, e9 the ``membership`` section); merging instead
+    of overwriting lets the modules run — and rewrite — in any order.
+    """
+    merged = {}
+    if path.exists():
+        merged = json.loads(path.read_text(encoding="utf-8"))
+    merged.update(updates)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
 
 
 def print_table(title: str, columns: list[str], rows: list[list]) -> None:

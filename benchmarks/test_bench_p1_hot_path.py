@@ -19,7 +19,6 @@ It also pins the two properties the compiled-plan fast path must keep:
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
@@ -249,8 +248,8 @@ def test_bench_p1_write_record(benchmark, report, request):
     if request.config.getoption("benchmark_disable", False):
         pytest.skip("benchmark timing disabled; not rewriting BENCH_perf.json")
     RECORD["calibration_events_per_s"] = measure_calibration()
-    PERF_PATH.write_text(json.dumps(RECORD, indent=2, sort_keys=True) + "\n",
-                         encoding="utf-8")
+    from conftest import write_perf_record
+    write_perf_record(PERF_PATH, RECORD)
     rows = []
     for protocol in PROTOCOLS:
         for workload in ("flood", "mixed"):

@@ -9,13 +9,22 @@ what lets many queries overlap in virtual time and lets churn strike a
 query mid-flight.
 """
 
-from repro.engine.kernel import EventKernel, ExchangeContext, QueryContext, RetrieveContext
+from repro.engine.kernel import (
+    EventKernel,
+    ExchangeContext,
+    MaintenanceTimer,
+    MembershipContext,
+    QueryContext,
+    RetrieveContext,
+)
 from repro.engine.driver import BatchOutcome, QueryDriver, RetrieveOp, SearchOp
 from repro.engine.local import local_matches
 
 __all__ = [
     "EventKernel",
     "ExchangeContext",
+    "MaintenanceTimer",
+    "MembershipContext",
     "QueryContext",
     "RetrieveContext",
     "QueryDriver",

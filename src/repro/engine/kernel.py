@@ -121,6 +121,26 @@ class QueryContext(ExchangeContext):
 
 
 @dataclass
+class MembershipContext(ExchangeContext):
+    """One in-flight lifecycle exchange (live-membership mode).
+
+    A joining peer's discovery ping, a heartbeat round or a lease
+    renewal is an exchange like any other: its messages ride the shared
+    queue and it quiesces by reference counting.  Nothing *waits* on a
+    membership context — lifecycle traffic is background load — but the
+    context still provides per-exchange state (``visited`` gives a
+    discovery flood its duplicate suppression) and completion stamps.
+    ``acquired`` counts what the exchange obtained (e.g. neighbour
+    links made from PONGs).
+    """
+
+    peer_id: str = ""
+    kind: str = ""
+    visited: set[str] = field(default_factory=set)
+    acquired: int = 0
+
+
+@dataclass
 class RetrieveContext(ExchangeContext):
     """One in-flight download: DOWNLOAD-REQUEST / DOWNLOAD-RESPONSE plus
     per-attachment transfer events, quiescing by reference counting."""
@@ -140,6 +160,27 @@ class RetrieveContext(ExchangeContext):
         return self.stored is not None and self.error is None
 
 
+class MaintenanceTimer:
+    """Handle of one recurring kernel timer (see :meth:`EventKernel.every`).
+
+    Slotted and allocation-light: each firing re-posts through the
+    simulator's no-handle fast path, so a long steady-state run costs
+    one list per tick and nothing else.
+    """
+
+    __slots__ = ("interval_ms", "callback", "args", "cancelled")
+
+    def __init__(self, interval_ms: float, callback: Callable[..., None],
+                 args: tuple) -> None:
+        self.interval_ms = interval_ms
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class EventKernel:
     """Message scheduling, dispatch and per-exchange accounting."""
 
@@ -157,6 +198,8 @@ class EventKernel:
         self._link_latency = simulator.latency_model.latency
         #: always-on endpoints that are not peers (e.g. the index server)
         self.virtual_nodes: set[str] = set()
+        #: recurring maintenance timers (heartbeats, lease sweeps)
+        self.timers: list[MaintenanceTimer] = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -168,6 +211,41 @@ class EventKernel:
     def add_virtual_node(self, node_id: str) -> None:
         """Declare an always-online endpoint (it has no :class:`Peer`)."""
         self.virtual_nodes.add(node_id)
+
+    # ------------------------------------------------------------------
+    # Recurring maintenance timers
+    # ------------------------------------------------------------------
+    def every(self, interval_ms: float, callback: Callable[..., None], *args,
+              first_delay_ms: Optional[float] = None) -> MaintenanceTimer:
+        """Run ``callback(*args)`` every ``interval_ms`` of virtual time.
+
+        Each firing is an ordinary event on the shared queue, so
+        maintenance (heartbeats, lease renewal, expiry sweeps)
+        interleaves deterministically with in-flight queries, downloads
+        and churn — nothing touches the clock except events.  The timer
+        keeps rescheduling itself until :meth:`MaintenanceTimer.cancel`;
+        drive the simulator with ``run(until_ms=...)`` (an unbounded
+        ``run()`` would never drain the queue).
+        """
+        if interval_ms <= 0:
+            raise ValueError("the maintenance interval must be positive")
+        timer = MaintenanceTimer(interval_ms, callback, args)
+        self.timers.append(timer)
+        first = interval_ms if first_delay_ms is None else first_delay_ms
+        self.simulator.post(first, self._fire_timer, timer)
+        return timer
+
+    def _fire_timer(self, timer: MaintenanceTimer) -> None:
+        if timer.cancelled:
+            return
+        timer.callback(*timer.args)
+        self.simulator.post(timer.interval_ms, self._fire_timer, timer)
+
+    def cancel_timers(self) -> None:
+        """Stop every recurring timer (ends a live-membership run)."""
+        for timer in self.timers:
+            timer.cancelled = True
+        self.timers.clear()
 
     # ------------------------------------------------------------------
     # Sending

@@ -47,6 +47,8 @@ _LAZY = {
     "SuperPeerProtocol": ("repro.network.superpeer", "SuperPeerProtocol"),
     "RendezvousProtocol": ("repro.network.rendezvous", "RendezvousProtocol"),
     "ChurnModel": ("repro.network.churn", "ChurnModel"),
+    "PopulationModel": ("repro.network.membership", "PopulationModel"),
+    "MembershipEvent": ("repro.network.membership", "MembershipEvent"),
 }
 
 
@@ -78,6 +80,8 @@ __all__ = [
     "Topology",
     "build_topology",
     "ChurnModel",
+    "PopulationModel",
+    "MembershipEvent",
     "NetworkError",
     "UnknownPeerError",
     "PeerOfflineError",

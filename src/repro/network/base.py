@@ -122,7 +122,13 @@ class PeerNetwork(ABC):
 
     def __init__(self, *, simulator: Optional[NetworkSimulator] = None,
                  stats: Optional[NetworkStats] = None, seed: int = 0,
-                 compile_queries: bool = True) -> None:
+                 compile_queries: bool = True, live_membership: bool = False,
+                 maintenance_interval_ms: float = 2_000.0,
+                 heartbeat_lease_intervals: int = 2) -> None:
+        if maintenance_interval_ms <= 0:
+            raise ValueError("the maintenance interval must be positive")
+        if heartbeat_lease_intervals < 1:
+            raise ValueError("the heartbeat lease must cover at least one interval")
         self.simulator = simulator or NetworkSimulator(seed=seed)
         self.stats = stats or NetworkStats()
         self.peers: dict[str, Peer] = {}
@@ -132,6 +138,19 @@ class PeerNetwork(ABC):
         #: flag exists so the contract suite can pin that the compiled
         #: path is result- and message-count-identical to the naive one
         self.compile_queries = compile_queries
+        #: when on, peer lifecycle is protocol traffic on the kernel:
+        #: joins/leaves/heartbeats/lease renewals cost real messages and
+        #: a departed peer's state decays only when repair traffic
+        #: notices.  Off (the default) keeps today's instantaneous
+        #: ``set_online`` semantics bit-identically.
+        self.live_membership = live_membership
+        #: period of the recurring maintenance tick (heartbeats, lease
+        #: sweeps); keep it larger than the worst link latency so a live
+        #: counterpart is never mistaken for a dead one
+        self.maintenance_interval_ms = maintenance_interval_ms
+        #: a counterpart silent for this many intervals is presumed dead
+        self.heartbeat_lease_intervals = heartbeat_lease_intervals
+        self._maintenance_timer = None
         self._query_sequence = itertools.count(1)
         self._register_handlers(self.kernel)
 
@@ -139,11 +158,21 @@ class PeerNetwork(ABC):
     # Membership
     # ------------------------------------------------------------------
     def add_peer(self, peer: Peer) -> Peer:
-        """Add ``peer`` to the network and wire it into the overlay."""
+        """Add ``peer`` to the network and wire it into the overlay.
+
+        With live membership on, the arrival is a protocol event: the
+        newcomer's join traffic (discovery pings, registrations, leaf
+        attachment) goes through the kernel and costs real messages.
+        """
         if peer.peer_id in self.peers:
             raise DuplicatePeerError(f"peer id {peer.peer_id!r} is already in the network")
         self.peers[peer.peer_id] = peer
-        self._on_peer_added(peer)
+        peer.online_since = self.simulator.now
+        if self.live_membership:
+            self._ensure_maintenance()
+            self._on_peer_joined_live(peer)
+        else:
+            self._on_peer_added(peer)
         return peer
 
     def create_peer(self, peer_id: str) -> Peer:
@@ -151,22 +180,133 @@ class PeerNetwork(ABC):
         return self.add_peer(Peer(peer_id=peer_id))
 
     def remove_peer(self, peer_id: str) -> None:
-        """Remove a peer entirely (it will not come back)."""
+        """Remove a peer entirely (it will not come back).
+
+        Off mode this is the structural API it always was (instant hook
+        cleanup).  With live membership on, the removal is an announced
+        permanent departure — UNREGISTER/LEAVE/LEAF-DETACH traffic
+        through the kernel — and the off-mode hooks' free instant
+        mutation never runs.  Either way the peer's open session closes
+        into the uptime totals before the object is dropped.
+        """
         peer = self._require_peer(peer_id, allow_offline=True)
-        self._on_peer_removed(peer)
+        if self.live_membership:
+            self.depart(peer_id, graceful=True)
+        else:
+            if peer.online:
+                session_ms = self.simulator.now - peer.online_since
+                peer.uptime_ms += session_ms
+                self.stats.record_uptime(session_ms)
+            self._on_peer_removed(peer)
         self.replicas.forget_peer(peer_id)
         del self.peers[peer_id]
 
     def set_online(self, peer_id: str, online: bool) -> None:
-        """Toggle a peer's availability (used by the churn model)."""
+        """Toggle a peer's availability (used by the population model).
+
+        Uptime accounting happens in both modes: each offline
+        transition closes the current session and accumulates it on
+        ``Peer.uptime_ms`` and the network stats.  Protocol reaction
+        differs: with live membership off the legacy hooks mutate
+        protocol state instantly and for free; with it on, only
+        physically-observable effects happen here (a departed node's
+        own RAM dies with it) and everything else — re-homing,
+        re-registration, stale-record cleanup — is later protocol
+        traffic.
+        """
         peer = self._require_peer(peer_id, allow_offline=True)
         if peer.online == online:
             return
-        peer.online = online
+        now = self.simulator.now
         if online:
-            self._on_peer_returned(peer)
+            peer.online = True
+            peer.online_since = now
+            if self.live_membership:
+                self._on_peer_joined_live(peer)
+            else:
+                self._on_peer_returned(peer)
         else:
-            self._on_peer_departed(peer)
+            session_ms = now - peer.online_since
+            peer.uptime_ms += session_ms
+            self.stats.record_uptime(session_ms)
+            peer.last_departed_ms = now
+            peer.online = False
+            if self.live_membership:
+                self._on_peer_left_live(peer)
+            else:
+                self._on_peer_departed(peer)
+
+    def depart(self, peer_id: str, *, graceful: bool = False) -> None:
+        """Take a peer offline permanently (it is never rescheduled).
+
+        With live membership on and ``graceful`` set, the peer first
+        announces its departure (UNREGISTER / LEAVE / LEAF-DETACH
+        traffic through the kernel) so the network cleans up without a
+        staleness window; an ungraceful permanent departure leaves
+        stale state behind exactly like a crash.
+        """
+        peer = self._require_peer(peer_id, allow_offline=True)
+        if not peer.online:
+            return
+        if self.live_membership and graceful:
+            self._announce_departure_live(peer)
+        self.set_online(peer_id, False)
+
+    # ------------------------------------------------------------------
+    # Live membership
+    # ------------------------------------------------------------------
+    def go_live(self) -> None:
+        """Switch to live membership from now on (idempotent).
+
+        Typically called once the initial population is built: the
+        bootstrap structure (overlay, elections, registrations) stands,
+        freshness stamps are initialized to the current virtual time,
+        and from here on every lifecycle transition is protocol traffic
+        and maintenance runs on recurring kernel timers.
+        """
+        self.live_membership = True
+        self._stamp_freshness(self.simulator.now)
+        self._ensure_maintenance()
+
+    @property
+    def heartbeat_lease_ms(self) -> float:
+        """How long a silent counterpart stays trusted."""
+        return self.maintenance_interval_ms * self.heartbeat_lease_intervals
+
+    def _ensure_maintenance(self) -> None:
+        # Re-arm after kernel.cancel_timers() too, so going live again
+        # after a paused run actually resumes heartbeats and sweeps.
+        if self._maintenance_timer is None or self._maintenance_timer.cancelled:
+            self._maintenance_timer = self.kernel.every(
+                self.maintenance_interval_ms, self._maintenance_tick)
+
+    def _maintenance_tick(self) -> None:
+        self._on_maintenance_tick(self.simulator.now)
+
+    def _note_staleness(self, provider_id: str, now: float) -> None:
+        """Record that stale state of a departed peer was just purged."""
+        peer = self.peers.get(provider_id)
+        if peer is not None and not peer.online and peer.last_departed_ms >= 0:
+            self.stats.record_staleness(now - peer.last_departed_ms)
+
+    def snapshot_uptime(self) -> float:
+        """Fold every open session into the uptime totals and return
+        ``stats.uptime_ms_total``.
+
+        Sessions normally close (and count) only at an offline
+        transition, so a measurement taken mid-run would otherwise
+        *undercount* the steadiest peers — the ones that never went
+        down.  Call this at a measurement boundary; session clocks
+        restart at the current virtual time.
+        """
+        now = self.simulator.now
+        for peer in self.peers.values():
+            if peer.online:
+                session_ms = now - peer.online_since
+                peer.uptime_ms += session_ms
+                self.stats.record_uptime(session_ms)
+                peer.online_since = now
+        return self.stats.uptime_ms_total
 
     def online_peers(self) -> list[Peer]:
         return [peer for peer in self.peers.values() if peer.online]
@@ -488,6 +628,28 @@ class PeerNetwork(ABC):
 
     def _on_peer_returned(self, peer: Peer) -> None:
         """Subclass hook: a peer came back online (churn)."""
+
+    # ------------------------------------------------------------------
+    # Live-membership hooks (protocol traffic instead of free mutation)
+    # ------------------------------------------------------------------
+    def _on_peer_joined_live(self, peer: Peer) -> None:
+        """Subclass hook: a peer arrived or returned; emit join traffic."""
+
+    def _on_peer_left_live(self, peer: Peer) -> None:
+        """Subclass hook: a peer crashed/departed.  Only physically
+        observable effects belong here (state held *on* the departed
+        node dies with it); everything held *about* it elsewhere must
+        persist until repair traffic notices."""
+
+    def _announce_departure_live(self, peer: Peer) -> None:
+        """Subclass hook: a graceful goodbye (UNREGISTER/LEAVE traffic)."""
+
+    def _on_maintenance_tick(self, now: float) -> None:
+        """Subclass hook: one recurring maintenance round (heartbeats,
+        lease renewals, expiry sweeps).  Runs as a kernel event."""
+
+    def _stamp_freshness(self, now: float) -> None:
+        """Subclass hook: initialize heartbeat/lease stamps at go-live."""
 
     # ------------------------------------------------------------------
     def _account(self, message: Message) -> None:

@@ -25,9 +25,14 @@ from repro.network.base import PeerNetwork, SearchResult
 from repro.network.messages import (
     Message,
     MessageType,
+    join_message,
+    leave_message,
+    metadata_wire_bytes,
+    ping_message,
     query_hit_message,
     query_message,
     register_message,
+    unregister_message,
 )
 from repro.network.peers import Peer
 from repro.storage.index import AttributeIndex
@@ -63,18 +68,35 @@ class CentralizedProtocol(PeerNetwork):
         super().__init__(**kwargs)
         self._index = AttributeIndex()
         self._catalog: dict[str, _CatalogEntry] = {}
+        #: the server's belief about who is alive: peer id -> virtual
+        #: time its last heartbeat (JOIN / PING / REGISTER) arrived.
+        #: Only meaningful in live-membership mode.
+        self._server_heartbeats: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def publish(self, peer_id: str, community_id: str, resource_id: str,
                 metadata: dict[str, list[str]], *, title: str = "") -> None:
         peer = self._require_peer(peer_id)
-        metadata_bytes = sum(len(p) + sum(len(v) for v in values) for p, values in metadata.items())
+        metadata_bytes = metadata_wire_bytes(metadata)
+        self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
+        if self.live_membership:
+            # The registration is real traffic: the catalog learns of
+            # the object when the REGISTER *arrives* at the server.
+            self.kernel.send(register_message(
+                peer_id, INDEX_SERVER_ID, community_id=community_id,
+                resource_id=resource_id, metadata_bytes=metadata_bytes,
+                payload_object=(dict(metadata), title)))
+            return
         message = register_message(peer_id, INDEX_SERVER_ID, community_id=community_id,
                                    resource_id=resource_id, metadata_bytes=metadata_bytes)
         self._account(message)
         self.stats.registrations += 1
-        self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
+        self._insert_catalog_entry(peer.peer_id, community_id, resource_id,
+                                   metadata, title, metadata_bytes)
 
+    def _insert_catalog_entry(self, provider_id: str, community_id: str,
+                              resource_id: str, metadata: dict[str, list[str]],
+                              title: str, metadata_bytes: int) -> None:
         entry = self._catalog.get(resource_id)
         if entry is None:
             entry = _CatalogEntry(
@@ -85,7 +107,7 @@ class CentralizedProtocol(PeerNetwork):
             )
             self._catalog[resource_id] = entry
             self._index.add(community_id, resource_id, metadata)
-        entry.providers.add(peer.peer_id)
+        entry.providers.add(provider_id)
 
     def withdraw(self, peer_id: str, resource_id: str) -> None:
         """Remove one provider of an object from the central catalog."""
@@ -119,6 +141,11 @@ class CentralizedProtocol(PeerNetwork):
         super()._register_handlers(kernel)
         kernel.add_virtual_node(INDEX_SERVER_ID)
         kernel.register(MessageType.QUERY, self._on_query)
+        kernel.register(MessageType.REGISTER, self._on_register)
+        kernel.register(MessageType.UNREGISTER, self._on_unregister)
+        kernel.register(MessageType.JOIN, self._on_join)
+        kernel.register(MessageType.LEAVE, self._on_leave)
+        kernel.register(MessageType.PING, self._on_ping)
 
     def _on_query(self, peer: Optional[Peer], message: Message,
                   context: Optional[QueryContext]) -> None:
@@ -171,6 +198,101 @@ class CentralizedProtocol(PeerNetwork):
                 if entry.community_id == evaluator.community_id
             }
         return evaluator.evaluate(self._index)
+
+    # ------------------------------------------------------------------
+    # Live-membership handlers: the server's *belief* about who is
+    # alive (``_server_heartbeats``, which drives catalog decay) is
+    # built from arriving messages only.  Query answering still filters
+    # providers by reachability (``peer.online``) in both modes — a
+    # result models an object the searcher could actually fetch — so
+    # staleness shows up as the server's storage/purge cost, not as
+    # dead results.
+    # ------------------------------------------------------------------
+    def _on_register(self, peer: Optional[Peer], message: Message, context) -> None:
+        if message.recipient != INDEX_SERVER_ID or message.payload_object is None:
+            return
+        metadata, title = message.payload_object
+        self.stats.registrations += 1
+        self._insert_catalog_entry(message.sender, message.community_id,
+                                   message.resource_id, metadata, title,
+                                   message.payload_bytes)
+        self._server_heartbeats[message.sender] = self.simulator.now
+
+    def _on_unregister(self, peer: Optional[Peer], message: Message, context) -> None:
+        if message.recipient == INDEX_SERVER_ID:
+            self.withdraw(message.sender, message.resource_id)
+
+    def _on_join(self, peer: Optional[Peer], message: Message, context) -> None:
+        if message.recipient == INDEX_SERVER_ID:
+            self._server_heartbeats[message.sender] = self.simulator.now
+
+    def _on_leave(self, peer: Optional[Peer], message: Message, context) -> None:
+        if message.recipient == INDEX_SERVER_ID:
+            self._server_heartbeats.pop(message.sender, None)
+
+    def _on_ping(self, peer: Optional[Peer], message: Message, context) -> None:
+        """A keepalive heartbeat at the server.  Napster-style: the
+        server does not acknowledge — silence is only ever fatal in the
+        other direction (the server expiring a silent peer)."""
+        if message.recipient == INDEX_SERVER_ID:
+            self._server_heartbeats[message.sender] = self.simulator.now
+
+    # ------------------------------------------------------------------
+    # Live-membership lifecycle
+    # ------------------------------------------------------------------
+    def _on_peer_joined_live(self, peer: Peer) -> None:
+        """A joining peer announces itself and re-uploads its metadata.
+
+        The server may still hold this peer's registrations (it came
+        back inside the staleness window) — re-registering is
+        idempotent, and costs the full upload either way, which is the
+        maintenance price the centralized organisation pays for churn.
+        """
+        self.kernel.send(join_message(peer.peer_id, INDEX_SERVER_ID))
+        for stored in peer.repository.documents:
+            metadata = stored.metadata
+            metadata_bytes = metadata_wire_bytes(metadata)
+            self.kernel.send(register_message(
+                peer.peer_id, INDEX_SERVER_ID, community_id=stored.community_id,
+                resource_id=stored.resource_id, metadata_bytes=metadata_bytes,
+                payload_object=(dict(metadata), stored.title)))
+
+    def _announce_departure_live(self, peer: Peer) -> None:
+        for stored in peer.repository.documents:
+            self.kernel.send(unregister_message(peer.peer_id, INDEX_SERVER_ID,
+                                                resource_id=stored.resource_id))
+        self.kernel.send(leave_message(peer.peer_id, INDEX_SERVER_ID))
+
+    def _on_maintenance_tick(self, now: float) -> None:
+        """One maintenance round: every online peer heartbeats the
+        server; the server expires peers silent beyond the lease and
+        purges their registrations, paying the staleness window."""
+        for peer_id in sorted(self.peers):
+            if self.peers[peer_id].online:
+                self.kernel.send(ping_message(peer_id, INDEX_SERVER_ID))
+        deadline = now - self.heartbeat_lease_ms
+        expired = {pid for pid, heard in self._server_heartbeats.items()
+                   if heard <= deadline}
+        if not expired:
+            return
+        for peer_id in expired:
+            del self._server_heartbeats[peer_id]
+        # One catalog pass for the whole expiry batch, however many
+        # peers lapsed together.
+        for resource_id in list(self._catalog):
+            for peer_id in sorted(expired & self._catalog[resource_id].providers):
+                self._note_staleness(peer_id, now)
+                self.withdraw(peer_id, resource_id)
+
+    def _stamp_freshness(self, now: float) -> None:
+        # Every peer gets a clock — including ones offline right now —
+        # so registrations left by a peer that departed before go-live
+        # still decay at the lease instead of persisting forever.
+        self._server_heartbeats = {peer_id: now for peer_id in sorted(self.peers)}
+
+    def believed_online(self) -> list[str]:
+        """Peers the server currently believes alive (live mode)."""
+        return sorted(self._server_heartbeats)
 
     # ------------------------------------------------------------------
     # Churn hooks: the catalog keeps entries of offline peers but search

@@ -1,83 +1,27 @@
 """Peer churn: sessions of availability followed by absences.
 
-The robustness argument of the paper (popular objects get replicated
-and therefore stay available as peers come and go) only means something
-under churn.  The model is the usual one for early file-sharing
-measurements: exponentially distributed session (online) and absence
-(offline) durations, scheduled on the network simulator.
+The original churn model — exponentially distributed session (online)
+and absence (offline) durations, the usual model for early file-sharing
+measurements — is now the simplest configuration of the generalized
+:class:`~repro.network.membership.PopulationModel`, which adds
+permanent departures, staged arrivals and flash crowds.  This module
+keeps the old name and surface so existing experiments read unchanged;
+scheduling goes through the simulator's no-allocation ``post`` fast
+path like every other membership timer.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Optional
+from repro.network.membership import MembershipEvent, PopulationModel
 
-from repro.network.base import PeerNetwork
-
-
-@dataclass
-class ChurnEvent:
-    """One recorded availability change."""
-
-    time_ms: float
-    peer_id: str
-    online: bool
+#: legacy alias: churn consumers matched on ``event.online``, which
+#: MembershipEvent still exposes
+ChurnEvent = MembershipEvent
 
 
-@dataclass
-class ChurnModel:
-    """Exponential on/off churn driven by the network's simulator."""
+class ChurnModel(PopulationModel):
+    """Exponential on/off churn driven by the network's simulator.
 
-    network: PeerNetwork
-    mean_session_ms: float = 30 * 60 * 1000.0
-    mean_absence_ms: float = 10 * 60 * 1000.0
-    seed: int = 0
-    events: list[ChurnEvent] = field(default_factory=list)
-    _rng: random.Random = field(init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.mean_session_ms <= 0 or self.mean_absence_ms <= 0:
-            raise ValueError("mean session and absence durations must be positive")
-        self._rng = random.Random(self.seed)
-
-    # ------------------------------------------------------------------
-    def start(self, peer_ids: Optional[list[str]] = None) -> None:
-        """Schedule the first departure of every (or the given) peer."""
-        ids = peer_ids if peer_ids is not None else list(self.network.peers)
-        for peer_id in ids:
-            self._schedule_departure(peer_id)
-
-    def _schedule_departure(self, peer_id: str) -> None:
-        delay = self._rng.expovariate(1.0 / self.mean_session_ms)
-        self.network.simulator.schedule(delay, lambda pid=peer_id: self._depart(pid))
-
-    def _schedule_return(self, peer_id: str) -> None:
-        delay = self._rng.expovariate(1.0 / self.mean_absence_ms)
-        self.network.simulator.schedule(delay, lambda pid=peer_id: self._return(pid))
-
-    def _depart(self, peer_id: str) -> None:
-        if peer_id not in self.network.peers:
-            return
-        self.network.set_online(peer_id, False)
-        self.events.append(ChurnEvent(self.network.simulator.now, peer_id, online=False))
-        self._schedule_return(peer_id)
-
-    def _return(self, peer_id: str) -> None:
-        if peer_id not in self.network.peers:
-            return
-        self.network.set_online(peer_id, True)
-        self.events.append(ChurnEvent(self.network.simulator.now, peer_id, online=True))
-        self._schedule_departure(peer_id)
-
-    # ------------------------------------------------------------------
-    def expected_availability(self) -> float:
-        """Steady-state probability that a peer is online."""
-        return self.mean_session_ms / (self.mean_session_ms + self.mean_absence_ms)
-
-    def observed_availability(self) -> float:
-        """Fraction of peers currently online."""
-        peers = self.network.peers
-        if not peers:
-            return 0.0
-        return len(self.network.online_peers()) / len(peers)
+    A :class:`PopulationModel` restricted to session churn: departures
+    are never permanent and no arrivals are staged.
+    """

@@ -24,10 +24,16 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from repro.engine.kernel import EventKernel, QueryContext
+from repro.engine.kernel import EventKernel, MembershipContext, QueryContext
 from repro.engine.local import local_matches
 from repro.network.base import PeerNetwork, SearchResult
-from repro.network.messages import Message, MessageType, query_hit_message
+from repro.network.messages import (
+    Message,
+    MessageType,
+    ping_message,
+    pong_message,
+    query_hit_message,
+)
 from repro.network.peers import Peer
 from repro.network.topology import Topology, build_topology
 from repro.storage.query import Query
@@ -86,6 +92,133 @@ class GnutellaProtocol(PeerNetwork):
             other.disconnect(peer.peer_id)
 
     # ------------------------------------------------------------------
+    # Live membership: joins bootstrap links with a TTL-2 PING/PONG
+    # discovery flood; links to departed neighbours go stale on both
+    # sides and decay only when keepalive PINGs stop being PONGed.
+    # ------------------------------------------------------------------
+    bootstrap_ttl = 2
+
+    def _on_peer_joined_live(self, peer: Peer) -> None:
+        self._discover_neighbors(peer, kind="join")
+
+    def _discover_neighbors(self, peer: Peer, *, kind: str) -> None:
+        """Send a discovery PING through a bootstrap peer.
+
+        The bootstrap choice itself is out-of-band (a host cache, in
+        real Gnutella) and deterministic: the lowest-id online peer.
+        Every PONG that makes it back while the joiner still wants
+        links becomes a neighbour edge.
+        """
+        bootstrap = next((peer_id for peer_id in sorted(self.peers)
+                          if peer_id != peer.peer_id and self.peers[peer_id].online),
+                         None)
+        if bootstrap is None:
+            return
+        context = MembershipContext(peer_id=peer.peer_id, kind=kind,
+                                    started_at=self.simulator.now)
+        context.visited.add(peer.peer_id)
+        ping = ping_message(peer.peer_id, bootstrap, ttl=self.bootstrap_ttl)
+        ping.hops = 1
+        self.kernel.send(ping, context=context)
+
+    def _on_ping(self, peer: Optional[Peer], message: Message, context) -> None:
+        if peer is None:
+            return
+        now = self.simulator.now
+        if isinstance(context, MembershipContext):
+            # Discovery ping: answer with a PONG routed back along the
+            # reverse path, then re-flood while TTL remains.
+            if peer.peer_id in context.visited:
+                return
+            context.visited.add(peer.peer_id)
+            pong = pong_message(peer.peer_id, context.peer_id,
+                                message_id=message.message_id)
+            self.kernel.send(pong, context=context, copies=max(1, message.hops),
+                             latency_ms=now - context.started_at)
+            remaining = message.ttl - 1
+            if remaining <= 0:
+                return
+            for neighbor_id in sorted(peer.neighbors):
+                neighbor = self.peers.get(neighbor_id)
+                if neighbor is None or not neighbor.online \
+                        or neighbor_id in context.visited:
+                    continue
+                forward = ping_message(peer.peer_id, neighbor_id, ttl=remaining)
+                forward.message_id = message.message_id
+                forward.hops = message.hops + 1
+                self.kernel.send(forward, context=context)
+            return
+        # Keepalive ping from a neighbour: acknowledge directly.
+        self.kernel.send(pong_message(peer.peer_id, message.sender,
+                                      message_id=message.message_id))
+
+    def _on_pong(self, peer: Optional[Peer], message: Message, context) -> None:
+        if peer is None:
+            return
+        now = self.simulator.now
+        if isinstance(context, MembershipContext):
+            # A discovery answer: take the responder as a neighbour if
+            # there is still room.  The responder may have churned
+            # offline since it ponged — then the link is stale from
+            # birth, which is exactly the fidelity live mode is for.
+            other = self.peers.get(message.sender)
+            if other is None:
+                return
+            if message.sender in peer.neighbors:
+                peer.last_pong_ms[message.sender] = now
+                return
+            if len(peer.neighbors) >= self.degree:
+                return
+            if len(other.neighbors) >= 2 * self.degree:
+                # Connection refused: the responder is saturated.  Every
+                # join routes through the same deterministic bootstrap,
+                # so without this cap a flash crowd would grow one
+                # peer's fan-out (and its keepalive bill) without bound.
+                return
+            self.topology.add_edge(peer.peer_id, message.sender)
+            peer.connect(message.sender)
+            other.connect(peer.peer_id)
+            peer.last_pong_ms[message.sender] = now
+            other.last_pong_ms[peer.peer_id] = now
+            self._flood_order.clear()
+            context.acquired += 1
+            return
+        peer.last_pong_ms[message.sender] = now
+
+    def _on_maintenance_tick(self, now: float) -> None:
+        """One keepalive round per online peer: drop links silent
+        beyond the lease, PING the rest, and run discovery again when
+        the neighbour set fell below the target degree."""
+        lease = self.heartbeat_lease_ms
+        for peer_id in sorted(self.peers):
+            peer = self.peers[peer_id]
+            if not peer.online:
+                continue
+            for neighbor_id in sorted(peer.neighbors):
+                if peer.last_pong_ms.get(neighbor_id, 0.0) <= now - lease:
+                    self._drop_link(peer, neighbor_id, now)
+            for neighbor_id in sorted(peer.neighbors):
+                self.kernel.send(ping_message(peer_id, neighbor_id))
+            if len(peer.neighbors) < self.degree:
+                self._discover_neighbors(peer, kind="repair")
+
+    def _drop_link(self, peer: Peer, neighbor_id: str, now: float) -> None:
+        self.topology.remove_edge(peer.peer_id, neighbor_id)
+        peer.disconnect(neighbor_id)
+        peer.last_pong_ms.pop(neighbor_id, None)
+        other = self.peers.get(neighbor_id)
+        if other is not None:
+            other.disconnect(peer.peer_id)
+            other.last_pong_ms.pop(peer.peer_id, None)
+        self._note_staleness(neighbor_id, now)
+        self._flood_order.clear()
+
+    def _stamp_freshness(self, now: float) -> None:
+        for peer in self.peers.values():
+            for neighbor_id in peer.neighbors:
+                peer.last_pong_ms[neighbor_id] = now
+
+    # ------------------------------------------------------------------
     # Primitives
     # ------------------------------------------------------------------
     def publish(self, peer_id: str, community_id: str, resource_id: str,
@@ -126,6 +259,8 @@ class GnutellaProtocol(PeerNetwork):
     def _register_handlers(self, kernel: EventKernel) -> None:
         super()._register_handlers(kernel)
         kernel.register(MessageType.QUERY, self._on_query)
+        kernel.register(MessageType.PING, self._on_ping)
+        kernel.register(MessageType.PONG, self._on_pong)
 
     def _on_query(self, peer: Optional[Peer], message: Message,
                   context: Optional[QueryContext]) -> None:

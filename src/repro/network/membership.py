@@ -1,0 +1,198 @@
+"""Population dynamics: churn, permanent departures, arrivals, crowds.
+
+The paper's robustness claims only mean something when the population
+moves.  :class:`PopulationModel` generalizes the original on/off churn
+model into the full set of lifecycle patterns the experiments need:
+
+* **session churn** — exponentially distributed online sessions and
+  absences, the classic early-file-sharing measurement model;
+* **permanent departures** — a seeded fraction of departures never
+  return (optionally announcing themselves first, so graceful and
+  crash exits can be compared);
+* **staged arrivals** — brand-new peers joining mid-run at a constant
+  rate (population growth);
+* **flash crowds** — a burst of simultaneous arrivals at one instant.
+
+Everything is seeded and *everything is delivered as events on the
+network's simulator queue* (via the no-allocation ``post`` fast path),
+so population changes interleave deterministically with in-flight
+queries, downloads and maintenance traffic.  With the network's
+``live_membership`` knob on, each transition turns into real protocol
+traffic (joins, heartbeats, re-registrations); with it off the model
+degrades to exactly the old free-toggle behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.base import PeerNetwork
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One recorded population change."""
+
+    time_ms: float
+    peer_id: str
+    kind: str  # "depart" | "return" | "arrive" | "depart-permanent"
+
+    @property
+    def online(self) -> bool:
+        """Whether the peer is online after this event (legacy churn
+        consumers read ``event.online`` off the old ChurnEvent)."""
+        return self.kind in ("return", "arrive")
+
+
+@dataclass
+class PopulationModel:
+    """Seeded population dynamics driven by the network's simulator."""
+
+    network: PeerNetwork
+    mean_session_ms: float = 30 * 60 * 1000.0
+    mean_absence_ms: float = 10 * 60 * 1000.0
+    #: probability that any given departure is permanent (never returns)
+    departure_permanence: float = 0.0
+    #: probability that a permanent departure says goodbye first (live
+    #: membership: UNREGISTER/LEAVE/LEAF-DETACH traffic instead of
+    #: leaving stale state behind)
+    graceful_fraction: float = 0.0
+    seed: int = 0
+    events: list[MembershipEvent] = field(default_factory=list)
+    _rng: random.Random = field(init=False, repr=False)
+    _arrivals: int = field(init=False, repr=False, default=0)
+    #: peers that left for good: their queued churn returns are voided,
+    #: so a permanent departure sticks even if it struck mid-absence
+    _gone: set[str] = field(init=False, repr=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.mean_session_ms <= 0 or self.mean_absence_ms <= 0:
+            raise ValueError("mean session and absence durations must be positive")
+        if not 0.0 <= self.departure_permanence <= 1.0:
+            raise ValueError("departure_permanence must be within [0, 1]")
+        if not 0.0 <= self.graceful_fraction <= 1.0:
+            raise ValueError("graceful_fraction must be within [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # Session churn
+    # ------------------------------------------------------------------
+    def start(self, peer_ids: Optional[list[str]] = None) -> None:
+        """Schedule the first departure of every (or the given) peer."""
+        ids = peer_ids if peer_ids is not None else list(self.network.peers)
+        for peer_id in ids:
+            self._schedule_departure(peer_id)
+
+    def _schedule_departure(self, peer_id: str) -> None:
+        delay = self._rng.expovariate(1.0 / self.mean_session_ms)
+        self.network.simulator.post(delay, self._depart, peer_id)
+
+    def _schedule_return(self, peer_id: str) -> None:
+        delay = self._rng.expovariate(1.0 / self.mean_absence_ms)
+        self.network.simulator.post(delay, self._return, peer_id)
+
+    def _depart(self, peer_id: str) -> None:
+        if peer_id not in self.network.peers or peer_id in self._gone:
+            return
+        now = self.network.simulator.now
+        # Short-circuit so a permanence of zero draws nothing extra and
+        # the event stream stays bit-identical to the legacy churn model.
+        if self.departure_permanence > 0.0 \
+                and self._rng.random() < self.departure_permanence:
+            graceful = self.graceful_fraction > 0.0 \
+                and self._rng.random() < self.graceful_fraction
+            self._gone.add(peer_id)
+            self.network.depart(peer_id, graceful=graceful)
+            self.events.append(MembershipEvent(now, peer_id, "depart-permanent"))
+            return
+        self.network.set_online(peer_id, False)
+        self.events.append(MembershipEvent(now, peer_id, "depart"))
+        self._schedule_return(peer_id)
+
+    def _return(self, peer_id: str) -> None:
+        if peer_id not in self.network.peers or peer_id in self._gone:
+            return
+        self.network.set_online(peer_id, True)
+        self.events.append(MembershipEvent(self.network.simulator.now, peer_id, "return"))
+        self._schedule_departure(peer_id)
+
+    # ------------------------------------------------------------------
+    # Arrivals
+    # ------------------------------------------------------------------
+    def schedule_arrivals(self, count: int, *, start_ms: float = 0.0,
+                          interval_ms: float = 0.0, prefix: str = "arrival",
+                          churn: bool = False) -> list[str]:
+        """Schedule ``count`` brand-new peers to join, the first
+        ``start_ms`` from now and one every ``interval_ms`` after.
+
+        With ``churn`` set, each newcomer enters the session-churn
+        rotation after arriving.  Returns the (deterministic) ids the
+        newcomers will use.
+        """
+        if count < 0:
+            raise ValueError("the arrival count must be non-negative")
+        if start_ms < 0 or interval_ms < 0:
+            raise ValueError("arrival times must be non-negative")
+        ids = []
+        for offset in range(count):
+            peer_id = f"{prefix}-{self._arrivals:04d}"
+            self._arrivals += 1
+            ids.append(peer_id)
+            self.network.simulator.post(start_ms + offset * interval_ms,
+                                        self._arrive, peer_id, churn)
+        return ids
+
+    def flash_crowd(self, count: int, *, at_ms: float, prefix: str = "crowd",
+                    churn: bool = False) -> list[str]:
+        """A burst: ``count`` peers all arriving ``at_ms`` from now."""
+        return self.schedule_arrivals(count, start_ms=at_ms, interval_ms=0.0,
+                                      prefix=prefix, churn=churn)
+
+    def _arrive(self, peer_id: str, churn: bool) -> None:
+        if peer_id in self.network.peers:
+            return
+        self.network.create_peer(peer_id)
+        self.events.append(MembershipEvent(self.network.simulator.now, peer_id, "arrive"))
+        if churn:
+            self._schedule_departure(peer_id)
+
+    # ------------------------------------------------------------------
+    # Scheduled permanent departures
+    # ------------------------------------------------------------------
+    def schedule_departure(self, peer_id: str, *, at_ms: float,
+                           graceful: bool = False) -> None:
+        """Make ``peer_id`` leave for good ``at_ms`` from now."""
+        if at_ms < 0:
+            raise ValueError("the departure time must be non-negative")
+        self.network.simulator.post(at_ms, self._depart_forever, peer_id, graceful)
+
+    def _depart_forever(self, peer_id: str, graceful: bool) -> None:
+        if peer_id not in self.network.peers or peer_id in self._gone:
+            return
+        # Marking the peer gone voids any queued churn return, so the
+        # departure is permanent even when it strikes mid-absence (the
+        # peer was already offline and ``depart`` is then a no-op).
+        self._gone.add(peer_id)
+        self.network.depart(peer_id, graceful=graceful)
+        self.events.append(MembershipEvent(self.network.simulator.now,
+                                           peer_id, "depart-permanent"))
+
+    # ------------------------------------------------------------------
+    def expected_availability(self) -> float:
+        """Steady-state probability that a churning peer is online."""
+        return self.mean_session_ms / (self.mean_session_ms + self.mean_absence_ms)
+
+    def observed_availability(self) -> float:
+        """Fraction of peers currently online."""
+        peers = self.network.peers
+        if not peers:
+            return 0.0
+        return len(self.network.online_peers()) / len(peers)
+
+    def departures(self) -> list[MembershipEvent]:
+        return [event for event in self.events if not event.online]
+
+    def arrivals(self) -> list[MembershipEvent]:
+        return [event for event in self.events if event.kind == "arrive"]

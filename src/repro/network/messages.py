@@ -28,10 +28,29 @@ class MessageType(Enum):
     UNREGISTER = "unregister"
     DOWNLOAD_REQUEST = "download-request"
     DOWNLOAD_RESPONSE = "download-response"
+    # Membership lifecycle (live_membership mode): joins, graceful
+    # leaves, two-tier attachment and advertisement lease renewal all
+    # travel through the kernel like any other protocol traffic.
+    JOIN = "join"
+    LEAVE = "leave"
+    LEAF_ATTACH = "leaf-attach"
+    LEAF_DETACH = "leaf-detach"
+    AD_RENEW = "ad-renew"
 
 
 _HEADER_BYTES = 23  # Gnutella descriptor header size
 _message_counter = itertools.count(1)
+
+
+def metadata_wire_bytes(metadata: dict[str, list[str]]) -> int:
+    """Approximate wire size of one object's searchable metadata.
+
+    The single definition every adapter uses for REGISTER / AD-RENEW
+    payload accounting — the cross-protocol control-overhead comparison
+    only holds if all of them measure bytes the same way.
+    """
+    return sum(len(path) + sum(len(value) for value in values)
+               for path, values in metadata.items())
 
 
 def next_message_id() -> str:
@@ -138,8 +157,14 @@ def query_hit_message(sender: str, recipient: str, *, result_count: int,
 
 
 def register_message(sender: str, recipient: str, *, community_id: str,
-                     resource_id: str, metadata_bytes: int) -> Message:
-    """Build a REGISTER message uploading one object's searchable metadata."""
+                     resource_id: str, metadata_bytes: int,
+                     payload_object: object = None) -> Message:
+    """Build a REGISTER message uploading one object's searchable metadata.
+
+    ``payload_object`` optionally carries ``(metadata, title)`` for the
+    live-membership path, where the recipient's handler inserts the
+    record on *arrival* instead of the sender mutating remote state.
+    """
     return Message(
         type=MessageType.REGISTER,
         sender=sender,
@@ -147,6 +172,94 @@ def register_message(sender: str, recipient: str, *, community_id: str,
         community_id=community_id,
         resource_id=resource_id,
         payload_bytes=metadata_bytes,
+        payload_object=payload_object,
+    )
+
+
+def unregister_message(sender: str, recipient: str, *, resource_id: str) -> Message:
+    """Withdraw one registration (a graceful departure's farewell)."""
+    return Message(
+        type=MessageType.UNREGISTER,
+        sender=sender,
+        recipient=recipient,
+        resource_id=resource_id,
+        payload_bytes=len(resource_id.encode("utf-8")),
+    )
+
+
+def ping_message(sender: str, recipient: str, *, ttl: int = 1) -> Message:
+    """A Gnutella 0.4 PING: header-only (keepalive or discovery probe)."""
+    return Message(type=MessageType.PING, sender=sender, recipient=recipient, ttl=ttl)
+
+
+def pong_message(sender: str, recipient: str, *, message_id: str) -> Message:
+    """A Gnutella 0.4 PONG: the 14-byte address/shared-files payload."""
+    return Message(
+        type=MessageType.PONG,
+        sender=sender,
+        recipient=recipient,
+        message_id=message_id,
+        payload_bytes=14,
+    )
+
+
+def join_message(sender: str, recipient: str) -> Message:
+    """Announce a peer's (re)appearance to a directory node."""
+    return Message(
+        type=MessageType.JOIN,
+        sender=sender,
+        recipient=recipient,
+        payload_bytes=len(sender.encode("utf-8")),
+    )
+
+
+def leave_message(sender: str, recipient: str) -> Message:
+    """Announce a graceful departure to a directory node."""
+    return Message(
+        type=MessageType.LEAVE,
+        sender=sender,
+        recipient=recipient,
+        payload_bytes=len(sender.encode("utf-8")),
+    )
+
+
+def leaf_attach_message(sender: str, recipient: str) -> Message:
+    """A leaf asks ``recipient`` (a super/rendezvous peer) to adopt it."""
+    return Message(
+        type=MessageType.LEAF_ATTACH,
+        sender=sender,
+        recipient=recipient,
+        payload_bytes=len(sender.encode("utf-8")),
+    )
+
+
+def leaf_detach_message(sender: str, recipient: str) -> Message:
+    """A leaf gracefully detaches from its super/rendezvous peer."""
+    return Message(
+        type=MessageType.LEAF_DETACH,
+        sender=sender,
+        recipient=recipient,
+        payload_bytes=len(sender.encode("utf-8")),
+    )
+
+
+def ad_renew_message(sender: str, recipient: str, *, community_id: str,
+                     resource_id: str, metadata_bytes: int,
+                     payload_object: object = None) -> Message:
+    """Renew (or repair) one advertisement's lease at a rendezvous peer.
+
+    The renewal re-ships the advertisement's metadata, so it costs the
+    same bytes as the original publication — the JXTA lease model's
+    standing maintenance price.
+    """
+    return Message(
+        type=MessageType.AD_RENEW,
+        sender=sender,
+        recipient=recipient,
+        community_id=community_id,
+        resource_id=resource_id,
+        payload_bytes=metadata_bytes,
+        payload_object=payload_object,
     )
 
 

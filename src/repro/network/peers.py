@@ -15,7 +15,15 @@ class Peer:
     A peer owns a :class:`~repro.storage.repository.LocalRepository`
     (its shared objects and local index), a set of neighbour links
     (meaningful for the decentralized organisations) and an online
-    flag toggled by the churn model.
+    flag toggled by the membership layer.  ``uptime_ms`` accumulates
+    completed online-session time at each offline transition;
+    ``online_since`` stamps the start of the current session.  In
+    live-membership mode ``last_pong_ms`` tracks when each counterpart
+    (a neighbour, or the peer's super/rendezvous) last answered a
+    heartbeat: *silence detection* is belief-based.  Repair *targeting*
+    may still consult the connection layer (a dial to a dead candidate
+    fails fast, like a refused TCP connect) — see the Membership
+    section of ARCHITECTURE.md for where each shortcut is taken.
     """
 
     peer_id: str
@@ -26,6 +34,9 @@ class Peer:
     super_peer_id: Optional[str] = None
     joined_communities: set[str] = field(default_factory=set)
     uptime_ms: float = 0.0
+    online_since: float = 0.0
+    last_departed_ms: float = -1.0
+    last_pong_ms: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.peer_id:

@@ -40,6 +40,10 @@ from repro.network.base import PeerNetwork, SearchResult
 from repro.network.messages import (
     Message,
     MessageType,
+    ad_renew_message,
+    leaf_attach_message,
+    leave_message,
+    metadata_wire_bytes,
     query_hit_message,
     query_message,
     register_message,
@@ -93,6 +97,17 @@ class RendezvousProtocol(PeerNetwork):
         self.lease_ms = lease_ms
         self.walk_limit = walk_limit
         self._states: dict[str, _RendezvousState] = {}
+        #: live-membership renewal clocks: peer id -> virtual time it
+        #: last re-advertised its objects
+        self._last_renewed: dict[str, float] = {}
+
+    def go_live(self) -> None:
+        if self.lease_ms < 2 * self.maintenance_interval_ms:
+            # Renewals fire at lease/2 but only when a tick runs; with a
+            # shorter lease every ad would expire before its renewal.
+            raise ValueError("the advertisement lease must cover at least "
+                             "two maintenance intervals under live membership")
+        super().go_live()
 
     # ------------------------------------------------------------------
     # Role assignment
@@ -157,6 +172,144 @@ class RendezvousProtocol(PeerNetwork):
         self._on_peer_departed(peer)
 
     # ------------------------------------------------------------------
+    # Live membership: edges renew their advertisements on a timer (the
+    # JXTA lease model as standing traffic), leases expire in recurring
+    # sweeps instead of being pulled at search time, and an edge whose
+    # rendezvous died re-homes — and re-advertises everything — at its
+    # next renewal tick, which is the organic repair path.
+    # ------------------------------------------------------------------
+    def _on_peer_joined_live(self, peer: Peer) -> None:
+        peer.is_super_peer = False
+        peer.super_peer_id = None
+        self._live_attach_edge(peer)
+
+    def _on_peer_left_live(self, peer: Peer) -> None:
+        if peer.is_super_peer:
+            # The advertisement index lived in the departed rendezvous
+            # peer's RAM and dies with it; edges notice at their next
+            # renewal tick and re-home.
+            self._states.pop(peer.peer_id, None)
+            peer.is_super_peer = False
+
+    def _announce_departure_live(self, peer: Peer) -> None:
+        if not peer.is_super_peer and peer.super_peer_id in self._states:
+            self.kernel.send(leave_message(peer.peer_id, peer.super_peer_id))
+
+    def _live_attach_edge(self, peer: Peer) -> None:
+        now = self.simulator.now
+        online = sorted(rdv_id for rdv_id in self._states
+                        if rdv_id in self.peers and self.peers[rdv_id].online)
+        if not online:
+            self._promote_rendezvous(peer)
+            return
+        target = online[zlib.crc32(peer.peer_id.encode("utf-8")) % len(online)]
+        peer.super_peer_id = target
+        self.kernel.send(leaf_attach_message(peer.peer_id, target))
+        self._readvertise(peer, target)
+        self._last_renewed[peer.peer_id] = now
+
+    def _promote_rendezvous(self, peer: Peer) -> None:
+        """Deterministic promotion: the edge that found no reachable
+        rendezvous becomes one itself (maintenance iterates peers in
+        sorted order, so the lowest-id orphan promotes first)."""
+        peer.is_super_peer = True
+        peer.super_peer_id = peer.peer_id
+        self._states.setdefault(peer.peer_id, _RendezvousState())
+        for stored in peer.repository.documents:
+            metadata = stored.metadata
+            metadata_bytes = metadata_wire_bytes(metadata)
+            self._insert_advertisement(peer.peer_id, peer.peer_id,
+                                       stored.community_id, stored.resource_id,
+                                       metadata, stored.title, metadata_bytes)
+        self._last_renewed[peer.peer_id] = self.simulator.now
+
+    def _readvertise(self, peer: Peer, target: str) -> None:
+        """Re-ship every shared object's advertisement (lease renewal)."""
+        for stored in peer.repository.documents:
+            metadata = stored.metadata
+            metadata_bytes = metadata_wire_bytes(metadata)
+            self.kernel.send(ad_renew_message(
+                peer.peer_id, target, community_id=stored.community_id,
+                resource_id=stored.resource_id, metadata_bytes=metadata_bytes,
+                payload_object=(dict(metadata), stored.title)))
+
+    def _on_maintenance_tick(self, now: float) -> None:
+        renew_after = self.lease_ms / 2
+        for peer_id in sorted(self.peers):
+            peer = self.peers[peer_id]
+            if not peer.online:
+                continue
+            if peer.is_super_peer and peer_id in self._states:
+                # A rendezvous peer renews its *own* ads in place (it
+                # holds its own index: no wire cost, like self-publish)
+                # before sweeping — otherwise they would expire too.
+                if now - self._last_renewed.get(peer_id, 0.0) >= renew_after:
+                    state = self._states[peer_id]
+                    for advertisement in state.advertisements.values():
+                        if advertisement.provider_id == peer_id:
+                            advertisement.expires_at_ms = now + self.lease_ms
+                    self._last_renewed[peer_id] = now
+                self._expire_at(peer_id, now)
+                continue
+            rendezvous_id = peer.super_peer_id
+            if rendezvous_id is None or rendezvous_id not in self._states:
+                # The edge's rendezvous is gone: re-home and repair.
+                self._live_attach_edge(peer)
+            elif now - self._last_renewed.get(peer_id, 0.0) >= renew_after:
+                self._readvertise(peer, rendezvous_id)
+                self._last_renewed[peer_id] = now
+
+    def _expire_at(self, rendezvous_id: str, now: float) -> None:
+        """Sweep one rendezvous peer's expired advertisements, paying
+        the staleness window for ads whose provider already departed."""
+        state = self._states[rendezvous_id]
+        dead = [key for key, advertisement in state.advertisements.items()
+                if advertisement.expires_at_ms <= now]
+        for key in dead:
+            self._note_staleness(state.advertisements[key].provider_id, now)
+            state.index.remove(key)
+            del state.advertisements[key]
+
+    def _stamp_freshness(self, now: float) -> None:
+        self._last_renewed = {peer_id: now for peer_id in sorted(self.peers)}
+
+    # ------------------------------------------------------------------
+    # Live-membership handlers
+    # ------------------------------------------------------------------
+    def _on_ad_upload(self, peer: Optional[Peer], message: Message, context) -> None:
+        """A REGISTER (first publication) or AD-RENEW (lease renewal)
+        arrived at a rendezvous peer: (re)insert the advertisement with
+        a fresh lease starting now.  A recipient that stopped being a
+        rendezvous loses the upload — the sender re-homes at its next
+        renewal tick."""
+        if peer is None or message.payload_object is None:
+            return
+        if peer.peer_id not in self._states:
+            return
+        metadata, title = message.payload_object
+        self.stats.registrations += 1
+        self._insert_advertisement(peer.peer_id, message.sender,
+                                   message.community_id, message.resource_id,
+                                   metadata, title, message.payload_bytes)
+
+    def _on_leaf_attach(self, peer: Optional[Peer], message: Message, context) -> None:
+        if peer is not None and peer.peer_id in self._states:
+            self._states[peer.peer_id].edges.add(message.sender)
+
+    def _on_leave(self, peer: Optional[Peer], message: Message, context) -> None:
+        """A graceful goodbye: drop the sender's advertisements now
+        instead of letting them decay through lease expiry."""
+        if peer is None or peer.peer_id not in self._states:
+            return
+        state = self._states[peer.peer_id]
+        state.edges.discard(message.sender)
+        gone = [key for key, advertisement in state.advertisements.items()
+                if advertisement.provider_id == message.sender]
+        for key in gone:
+            state.index.remove(key)
+            del state.advertisements[key]
+
+    # ------------------------------------------------------------------
     # Primitives
     # ------------------------------------------------------------------
     def publish(self, peer_id: str, community_id: str, resource_id: str,
@@ -164,6 +317,9 @@ class RendezvousProtocol(PeerNetwork):
         """Publish an advertisement with a lease to the peer's rendezvous."""
         peer = self._require_peer(peer_id)
         self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
+        if self.live_membership:
+            self._publish_live(peer, community_id, resource_id, metadata, title)
+            return
         if not self._states:
             self.elect_rendezvous()
         target = peer.peer_id if peer.is_super_peer else peer.super_peer_id
@@ -172,25 +328,51 @@ class RendezvousProtocol(PeerNetwork):
             target = peer.super_peer_id
         if target is None:
             return
-        state = self._states[target]
-        metadata_bytes = sum(len(p) + sum(len(v) for v in values) for p, values in metadata.items())
+        metadata_bytes = metadata_wire_bytes(metadata)
         if peer_id != target:
             message = register_message(peer_id, target, community_id=community_id,
                                        resource_id=resource_id, metadata_bytes=metadata_bytes)
             self._account(message)
             self.stats.registrations += 1
-        key = f"{resource_id}@{peer_id}"
+        self._insert_advertisement(target, peer_id, community_id, resource_id,
+                                   metadata, title, metadata_bytes)
+
+    def _insert_advertisement(self, rendezvous_id: str, provider_id: str,
+                              community_id: str, resource_id: str,
+                              metadata: dict[str, list[str]], title: str,
+                              metadata_bytes: int) -> None:
+        state = self._states[rendezvous_id]
+        key = f"{resource_id}@{provider_id}"
         state.advertisements[key] = Advertisement(
             resource_id=resource_id,
             community_id=community_id,
             title=title,
             metadata=dict(metadata),
-            provider_id=peer_id,
+            provider_id=provider_id,
             expires_at_ms=self.simulator.now + self.lease_ms,
             metadata_view={path: tuple(values) for path, values in metadata.items()},
             metadata_bytes=metadata_bytes,
         )
         state.index.add(community_id, key, metadata)
+
+    def _publish_live(self, peer: Peer, community_id: str, resource_id: str,
+                      metadata: dict[str, list[str]], title: str) -> None:
+        """Live publication: a rendezvous peer indexes its own ad for
+        free; an edge ships the advertisement as a REGISTER whose lease
+        starts when it *arrives*.  An orphaned edge publishes nothing —
+        its next renewal tick re-homes it and re-advertises."""
+        metadata_bytes = metadata_wire_bytes(metadata)
+        if peer.is_super_peer and peer.peer_id in self._states:
+            self._insert_advertisement(peer.peer_id, peer.peer_id, community_id,
+                                       resource_id, metadata, title, metadata_bytes)
+            return
+        target = peer.super_peer_id
+        if target is None:
+            return
+        self.kernel.send(register_message(
+            peer.peer_id, target, community_id=community_id,
+            resource_id=resource_id, metadata_bytes=metadata_bytes,
+            payload_object=(dict(metadata), title)))
 
     def renew(self, peer_id: str) -> int:
         """Re-advertise every object a peer shares (lease renewal).
@@ -221,9 +403,14 @@ class RendezvousProtocol(PeerNetwork):
     def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
                      **kwargs) -> QueryContext:
         origin = self._require_peer(origin_id)
-        if not self._states:
+        if not self._states and not self.live_membership:
             self.elect_rendezvous()
-        self.expire_advertisements()
+        if not self.live_membership:
+            # Off-mode lease handling is a pull at search time; in live
+            # mode expiry happens only in the recurring sweep, so a
+            # search between sweeps can still see (and pay for) stale
+            # advertisements.
+            self.expire_advertisements()
         context = self.new_context(
             origin_id, query, max_results=max_results,
             query_id=query.query_id or f"rdv-{self.next_query_number()}",
@@ -238,8 +425,13 @@ class RendezvousProtocol(PeerNetwork):
 
         entry = origin.peer_id if origin.is_super_peer else origin.super_peer_id
         if entry is None or entry not in self._states:
-            self._attach_edge(origin)
-            entry = origin.super_peer_id
+            if self.live_membership:
+                # An orphaned edge answers locally only until its next
+                # renewal tick re-homes it.
+                entry = None
+            else:
+                self._attach_edge(origin)
+                entry = origin.super_peer_id
         if entry is None:
             self.kernel.finish_if_idle(context)
             return context
@@ -278,6 +470,10 @@ class RendezvousProtocol(PeerNetwork):
     def _register_handlers(self, kernel: EventKernel) -> None:
         super()._register_handlers(kernel)
         kernel.register(MessageType.QUERY, self._on_query)
+        kernel.register(MessageType.REGISTER, self._on_ad_upload)
+        kernel.register(MessageType.AD_RENEW, self._on_ad_upload)
+        kernel.register(MessageType.LEAF_ATTACH, self._on_leaf_attach)
+        kernel.register(MessageType.LEAVE, self._on_leave)
 
     def _on_query(self, peer: Optional[Peer], message: Message,
                   context: Optional[QueryContext]) -> None:

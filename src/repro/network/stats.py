@@ -8,6 +8,22 @@ from typing import Optional
 
 from repro.network.messages import Message, MessageType
 
+#: message-type values per traffic class, used for the control / query /
+#: download breakdown the membership experiments chart (overhead vs.
+#: availability).  Registrations count as control: they are index
+#: maintenance, not query answering.
+CONTROL_TYPE_VALUES = frozenset({
+    MessageType.PING.value, MessageType.PONG.value, MessageType.PUSH.value,
+    MessageType.REGISTER.value, MessageType.UNREGISTER.value,
+    MessageType.JOIN.value, MessageType.LEAVE.value,
+    MessageType.LEAF_ATTACH.value, MessageType.LEAF_DETACH.value,
+    MessageType.AD_RENEW.value,
+})
+QUERY_TYPE_VALUES = frozenset({MessageType.QUERY.value, MessageType.QUERY_HIT.value})
+DOWNLOAD_TYPE_VALUES = frozenset({
+    MessageType.DOWNLOAD_REQUEST.value, MessageType.DOWNLOAD_RESPONSE.value,
+})
+
 
 @dataclass
 class QueryRecord:
@@ -47,6 +63,15 @@ class NetworkStats:
     downloads: int = 0
     download_bytes: int = 0
     registrations: int = 0
+    #: how long each purged piece of stale protocol state (a departed
+    #: peer's registration, ad, or leaf record) outlived its owner's
+    #: departure before repair traffic noticed, in virtual ms
+    staleness_windows_ms: list[float] = field(default_factory=list)
+    #: online-session time accumulated across all peers.  Sessions count
+    #: when they close (an offline transition); call
+    #: ``PeerNetwork.snapshot_uptime()`` at a measurement boundary to
+    #: fold still-open sessions in, or the steadiest peers undercount.
+    uptime_ms_total: float = 0.0
 
     # ------------------------------------------------------------------
     def record_message(self, message: Message, copies: int = 1) -> None:
@@ -72,6 +97,15 @@ class NetworkStats:
         if record is not None:
             self.download_records.append(record)
 
+    def record_staleness(self, window_ms: float) -> None:
+        """Note that stale state of a departed peer was just purged,
+        ``window_ms`` of virtual time after the departure."""
+        self.staleness_windows_ms.append(window_ms)
+
+    def record_uptime(self, session_ms: float) -> None:
+        """Accumulate one peer's completed online session."""
+        self.uptime_ms_total += session_ms
+
     # ------------------------------------------------------------------
     @property
     def total_messages(self) -> int:
@@ -80,6 +114,57 @@ class NetworkStats:
     @property
     def total_bytes(self) -> int:
         return sum(self.bytes_by_type.values())
+
+    # ------------------------------------------------------------------
+    # Traffic breakdown: control (membership/maintenance) vs. query vs.
+    # download, so experiments can chart overhead against availability.
+    # ------------------------------------------------------------------
+    def _class_totals(self, type_values: frozenset) -> tuple[int, int]:
+        messages = sum(count for value, count in self.messages_by_type.items()
+                       if value in type_values)
+        size = sum(count for value, count in self.bytes_by_type.items()
+                   if value in type_values)
+        return messages, size
+
+    @property
+    def control_messages(self) -> int:
+        return self._class_totals(CONTROL_TYPE_VALUES)[0]
+
+    @property
+    def control_bytes(self) -> int:
+        return self._class_totals(CONTROL_TYPE_VALUES)[1]
+
+    @property
+    def query_message_bytes(self) -> int:
+        return self._class_totals(QUERY_TYPE_VALUES)[1]
+
+    @property
+    def download_message_bytes(self) -> int:
+        return self._class_totals(DOWNLOAD_TYPE_VALUES)[1]
+
+    def traffic_breakdown(self) -> dict[str, dict[str, int]]:
+        """Messages and bytes per traffic class; classes are disjoint
+        and together cover every recorded message type."""
+        breakdown = {}
+        for name, values in (("control", CONTROL_TYPE_VALUES),
+                             ("query", QUERY_TYPE_VALUES),
+                             ("download", DOWNLOAD_TYPE_VALUES)):
+            messages, size = self._class_totals(values)
+            breakdown[name] = {"messages": messages, "bytes": size}
+        return breakdown
+
+    def control_fraction(self) -> float:
+        """Control bytes as a fraction of all bytes on the wire."""
+        total = self.total_bytes
+        return self.control_bytes / total if total else 0.0
+
+    def mean_staleness_ms(self) -> float:
+        if not self.staleness_windows_ms:
+            return 0.0
+        return sum(self.staleness_windows_ms) / len(self.staleness_windows_ms)
+
+    def max_staleness_ms(self) -> float:
+        return max(self.staleness_windows_ms, default=0.0)
 
     def messages_of(self, message_type: MessageType) -> int:
         return self.messages_by_type[message_type.value]
@@ -124,6 +209,12 @@ class NetworkStats:
             "download_bytes": float(self.download_bytes),
             "mean_download_latency_ms": self.mean_download_latency_ms(),
             "registrations": float(self.registrations),
+            "control_bytes": float(self.control_bytes),
+            "control_messages": float(self.control_messages),
+            "control_fraction": self.control_fraction(),
+            "mean_staleness_ms": self.mean_staleness_ms(),
+            "max_staleness_ms": self.max_staleness_ms(),
+            "uptime_ms_total": self.uptime_ms_total,
         }
 
     def reset(self) -> None:
@@ -135,3 +226,5 @@ class NetworkStats:
         self.downloads = 0
         self.download_bytes = 0
         self.registrations = 0
+        self.staleness_windows_ms.clear()
+        self.uptime_ms_total = 0.0

@@ -27,6 +27,11 @@ from repro.network.base import PeerNetwork, SearchResult
 from repro.network.messages import (
     Message,
     MessageType,
+    leaf_attach_message,
+    leaf_detach_message,
+    metadata_wire_bytes,
+    ping_message,
+    pong_message,
     query_hit_message,
     query_message,
     register_message,
@@ -48,6 +53,9 @@ class _SuperPeerState:
     # count are built once at registration, so answering a query shares
     # them with every generated SearchResult instead of re-copying.
     leaves: set[str] = field(default_factory=set)
+    #: live-membership soft state: leaf id -> virtual time its last
+    #: heartbeat (PING / LEAF-ATTACH / REGISTER) arrived here
+    last_heard: dict[str, float] = field(default_factory=dict)
 
 
 class SuperPeerProtocol(PeerNetwork):
@@ -154,12 +162,171 @@ class SuperPeerProtocol(PeerNetwork):
         self._on_peer_departed(peer)
 
     # ------------------------------------------------------------------
+    # Live membership: leaves attach with LEAF-ATTACH + REGISTER
+    # traffic, heartbeat their super each tick, and re-home themselves
+    # (promoting a replacement super when none remain) only once the
+    # heartbeat lease lapses.  A super's record of a departed leaf
+    # persists — stale — until the leaf's silence exceeds the lease.
+    # ------------------------------------------------------------------
+    def _on_peer_joined_live(self, peer: Peer) -> None:
+        peer.is_super_peer = False
+        peer.super_peer_id = None
+        self._live_attach(peer)
+
+    def _on_peer_left_live(self, peer: Peer) -> None:
+        if peer.is_super_peer:
+            # The aggregated index lived in the departed super's RAM and
+            # dies with it; its leaves only find out through heartbeats.
+            self._states.pop(peer.peer_id, None)
+            peer.is_super_peer = False
+
+    def _announce_departure_live(self, peer: Peer) -> None:
+        if not peer.is_super_peer and peer.super_peer_id is not None:
+            self.kernel.send(leaf_detach_message(peer.peer_id, peer.super_peer_id))
+
+    def _live_attach(self, peer: Peer) -> None:
+        """Attach ``peer`` as a leaf (or promote it when no super is
+        reachable), paying the attach + full metadata re-upload."""
+        now = self.simulator.now
+        candidates = sorted(super_id for super_id in self._states
+                            if super_id in self.peers and self.peers[super_id].online)
+        if not candidates:
+            self._promote_super(peer)
+            return
+        target = min(candidates,
+                     key=lambda super_id: (len(self._states[super_id].leaves), super_id))
+        peer.super_peer_id = target
+        # Grace stamp: trust the new super until the first heartbeat
+        # round has had a chance to be answered.
+        peer.last_pong_ms[target] = now
+        self.kernel.send(leaf_attach_message(peer.peer_id, target))
+        for stored in peer.repository.documents:
+            metadata = stored.metadata
+            metadata_bytes = metadata_wire_bytes(metadata)
+            self.kernel.send(register_message(
+                peer.peer_id, target, community_id=stored.community_id,
+                resource_id=stored.resource_id, metadata_bytes=metadata_bytes,
+                payload_object=(dict(metadata), stored.title)))
+
+    def _promote_super(self, peer: Peer) -> None:
+        """Deterministic promotion: the peer that found no reachable
+        super becomes one itself (maintenance iterates peers in sorted
+        order, so the lowest-id orphan promotes first)."""
+        peer.is_super_peer = True
+        peer.super_peer_id = peer.peer_id
+        self._states.setdefault(peer.peer_id, _SuperPeerState())
+        for stored in peer.repository.documents:
+            metadata = stored.metadata
+            metadata_bytes = metadata_wire_bytes(metadata)
+            self._insert_record(peer.peer_id, peer.peer_id, stored.community_id,
+                                stored.resource_id, metadata, stored.title,
+                                metadata_bytes)
+
+    def _purge_leaf(self, state: _SuperPeerState, leaf_id: str, *,
+                    now: Optional[float] = None) -> None:
+        """Drop one leaf and its records from a super's soft state.
+        With ``now`` given, the purge is a staleness repair and the
+        window since the leaf's departure is recorded."""
+        state.leaves.discard(leaf_id)
+        state.last_heard.pop(leaf_id, None)
+        stale_keys = [key for key, record in state.records.items()
+                      if record[3] == leaf_id]
+        for key in stale_keys:
+            if now is not None:
+                self._note_staleness(leaf_id, now)
+            state.index.remove(key)
+            del state.records[key]
+
+    def _on_maintenance_tick(self, now: float) -> None:
+        lease = self.heartbeat_lease_ms
+        for peer_id in sorted(self.peers):
+            peer = self.peers[peer_id]
+            if not peer.online:
+                continue
+            if peer.is_super_peer:
+                state = self._states.get(peer_id)
+                if state is None:
+                    continue
+                for leaf_id in sorted(state.leaves):
+                    if state.last_heard.get(leaf_id, 0.0) <= now - lease:
+                        self._purge_leaf(state, leaf_id, now=now)
+                continue
+            super_id = peer.super_peer_id
+            if super_id is None or super_id not in self._states \
+                    or peer.last_pong_ms.get(super_id, 0.0) <= now - lease:
+                # The super went silent (or was never reachable): re-home.
+                self._live_attach(peer)
+            else:
+                self.kernel.send(ping_message(peer_id, super_id))
+
+    def _stamp_freshness(self, now: float) -> None:
+        for super_id, state in self._states.items():
+            state.last_heard = {leaf_id: now for leaf_id in sorted(state.leaves)}
+        for peer in self.peers.values():
+            if not peer.is_super_peer and peer.super_peer_id is not None:
+                peer.last_pong_ms[peer.super_peer_id] = now
+
+    # ------------------------------------------------------------------
+    # Live-membership handlers
+    # ------------------------------------------------------------------
+    def _on_register(self, peer: Optional[Peer], message: Message, context) -> None:
+        """A metadata upload arrived.  If the recipient stopped being a
+        super in the meantime the upload is simply lost — the sender's
+        heartbeats will eventually notice and re-home it."""
+        if peer is None or message.payload_object is None:
+            return
+        state = self._states.get(peer.peer_id)
+        if state is None:
+            return
+        metadata, title = message.payload_object
+        self.stats.registrations += 1
+        self._insert_record(message.sender, peer.peer_id, message.community_id,
+                            message.resource_id, metadata, title,
+                            message.payload_bytes)
+        state.last_heard[message.sender] = self.simulator.now
+
+    def _on_leaf_attach(self, peer: Optional[Peer], message: Message, context) -> None:
+        if peer is None:
+            return
+        state = self._states.get(peer.peer_id)
+        if state is None:
+            return
+        state.leaves.add(message.sender)
+        state.last_heard[message.sender] = self.simulator.now
+
+    def _on_leaf_detach(self, peer: Optional[Peer], message: Message, context) -> None:
+        if peer is None:
+            return
+        state = self._states.get(peer.peer_id)
+        if state is not None:
+            self._purge_leaf(state, message.sender)
+
+    def _on_ping(self, peer: Optional[Peer], message: Message, context) -> None:
+        """A leaf heartbeat.  A recipient that is no super any more
+        stays silent, so the leaf's lease lapses and it re-homes."""
+        if peer is None:
+            return
+        state = self._states.get(peer.peer_id)
+        if state is None:
+            return
+        state.last_heard[message.sender] = self.simulator.now
+        self.kernel.send(pong_message(peer.peer_id, message.sender,
+                                      message_id=message.message_id))
+
+    def _on_pong(self, peer: Optional[Peer], message: Message, context) -> None:
+        if peer is not None:
+            peer.last_pong_ms[message.sender] = self.simulator.now
+
+    # ------------------------------------------------------------------
     # Primitives
     # ------------------------------------------------------------------
     def publish(self, peer_id: str, community_id: str, resource_id: str,
                 metadata: dict[str, list[str]], *, title: str = "") -> None:
         peer = self._require_peer(peer_id)
         self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
+        if self.live_membership:
+            self._publish_live(peer, community_id, resource_id, metadata, title)
+            return
         if not self._states:
             self.elect_super_peers()
         target = peer.peer_id if peer.is_super_peer else peer.super_peer_id
@@ -171,15 +338,40 @@ class SuperPeerProtocol(PeerNetwork):
         self._register(peer_id, target, community_id, resource_id, metadata, title,
                        count_message=not peer.is_super_peer)
 
+    def _publish_live(self, peer: Peer, community_id: str, resource_id: str,
+                      metadata: dict[str, list[str]], title: str) -> None:
+        """Live publication: a super-peer indexes its own object for
+        free; a leaf ships a REGISTER that lands when it lands.  An
+        orphaned leaf (its super died, repair has not run yet) shares
+        nothing — the next re-attachment re-uploads everything."""
+        metadata_bytes = metadata_wire_bytes(metadata)
+        if peer.is_super_peer and peer.peer_id in self._states:
+            self._insert_record(peer.peer_id, peer.peer_id, community_id,
+                                resource_id, metadata, title, metadata_bytes)
+            return
+        target = peer.super_peer_id
+        if target is None:
+            return
+        self.kernel.send(register_message(
+            peer.peer_id, target, community_id=community_id,
+            resource_id=resource_id, metadata_bytes=metadata_bytes,
+            payload_object=(dict(metadata), title)))
+
     def _register(self, peer_id: str, super_id: str, community_id: str, resource_id: str,
                   metadata: dict[str, list[str]], title: str, *, count_message: bool = True) -> None:
-        state = self._states.setdefault(super_id, _SuperPeerState())
-        metadata_bytes = sum(len(p) + sum(len(v) for v in values) for p, values in metadata.items())
+        metadata_bytes = metadata_wire_bytes(metadata)
         if count_message and peer_id != super_id:
             message = register_message(peer_id, super_id, community_id=community_id,
                                        resource_id=resource_id, metadata_bytes=metadata_bytes)
             self._account(message)
             self.stats.registrations += 1
+        self._insert_record(peer_id, super_id, community_id, resource_id,
+                            metadata, title, metadata_bytes)
+
+    def _insert_record(self, peer_id: str, super_id: str, community_id: str,
+                       resource_id: str, metadata: dict[str, list[str]],
+                       title: str, metadata_bytes: int) -> None:
+        state = self._states.setdefault(super_id, _SuperPeerState())
         replica_key = f"{resource_id}@{peer_id}"
         view = {path: tuple(values) for path, values in metadata.items()}
         state.records[replica_key] = (community_id, title, view, peer_id, metadata_bytes)
@@ -189,7 +381,7 @@ class SuperPeerProtocol(PeerNetwork):
     def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
                      **kwargs) -> QueryContext:
         origin = self._require_peer(origin_id)
-        if not self._states:
+        if not self._states and not self.live_membership:
             self.elect_super_peers()
         context = self.new_context(
             origin_id, query, max_results=max_results,
@@ -205,11 +397,13 @@ class SuperPeerProtocol(PeerNetwork):
             context.add_result(SearchResult.from_stored(origin_id, stored, hops=0))
 
         entry = origin.peer_id if origin.is_super_peer else origin.super_peer_id
-        if entry is None:
+        if entry is None and not self.live_membership:
             self._attach_leaf(origin)
             entry = origin.super_peer_id
         context.extra["entry"] = entry
         if entry is None:
+            # Live mode: an orphaned leaf answers locally only, until
+            # its own maintenance heartbeat re-homes it.
             self.kernel.finish_if_idle(context)
             return context
 
@@ -217,6 +411,9 @@ class SuperPeerProtocol(PeerNetwork):
             # The origin IS the entry super-peer: answer and relay now.
             self._answer_at_super(self.peers[entry], hops=0, context=context)
         else:
+            # The entry may be a dead super the origin has not noticed
+            # yet (live mode): the kernel drops the delivery and the
+            # query quiesces with local results only.
             message = query_message(origin_id, entry, wire_xml,
                                     community_id=query.community_id,
                                     payload_bytes=wire_bytes)
@@ -231,10 +428,19 @@ class SuperPeerProtocol(PeerNetwork):
     def _register_handlers(self, kernel: EventKernel) -> None:
         super()._register_handlers(kernel)
         kernel.register(MessageType.QUERY, self._on_query)
+        kernel.register(MessageType.REGISTER, self._on_register)
+        kernel.register(MessageType.LEAF_ATTACH, self._on_leaf_attach)
+        kernel.register(MessageType.LEAF_DETACH, self._on_leaf_detach)
+        kernel.register(MessageType.PING, self._on_ping)
+        kernel.register(MessageType.PONG, self._on_pong)
 
     def _on_query(self, peer: Optional[Peer], message: Message,
                   context: Optional[QueryContext]) -> None:
         if peer is None or context is None:
+            return
+        if self.live_membership and peer.peer_id not in self._states:
+            # The leaf's believed super was demoted while the query was
+            # in flight: the message is lost, like any stale-state cost.
             return
         self._answer_at_super(peer, hops=message.hops, context=context)
 

@@ -41,6 +41,10 @@ class Topology:
         self.adjacency.setdefault(a, set()).add(b)
         self.adjacency.setdefault(b, set()).add(a)
 
+    def remove_edge(self, a: str, b: str) -> None:
+        self.adjacency.get(a, set()).discard(b)
+        self.adjacency.get(b, set()).discard(a)
+
     def remove_peer(self, peer_id: str) -> None:
         for neighbor in self.adjacency.pop(peer_id, set()):
             self.adjacency.get(neighbor, set()).discard(peer_id)

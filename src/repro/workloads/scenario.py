@@ -26,8 +26,8 @@ from repro.core.servent import Servent
 from repro.engine.driver import BatchOutcome, QueryDriver, RetrieveOp, SearchOp, WorkloadOp
 from repro.network.base import PeerNetwork
 from repro.network.centralized import CentralizedProtocol
-from repro.network.churn import ChurnModel
 from repro.network.gnutella import GnutellaProtocol
+from repro.network.membership import PopulationModel
 from repro.network.rendezvous import RendezvousProtocol
 from repro.network.superpeer import SuperPeerProtocol
 from repro.workloads.popularity import ZipfDistribution
@@ -77,6 +77,18 @@ class ScenarioConfig:
     #: off by the contract/benchmark suites to compare against the
     #: naive re-evaluating path, which must behave identically
     compile_queries: bool = True
+    #: make peer lifecycle real protocol traffic: the network goes live
+    #: after the bootstrap phase, so joins/leaves/heartbeats cost
+    #: messages and stale state decays through repair traffic.  Off
+    #: (the default) keeps the instantaneous set_online semantics
+    #: bit-identically.
+    live_membership: bool = False
+    #: period of the live-mode maintenance tick (heartbeats, lease
+    #: sweeps); must exceed the worst link latency
+    maintenance_interval_ms: float = 2_000.0
+    #: advertisement lease of the rendezvous organisation (its staleness
+    #: and repair behaviour is lease-driven rather than heartbeat-driven)
+    rendezvous_lease_ms: float = 30 * 60 * 1000.0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -99,6 +111,17 @@ class ScenarioConfig:
             raise ValueError("retrieve_fraction must be within [0, 1]")
         if self.popularity_skew < 0:
             raise ValueError("popularity_skew must be non-negative")
+        if self.maintenance_interval_ms <= 0:
+            raise ValueError("the maintenance interval must be positive")
+        if self.rendezvous_lease_ms <= 0:
+            raise ValueError("the rendezvous lease must be positive")
+        if self.live_membership and self.protocol == "rendezvous" \
+                and self.rendezvous_lease_ms < 2 * self.maintenance_interval_ms:
+            # Renewals fire at lease/2 but only when a maintenance tick
+            # runs; a lease shorter than two intervals would expire every
+            # ad before its renewal could ever be sent.
+            raise ValueError("the rendezvous lease must cover at least two "
+                             "maintenance intervals under live membership")
 
 
 @dataclass
@@ -113,7 +136,7 @@ class Scenario:
     corpus: list[dict[str, object]]
     workload: QueryWorkload
     resource_ids: list[str] = field(default_factory=list)
-    churn: Optional[ChurnModel] = None
+    churn: Optional[PopulationModel] = None
 
     @property
     def community_id(self) -> str:
@@ -216,17 +239,23 @@ class Scenario:
 
 
 def build_network(config: ScenarioConfig) -> PeerNetwork:
-    """Instantiate the protocol named by ``config`` with its knobs."""
+    """Instantiate the protocol named by ``config`` with its knobs.
+
+    The network is always built with live membership *off* — bootstrap
+    (overlay construction, elections, corpus publication) is structural
+    setup, not measured traffic; ``build_scenario`` calls ``go_live()``
+    right before the workload when the knob is set.
+    """
+    common = dict(seed=config.seed, compile_queries=config.compile_queries,
+                  maintenance_interval_ms=config.maintenance_interval_ms)
     if config.protocol == "gnutella":
-        return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, seed=config.seed,
-                                compile_queries=config.compile_queries)
+        return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, **common)
     if config.protocol == "super-peer":
-        return SuperPeerProtocol(super_peer_ratio=config.super_peer_ratio, seed=config.seed,
-                                 compile_queries=config.compile_queries)
+        return SuperPeerProtocol(super_peer_ratio=config.super_peer_ratio, **common)
     if config.protocol == "rendezvous":
-        return RendezvousProtocol(rendezvous_ratio=config.super_peer_ratio, seed=config.seed,
-                                  compile_queries=config.compile_queries)
-    return CentralizedProtocol(seed=config.seed, compile_queries=config.compile_queries)
+        return RendezvousProtocol(rendezvous_ratio=config.super_peer_ratio,
+                                  lease_ms=config.rendezvous_lease_ms, **common)
+    return CentralizedProtocol(**common)
 
 
 def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scenario:
@@ -285,12 +314,18 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
         for servent in servents:
             servent.repository.rebuild_index()
 
-    churn: Optional[ChurnModel] = None
+    if config.live_membership:
+        # From here on, lifecycle is protocol traffic: maintenance
+        # timers start ticking and every population change below costs
+        # real messages on the kernel.
+        network.go_live()
+
+    churn: Optional[PopulationModel] = None
     if config.churn_session_ms is not None:
         # The searchers (members) stay up; the relay population churns,
         # with departures and returns interleaved into the query phase
         # on the shared event queue.
-        churn = ChurnModel(
+        churn = PopulationModel(
             network,
             mean_session_ms=config.churn_session_ms,
             mean_absence_ms=config.churn_absence_ms,
@@ -299,8 +334,13 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
         churn.start([servent.peer_id for servent in servents[config.members:]])
 
     # Reset the statistics so experiments measure the query phase only,
-    # not community creation and publishing.
+    # not community creation and publishing.  Session clocks restart at
+    # the same boundary so uptime accounting covers the workload window,
+    # not the (long, search-heavy) bootstrap phase.
     network.stats.reset()
+    for peer in network.peers.values():
+        if peer.online:
+            peer.online_since = network.simulator.now
     return Scenario(
         config=config,
         network=network,

@@ -291,6 +291,125 @@ class TestConcurrentDeterminism:
         assert elapsed < total_latency
 
 
+class TestMembershipContract:
+    """Acceptance: with ``live_membership=False`` (the default) every
+    protocol reproduces today's results bit-identically — the knob and
+    its plumbing must leak nothing.  With it on, membership traffic is
+    bit-for-bit reproducible for a fixed seed and the stats split
+    cleanly into control / query / download classes."""
+
+    CONFIG = dict(
+        peers=30,
+        members=12,
+        publishers=6,
+        corpus_size=40,
+        queries=16,
+        ttl=6,
+        seed=23,
+        concurrency=8,
+        query_interarrival_ms=20.0,
+        churn_session_ms=1_500.0,
+        churn_absence_ms=800.0,
+    )
+
+    def signature(self, **overrides):
+        scenario = build_scenario(ScenarioConfig(**{**self.CONFIG, **overrides}))
+        counts = scenario.run_queries(max_results=100)
+        stats = scenario.network.stats
+        return {
+            "counts": counts,
+            "total_messages": stats.total_messages,
+            "total_bytes": stats.total_bytes,
+            "by_type": dict(stats.messages_by_type),
+            "bytes_by_type": dict(stats.bytes_by_type),
+            "latencies": [round(record.latency_ms, 6) for record in stats.queries],
+            "staleness": tuple(stats.staleness_windows_ms),
+        }
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_live_off_is_bit_identical_regardless_of_knobs(self, protocol):
+        """The default run and an explicit live_membership=False run with
+        different maintenance settings must agree on everything pinned:
+        results, message counts, byte counts, latencies."""
+        default = self.signature(protocol=protocol)
+        explicit = self.signature(protocol=protocol, live_membership=False,
+                                  maintenance_interval_ms=123.0,
+                                  rendezvous_lease_ms=5_000.0)
+        assert default == explicit
+        assert default["by_type"].keys() <= {"query", "query-hit", "register"}
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_live_membership_traffic_is_deterministic(self, protocol):
+        first = self.signature(protocol=protocol, live_membership=True,
+                               maintenance_interval_ms=250.0,
+                               rendezvous_lease_ms=1_000.0)
+        second = self.signature(protocol=protocol, live_membership=True,
+                                maintenance_interval_ms=250.0,
+                                rendezvous_lease_ms=1_000.0)
+        assert first == second
+        # Live mode genuinely emitted lifecycle traffic.
+        control_types = set(first["by_type"]) - {"query", "query-hit"}
+        assert control_types, "live membership must cost control messages"
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_traffic_breakdown_partitions_all_bytes(self, protocol):
+        scenario = build_scenario(ScenarioConfig(
+            protocol=protocol, live_membership=True,
+            maintenance_interval_ms=250.0, rendezvous_lease_ms=1_000.0,
+            **self.CONFIG))
+        scenario.run_queries(max_results=100)
+        stats = scenario.network.stats
+        breakdown = stats.traffic_breakdown()
+        assert sum(cls["messages"] for cls in breakdown.values()) == stats.total_messages
+        assert sum(cls["bytes"] for cls in breakdown.values()) == stats.total_bytes
+        assert breakdown["control"]["bytes"] > 0
+
+    def test_no_lifecycle_transition_touches_the_clock(self):
+        """Joins, departures and maintenance move state only through
+        queue events: submitting them leaves ``simulator.now`` frozen
+        until the kernel processes the queue."""
+        network = make_network("super-peer")
+        network.maintenance_interval_ms = 250.0
+        populate(network)
+        network.go_live()
+        before = network.simulator.now
+        network.set_online("peer-003", False)
+        network.set_online("peer-003", True)
+        network.create_peer("late-arrival")
+        network.depart("peer-004", graceful=True)
+        assert network.simulator.now == before
+
+
+class TestRendezvousLeaseUnderChurnContract:
+    """Satellite contract: an advertisement expiring while its owner is
+    offline stays gone until the owner returns and re-advertises —
+    organically under live membership."""
+
+    def test_expiry_and_repair_compose_with_churn(self):
+        network = make_network("rendezvous")
+        network.lease_ms = 900.0
+        network.maintenance_interval_ms = 200.0
+        populate(network)
+        resource_id = publish_pattern(network, "peer-005", "Leased Observer")
+        network.go_live()
+        # Background churn on unrelated peers keeps the queue busy.
+        churn = ChurnModel(network, mean_session_ms=700, mean_absence_ms=500, seed=4)
+        churn.start(["peer-008", "peer-009", "peer-010"])
+
+        network.set_online("peer-005", False)
+        network.simulator.run(until_ms=network.simulator.now + 4_000)
+        gone = network.search("peer-002", Query.keyword("patterns", "leased"),
+                              max_results=20)
+        assert not any(result.resource_id == resource_id for result in gone.results)
+        assert network.stats.staleness_windows_ms
+
+        network.set_online("peer-005", True)
+        network.simulator.run(until_ms=network.simulator.now + 600)
+        back = network.search("peer-002", Query.keyword("patterns", "leased"),
+                              max_results=20)
+        assert any(result.resource_id == resource_id for result in back.results)
+
+
 class TestCompiledPlanContract:
     """Acceptance: the compiled-query fast path is observationally
     identical to the naive path — same search results, same hit counts,

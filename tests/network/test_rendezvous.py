@@ -108,6 +108,52 @@ class TestLeases:
                                   max_results=200)
         assert any(result.provider_id == "peer-000" for result in response.results)
 
+    def test_ad_expires_while_owner_offline_then_owner_returns(self):
+        """Lease expiry under churn: the advertisement of a peer that
+        churned offline expires on schedule (nobody renews it), and the
+        owner's return re-advertises and restores visibility."""
+        network = RendezvousProtocol(seed=9, rendezvous_ratio=0.2, lease_ms=1_000)
+        ids = populate(network)
+        owner = "peer-000"
+        network.set_online(owner, False)
+        network.simulator.advance(2_000)
+        expired = network.expire_advertisements()
+        assert expired >= 1
+        hidden = network.search("peer-001", Query.keyword("patterns", "observer"),
+                                max_results=200)
+        assert owner not in {result.provider_id for result in hidden.results}
+
+        network.set_online(owner, True)
+        assert network.renew(owner) >= 1
+        visible = network.search("peer-001", Query.keyword("patterns", "observer"),
+                                 max_results=200)
+        assert owner in {result.provider_id for result in visible.results}
+
+    def test_ad_expiry_under_churn_live_membership(self):
+        """Same property with live membership: expiry happens in the
+        recurring sweep (recording the staleness window) and the return
+        re-advertises through kernel traffic, with no manual pulls."""
+        network = RendezvousProtocol(seed=10, rendezvous_ratio=0.25, lease_ms=800,
+                                     maintenance_interval_ms=200.0)
+        populate(network, 12)
+        network.go_live()
+        # An *edge* owner: a departed rendezvous peer's own ads die with
+        # its RAM (no staleness), but an edge's ads linger on its
+        # rendezvous until the lease sweep notices.
+        owner = "peer-004"
+        network.set_online(owner, False)
+        network.simulator.run(until_ms=network.simulator.now + 4_000)
+        assert network.stats.staleness_windows_ms
+        hidden = network.search("peer-002", Query.keyword("patterns", "observer"),
+                                max_results=200)
+        assert owner not in {result.provider_id for result in hidden.results}
+
+        network.set_online(owner, True)
+        network.simulator.run(until_ms=network.simulator.now + 500)
+        visible = network.search("peer-002", Query.keyword("patterns", "observer"),
+                                 max_results=200)
+        assert owner in {result.provider_id for result in visible.results}
+
     def test_rendezvous_departure_reattaches_edges(self):
         network = RendezvousProtocol(seed=7, rendezvous_ratio=0.2)
         populate(network)
