@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -40,6 +41,39 @@ def samples(record: dict):
     flood_live = record.get("membership", {}).get("flood_live")
     if flood_live:
         yield "membership/flood_live", flood_live
+
+
+def write_step_summary(rows, hardware: float, tolerance: float, failures) -> None:
+    """Append a before/after markdown table to ``$GITHUB_STEP_SUMMARY``
+    (when running under GitHub Actions) so perf deltas are readable from
+    the run page without downloading the artifact."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    lines = [
+        "## Hot-path throughput: baseline vs. this run",
+        "",
+        f"Hardware normalization factor: `{hardware:.2f}x` · "
+        f"allowed regression: `{tolerance:.0%}`",
+        "",
+        "| workload | metric | baseline | current | ratio | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for label, metric, base_value, now_value, ratio, status in rows:
+        icon = {"ok": "✅", "regressed": "❌", "missing": "⚠️"}.get(status, "")
+        if base_value is None:
+            lines.append(f"| `{label}` | {metric} | — | — | — | {icon} {status} |")
+            continue
+        lines.append(
+            f"| `{label}` | {metric} | {base_value:,.1f} | {now_value:,.1f} "
+            f"| {ratio:.2f}x | {icon} {status} |")
+    lines.append("")
+    verdict = (f"**{len(failures)} regression(s) beyond tolerance.**"
+               if failures else "**No regression beyond tolerance.**")
+    lines.append(verdict)
+    lines.append("")
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def main(argv=None) -> int:
@@ -67,10 +101,12 @@ def main(argv=None) -> int:
         print("calibration missing from one record; comparing raw throughput")
 
     failures = []
+    rows = []
     for label, base in samples(baseline):
         now = current_samples.get(label)
         if now is None:
             failures.append(f"{label}: missing from current record")
+            rows.append((label, "-", None, None, None, "missing"))
             continue
         for metric in ("queries_per_s", "messages_per_s"):
             base_value = base.get(metric)
@@ -78,14 +114,19 @@ def main(argv=None) -> int:
             if not base_value or not now_value:
                 continue
             ratio = now_value / hardware / base_value
-            marker = "OK " if ratio >= 1.0 - args.tolerance else "REG"
+            regressed = ratio < 1.0 - args.tolerance
+            marker = "REG" if regressed else "OK "
             print(f"{marker} {label:28s} {metric:16s} "
                   f"baseline={base_value:>12.1f} current={now_value:>12.1f} "
                   f"({ratio:.2f}x)")
-            if ratio < 1.0 - args.tolerance:
+            rows.append((label, metric, base_value, now_value, ratio,
+                         "regressed" if regressed else "ok"))
+            if regressed:
                 failures.append(
                     f"{label} {metric} regressed to {ratio:.2f}x of baseline "
                     f"({base_value:.1f} -> {now_value:.1f})")
+
+    write_step_summary(rows, hardware, args.tolerance, failures)
 
     if failures:
         print("\nPerformance regression detected:", file=sys.stderr)

@@ -18,7 +18,6 @@ from repro.schema.instance import build_instance
 from repro.schema.parser import parse_schema_text
 from repro.storage.index import AttributeIndex
 from repro.storage.query import Query
-from repro.xmlkit.serializer import serialize
 
 CORPUS_SIZE = 69
 

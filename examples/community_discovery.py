@@ -41,6 +41,7 @@ def main() -> None:
 
     # The newcomer browses the root community: every community is an object.
     browse = newcomer.search_communities()
+    assert browse.results, "browsing the root community must list the communities"
     print("--- browsing the root community ---------------------------------")
     for result in browse.results:
         descriptor = dict(result.metadata)
@@ -49,10 +50,14 @@ def main() -> None:
 
     # Discovery is just search: narrow by keyword, category, protocol...
     print("\n--- keyword discovery: 'music' -----------------------------------")
-    for result in newcomer.search_communities("music").results:
+    music = newcomer.search_communities("music").results
+    assert music, "keyword discovery must find the MP3 communities"
+    for result in music:
         print(f"  {result.title}")
     print("\n--- field discovery: category = science ---------------------------")
-    for result in newcomer.search_communities({"category": "science"}).results:
+    science = newcomer.search_communities({"category": "science"}).results
+    assert science, "field discovery must find the science communities"
+    for result in science:
         print(f"  {result.title}")
 
     # Join one and use it: the same search machinery one level down.
@@ -67,13 +72,16 @@ def main() -> None:
         curator_app.publish(record)
     response = app.search({"organism": "Homo sapiens"}, max_results=50)
     print(f"search organism='Homo sapiens' -> {response.result_count} gene records")
-    if response.results:
-        downloaded = app.download(response.results[0])
-        print("\n--- first downloaded record, rendered by the View function ---")
-        print(app.view(downloaded.resource_id)[:400], "…")
+    assert response.results, "the genome search must find human gene records"
+    downloaded = app.download(response.results[0])
+    view_html = app.view(downloaded.resource_id)
+    assert view_html, "the rendered gene record must not be empty"
+    print("\n--- first downloaded record, rendered by the View function ---")
+    print(view_html[:400], "…")
 
-    print("\nmemberships of the newcomer:",
-          [community.name for community in newcomer.joined_communities()])
+    memberships = [community.name for community in newcomer.joined_communities()]
+    assert memberships, "the newcomer must have joined a community"
+    print("\nmemberships of the newcomer:", memberships)
 
 
 if __name__ == "__main__":

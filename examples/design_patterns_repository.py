@@ -54,6 +54,7 @@ def main() -> None:
         response = searcher.search(criteria, max_results=100)
         names = sorted({result.metadata["name"][0] for result in response.results})[:6]
         print(f"{label:55s} -> {response.result_count:3d} hits  e.g. {', '.join(names[:3])}")
+        assert response.result_count > 0, f"the showcase query {label!r} must hit"
 
     print("\n--- a conjunctive query ----------------------------------------")
     query = (Query(searcher.community.community_id)
@@ -62,17 +63,21 @@ def main() -> None:
     response = searcher.search(query)
     print(f"behavioral AND 'one-to-many' -> "
           f"{[result.metadata['name'][0] for result in response.results]}")
+    assert response.results, "the conjunctive query must find the Observer patterns"
 
     print("\n--- download and view with the custom stylesheet ---------------")
-    hit = searcher.search({"name": "Observer"}).results[0]
-    downloaded = searcher.download(hit)
+    observer_hits = searcher.search({"name": "Observer"}).results
+    assert observer_hits, "the Observer pattern must be findable"
+    downloaded = searcher.download(observer_hits[0])
     html = searcher.view(downloaded.resource_id)
+    assert "Observer" in html, "the stylesheet must render the downloaded pattern"
     print(html[:600], "…")
 
     print("\n--- index filter at work ----------------------------------------")
     community_id = searcher.community.community_id
     for application in applications[:2]:
         fields = application.servent.repository.index.fields_for(community_id)
+        assert fields, "the index filter must leave searchable fields indexed"
         print(f"{application.servent.peer_id}: indexed fields = {fields}")
 
     print("\n--- network cost of this session --------------------------------")

@@ -52,6 +52,7 @@ def main() -> None:
         results = xquery(curator.repository, community_id, text)
         print(f"  {text}")
         print(f"    -> {[result.as_text() for result in results]}")
+        assert results, f"the XQuery {text!r} must return pattern names"
 
     with tempfile.TemporaryDirectory() as workdir:
         # --- persistence ----------------------------------------------------
@@ -61,13 +62,17 @@ def main() -> None:
         print(f"\nsaved {count} objects to {store_dir.name}/ and reloaded "
               f"{len(reloaded.documents)} of them; index rebuilt with "
               f"{reloaded.index.entry_count()} entries")
+        assert count > 0 and len(reloaded.documents) == count, \
+            "the repository must round-trip through disk losslessly"
 
         # --- static web snapshot ---------------------------------------------
         site_dir = Path(workdir) / "site"
         files = WebUI(curator, title="Carleton Pattern Repository").export_site(site_dir)
         print(f"exported a browsable snapshot: {len(files)} HTML pages "
               f"(index.html, communities.html, one view page per pattern)")
+        assert files, "the web snapshot must contain HTML pages"
         index_html = (site_dir / "index.html").read_text(encoding="utf-8")
+        assert index_html, "index.html must not be empty"
         print("\n--- index.html (first 300 chars) ---")
         print(index_html[:300], "…")
 

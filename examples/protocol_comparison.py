@@ -38,6 +38,10 @@ def run(protocol: str) -> dict[str, float]:
 def main() -> None:
     print("running the same 30-query design-pattern workload on 60 peers…\n")
     results = {protocol: run(protocol) for protocol in PROTOCOLS}
+    for protocol, values in results.items():
+        assert values["success"] > 0, f"{protocol}: every query failed"
+        assert values["recall"] > 0, f"{protocol}: nothing was ever found"
+        assert values["msgs/query"] > 0, f"{protocol}: no messages were accounted"
     columns = ["protocol", "msgs/query", "bytes/query", "latency ms", "recall", "success"]
     print("  ".join(column.ljust(12) for column in columns))
     print("-" * 80)

@@ -72,6 +72,7 @@ def main() -> None:
     discovery = bob.search_communities("recipes cooking")
     print("\nbob's community discovery results:",
           [result.title for result in discovery.results])
+    assert discovery.results, "community discovery must find the recipe community"
     community = bob.join_community(discovery.results[0])
     bob_app = Application(bob, community)
 
@@ -81,14 +82,19 @@ def main() -> None:
     print(f"\nfield query cuisine=italian      -> {by_field.result_count} result(s)")
     print(f"keyword query 'guanciale'        -> {by_keyword.result_count} result(s)")
     print(f"messages spent on the last query -> {by_keyword.messages_sent}")
+    assert by_field.result_count >= 1, "the field query must find the carbonara"
+    assert by_keyword.result_count >= 1, "the keyword query must find the carbonara"
 
     # --- 5. Download and view ---------------------------------------------
     downloaded = bob_app.download(by_field.results[0])
     print(f"\ndownloaded {downloaded.resource.display_title()} "
           f"({downloaded.retrieve.transfer_bytes} bytes, "
           f"{downloaded.retrieve.attachments_transferred} attachment(s))")
+    assert downloaded.retrieve.transfer_bytes > 0, "the download must move real bytes"
+    view_html = bob_app.view(downloaded.resource_id)
+    assert view_html, "the generated View page must not be empty"
     print("\n--- View page (first 400 chars) ---")
-    print(bob_app.view(downloaded.resource_id)[:400], "…")
+    print(view_html[:400], "…")
 
 
 if __name__ == "__main__":

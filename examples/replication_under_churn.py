@@ -57,6 +57,8 @@ def main() -> None:
     print("\npopularity rank   request prob.   replicas")
     for rank in (0, 1, 4, 9, 19, 29):
         print(f"{rank:15d}   {zipf.probability(rank):13.3f}   {network.provider_count(resource_ids[rank]):8d}")
+    assert network.provider_count(resource_ids[0]) > 1, \
+        "the most popular track must have been replicated by the downloads"
 
     # ------------------------------------------------------------------
     # Live membership: lifecycle becomes protocol traffic.
@@ -78,6 +80,8 @@ def main() -> None:
         print(f"{window * 2:9d}   {len(network.online_peers()):6d}   "
               f"{reachable / OBJECTS:20.2f}   {top / 5:15.2f}   "
               f"{stats.control_bytes / 1024:10.1f}   {len(stats.staleness_windows_ms):12d}")
+        assert top == 5, "the replicated top-5 tracks must stay reachable through churn"
+    assert network.stats.control_bytes > 0, "live membership must cost control traffic"
 
     print(f"\nmean staleness window: {network.stats.mean_staleness_ms():.0f} ms "
           f"(how long a departed peer's registrations outlived it)")
@@ -93,6 +97,7 @@ def main() -> None:
     print(f"\nflash crowd: {len(network.peers) - before} newcomers joined "
           f"(population {before} -> {len(network.peers)}); "
           f"server now believes {len(network.believed_online())} peers alive")
+    assert len(network.peers) - before == 8, "the whole flash crowd must have joined"
     # A newcomer can immediately use the network: search from it.
     from repro.storage.query import Query
 
@@ -102,6 +107,7 @@ def main() -> None:
     print(f"a flash-crowd newcomer's first search probed {response.peers_probed} peer(s) "
           f"and returned {response.result_count} result(s) "
           f"after {response.latency_ms:.0f} virtual ms")
+    assert response.result_count > 0, "a newcomer's first search must find shared tracks"
 
 
 if __name__ == "__main__":

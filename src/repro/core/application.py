@@ -11,7 +11,7 @@ community schema.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 from repro.core.community import Community
 from repro.core.forms import CreateForm, FormValues, SearchForm

@@ -11,7 +11,7 @@ query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence, Union
+from typing import Mapping, Sequence, Union
 
 from repro.core.errors import InvalidObjectError
 from repro.schema.instance import build_instance

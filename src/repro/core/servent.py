@@ -19,7 +19,7 @@ from repro.core.community import (
     ROOT_COMMUNITY_ID,
     derive_community_id,
 )
-from repro.core.errors import CommunityError, InvalidObjectError, NotAMemberError
+from repro.core.errors import CommunityError, InvalidObjectError
 from repro.core.filespace import FileSpace, filespace_for
 from repro.core.forms import CreateForm, FormValues, SearchForm
 from repro.core.registry import CommunityRegistry

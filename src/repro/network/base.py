@@ -28,10 +28,12 @@ from repro.network.messages import (
     attachment_transfer,
     download_request,
     download_response,
+    query_hit_message,
 )
 from repro.network.peers import Peer
 from repro.network.simulator import NetworkSimulator
 from repro.network.stats import DownloadRecord, NetworkStats, QueryRecord
+from repro.storage.cache import CacheEntry, QueryResultCache
 from repro.storage.document_store import StoredObject
 from repro.storage.errors import ObjectNotFoundError
 from repro.storage.plan import CompiledQuery, compile_query
@@ -124,11 +126,17 @@ class PeerNetwork(ABC):
                  stats: Optional[NetworkStats] = None, seed: int = 0,
                  compile_queries: bool = True, live_membership: bool = False,
                  maintenance_interval_ms: float = 2_000.0,
-                 heartbeat_lease_intervals: int = 2) -> None:
+                 heartbeat_lease_intervals: int = 2,
+                 result_caching: bool = False, cache_capacity: int = 128,
+                 cache_ttl_ms: float = 2_000.0) -> None:
         if maintenance_interval_ms <= 0:
             raise ValueError("the maintenance interval must be positive")
         if heartbeat_lease_intervals < 1:
             raise ValueError("the heartbeat lease must cover at least one interval")
+        if cache_capacity < 1:
+            raise ValueError("the result cache needs room for at least one entry")
+        if cache_ttl_ms <= 0:
+            raise ValueError("the result cache TTL must be positive")
         self.simulator = simulator or NetworkSimulator(seed=seed)
         self.stats = stats or NetworkStats()
         self.peers: dict[str, Peer] = {}
@@ -150,6 +158,23 @@ class PeerNetwork(ABC):
         self.maintenance_interval_ms = maintenance_interval_ms
         #: a counterpart silent for this many intervals is presumed dead
         self.heartbeat_lease_intervals = heartbeat_lease_intervals
+        #: when on, the protocol's natural traffic-concentration points
+        #: (server / flooding peers / super-peers / rendezvous edges)
+        #: cache finished result sets and answer repeats without paying
+        #: the discovery cost again.  Off (the default) is pinned
+        #: bit-identical to uncached behaviour by the contract suite.
+        self.result_caching = result_caching
+        #: entries per cache site (LRU beyond this)
+        self.cache_capacity = cache_capacity
+        #: cached-entry lifetime; keep it at or below the heartbeat
+        #: lease so a stale cached hit never outlives the staleness
+        #: window the membership layer reports
+        self.cache_ttl_ms = cache_ttl_ms
+        #: per-peer result caches (the sites that live *on* a peer:
+        #: flooding peers, rendezvous edges).  A departing peer's cache
+        #: dies with its RAM in both membership modes.
+        self._peer_caches: dict[str, QueryResultCache] = {}
+        self._cache_sweep_timer = None
         self._maintenance_timer = None
         self._query_sequence = itertools.count(1)
         self._register_handlers(self.kernel)
@@ -199,6 +224,7 @@ class PeerNetwork(ABC):
                 self.stats.record_uptime(session_ms)
             self._on_peer_removed(peer)
         self.replicas.forget_peer(peer_id)
+        self._peer_caches.pop(peer_id, None)
         del self.peers[peer_id]
 
     def set_online(self, peer_id: str, online: bool) -> None:
@@ -231,6 +257,10 @@ class PeerNetwork(ABC):
             self.stats.record_uptime(session_ms)
             peer.last_departed_ms = now
             peer.online = False
+            # The departing peer's own result cache lives in its RAM and
+            # dies with it (both membership modes; a no-op when caching
+            # is off because the dict stays empty).
+            self._peer_caches.pop(peer.peer_id, None)
             if self.live_membership:
                 self._on_peer_left_live(peer)
             else:
@@ -367,6 +397,14 @@ class PeerNetwork(ABC):
         )
         if not context.finalized:
             context.finalized = True
+            if self.result_caching and not context.starved \
+                    and not context.extra.get("cache_hit") \
+                    and not context.extra.get("remote_cache_served"):
+                # The finished result set fills this protocol's cache
+                # site.  Responses already served (wholly or partly)
+                # from a cache are not re-cached: refreshing the entry
+                # would silently extend its TTL past the fill time.
+                self._cache_store(context, response)
             self.stats.record_query(QueryRecord(
                 query_id=context.extra.get("query_id")
                 or f"{self.protocol_name}-{self.next_query_number()}",
@@ -425,6 +463,8 @@ class PeerNetwork(ABC):
         )
         if query_id:
             context.extra["query_id"] = query_id
+        if self.result_caching:
+            self._ensure_cache_sweep()
         return context
 
     def start_retrieve(self, requester_id: str, provider_id: str, resource_id: str,
@@ -531,6 +571,119 @@ class PeerNetwork(ABC):
         )
 
     # ------------------------------------------------------------------
+    # Query-result caching (the ``result_caching`` knob)
+    # ------------------------------------------------------------------
+    def _peer_cache(self, peer_id: str, *, create: bool = True) -> Optional[QueryResultCache]:
+        """The result cache living on ``peer_id`` (flooding peers and
+        rendezvous edges cache on the peer itself)."""
+        cache = self._peer_caches.get(peer_id)
+        if cache is None and create:
+            peer = self.peers.get(peer_id)
+            if peer is None or not peer.online:
+                return None
+            cache = QueryResultCache(capacity=self.cache_capacity, ttl_ms=self.cache_ttl_ms)
+            self._peer_caches[peer_id] = cache
+        return cache
+
+    def _context_cache_key(self, context: QueryContext) -> tuple:
+        """The context's canonical cache key, computed once per search.
+
+        Keys include ``max_results`` because cached entries hold the
+        truncated result set as answered for that room.  With query
+        compilation off the plan is compiled here for keying only —
+        evaluation still follows the naive path.
+        """
+        key = context.extra.get("cache_key")
+        if key is None:
+            plan = context.plan if context.plan is not None else compile_query(context.query)
+            key = (plan.cache_key, context.max_results)
+            context.extra["cache_key"] = key
+        return key
+
+    def _count_offline_providers(self, results) -> int:
+        """How many of ``results`` name a currently-unreachable provider
+        (the stale answers a cached serving can contain)."""
+        peers = self.peers
+        return sum(
+            1 for result in results
+            if (peer := peers.get(result.provider_id)) is None or not peer.online
+        )
+
+    def _serve_cached_locally(self, context: QueryContext, entry: CacheEntry) -> None:
+        """Answer the search from a cache co-located with the origin:
+        results append directly, no message is sent, and the query
+        quiesces with zero latency — the cache's entire point."""
+        seen = {(result.provider_id, result.resource_id) for result in context.results}
+        served = []
+        for result in entry.results:
+            if len(context.results) >= context.max_results:
+                break
+            if (result.provider_id, result.resource_id) in seen:
+                continue
+            context.add_result(result)
+            served.append(result)
+        context.extra["cache_hit"] = True
+        self.stats.record_cache_hit(stale_results=self._count_offline_providers(served))
+
+    def _send_cached_hit(self, sender_id: str, context: QueryContext, cached: CacheEntry,
+                         *, message_id: str, copies: int = 1,
+                         reply_when_empty: bool = False) -> None:
+        """Serve a cached result set as one QUERY-HIT back to the origin.
+
+        The shared serving path of every remote cache site (the index
+        server, a flooding path peer, an entry super-peer): slice to
+        the context's room, account the hit (counting results whose
+        provider has since departed as stale), claim the room and send
+        the hit with the elapsed forward-path latency.  An empty served
+        set sends nothing unless ``reply_when_empty`` — the centralized
+        server always answers, a flood peer stays silent."""
+        served = cached.results[: context.room()]
+        self.stats.record_cache_hit(stale_results=self._count_offline_providers(served))
+        context.extra["remote_cache_served"] = True
+        if not served and not reply_when_empty:
+            return
+        context.claim(len(served))
+        metadata_bytes = (cached.metadata_bytes if len(served) == len(cached.results)
+                          else sum(result.metadata_bytes() for result in served))
+        hit = query_hit_message(sender_id, context.origin_id, result_count=len(served),
+                                metadata_bytes=metadata_bytes, message_id=message_id)
+        hit.carried_results = tuple(served)
+        self.kernel.send(hit, context=context, copies=copies,
+                         latency_ms=self.simulator.now - context.started_at)
+
+    def _store_response_at(self, cache: Optional[QueryResultCache], context: QueryContext,
+                           response: SearchResponse, *,
+                           lease_ms: Optional[float] = None) -> None:
+        """Fill ``cache`` with a finished response (the shared body of
+        the per-protocol ``_cache_store`` hooks)."""
+        if cache is None:
+            return
+        results = tuple(response.results)
+        metadata_bytes = sum(result.metadata_bytes() for result in results)
+        cache.put(self._context_cache_key(context), results, metadata_bytes,
+                  self.simulator.now, lease_ms=lease_ms)
+
+    def _cache_store(self, context: QueryContext, response: SearchResponse) -> None:
+        """Subclass hook: store a finished response at this protocol's
+        cache site (the base class caches nowhere)."""
+
+    def _iter_caches(self):
+        """Every live cache site (subclasses add non-peer sites)."""
+        yield from self._peer_caches.values()
+
+    def _ensure_cache_sweep(self) -> None:
+        # Expired entries are also rejected lazily at lookup; the
+        # recurring sweep (one TTL period) just bounds memory and keeps
+        # the expiration counters honest.
+        if self._cache_sweep_timer is None or self._cache_sweep_timer.cancelled:
+            self._cache_sweep_timer = self.kernel.every(self.cache_ttl_ms, self._cache_sweep)
+
+    def _cache_sweep(self) -> None:
+        now = self.simulator.now
+        for cache in self._iter_caches():
+            cache.sweep(now)
+
+    # ------------------------------------------------------------------
     # Download message handlers (shared by every protocol)
     # ------------------------------------------------------------------
     def _on_download_request(self, peer: Optional[Peer], message: Message,
@@ -602,6 +755,27 @@ class PeerNetwork(ABC):
         in flight, the kernel dropped the delivery and the promised
         results never existed."""
         if peer is None or not isinstance(context, QueryContext):
+            return
+        if self.result_caching:
+            # A peer serving from its cache can overlap a direct answer
+            # from the same provider; arrival-time dedup keeps the
+            # response a set.  (Never reached with caching off, so the
+            # uncached path stays bit-identical.)
+            seen = context.extra.get("seen_results")
+            if seen is None:
+                # Seeded with the origin's own local answers so a cached
+                # serving cannot re-deliver them.
+                seen = {(result.provider_id, result.resource_id)
+                        for result in context.results}
+                context.extra["seen_results"] = seen
+            for result in message.carried_results:
+                if len(context.results) >= context.max_results:
+                    break
+                identity = (result.provider_id, result.resource_id)
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                context.add_result(result)
             return
         for result in message.carried_results:
             if len(context.results) >= context.max_results:

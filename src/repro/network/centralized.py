@@ -35,6 +35,7 @@ from repro.network.messages import (
     unregister_message,
 )
 from repro.network.peers import Peer
+from repro.storage.cache import QueryResultCache
 from repro.storage.index import AttributeIndex
 from repro.storage.query import Query
 
@@ -72,6 +73,9 @@ class CentralizedProtocol(PeerNetwork):
         #: time its last heartbeat (JOIN / PING / REGISTER) arrived.
         #: Only meaningful in live-membership mode.
         self._server_heartbeats: dict[str, float] = {}
+        #: the server-side result cache (``result_caching`` mode): the
+        #: one place every query of this organisation passes through
+        self._server_cache: Optional[QueryResultCache] = None
 
     # ------------------------------------------------------------------
     def publish(self, peer_id: str, community_id: str, resource_id: str,
@@ -94,9 +98,27 @@ class CentralizedProtocol(PeerNetwork):
         self._insert_catalog_entry(peer.peer_id, community_id, resource_id,
                                    metadata, title, metadata_bytes)
 
+    def _server_result_cache(self) -> Optional[QueryResultCache]:
+        if not self.result_caching:
+            return None
+        if self._server_cache is None:
+            self._server_cache = QueryResultCache(capacity=self.cache_capacity,
+                                                  ttl_ms=self.cache_ttl_ms)
+        return self._server_cache
+
+    def _iter_caches(self):
+        yield from super()._iter_caches()
+        if self._server_cache is not None:
+            yield self._server_cache
+
     def _insert_catalog_entry(self, provider_id: str, community_id: str,
                               resource_id: str, metadata: dict[str, list[str]],
                               title: str, metadata_bytes: int) -> None:
+        if self._server_cache is not None:
+            # A publish (or replica announcement) arriving at the server
+            # is the invalidation traffic: the catalog version moves and
+            # every cached answer filled before it goes stale.
+            self._server_cache.bump_version()
         entry = self._catalog.get(resource_id)
         if entry is None:
             entry = _CatalogEntry(
@@ -114,6 +136,11 @@ class CentralizedProtocol(PeerNetwork):
         entry = self._catalog.get(resource_id)
         if entry is None:
             return
+        if self._server_cache is not None and peer_id in entry.providers:
+            # The server learned this provider is gone (UNREGISTER, a
+            # permanent removal, or its heartbeat lease lapsing): cached
+            # answers naming it die the same moment the catalog's do.
+            self._server_cache.invalidate_provider(peer_id)
         entry.providers.discard(peer_id)
         if not entry.providers:
             self._index.remove(resource_id)
@@ -155,6 +182,21 @@ class CentralizedProtocol(PeerNetwork):
         arrives at a still-online origin."""
         if context is None or message.recipient != INDEX_SERVER_ID:
             return
+        now = self.simulator.now
+        cache = self._server_result_cache()
+        if cache is not None:
+            key = self._context_cache_key(context)
+            cached = cache.get(key, now)
+            if cached is not None:
+                # Served straight from the result cache: same two-message
+                # round trip, but no catalog/index evaluation — and the
+                # entry may name providers that departed since the fill
+                # (stale within the TTL / invalidation bounds).
+                self._send_cached_hit(INDEX_SERVER_ID, context, cached,
+                                      message_id=message.message_id,
+                                      reply_when_empty=True)
+                return
+            self.stats.record_cache_miss()
         metadata_bytes = 0
         results: list[SearchResult] = []
         room = context.room()
@@ -178,6 +220,8 @@ class CentralizedProtocol(PeerNetwork):
                     break
             if len(results) >= room:
                 break
+        if cache is not None:
+            cache.put(key, tuple(results), metadata_bytes, now)
         context.claim(len(results))
         hit = query_hit_message(INDEX_SERVER_ID, context.origin_id, result_count=len(results),
                                 metadata_bytes=metadata_bytes, message_id=message.message_id)

@@ -227,6 +227,13 @@ class GnutellaProtocol(PeerNetwork):
         peer's repository waiting for queries to reach it."""
         self._require_peer(peer_id)
         self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
+        if self.result_caching:
+            # The publisher's own cached answers predate the new object;
+            # nobody else hears about a free publish, so remote caches
+            # stay bounded by their TTL instead.
+            cache = self._peer_caches.get(peer_id)
+            if cache is not None:
+                cache.bump_version()
 
     def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
                      ttl: Optional[int] = None, **kwargs) -> QueryContext:
@@ -237,6 +244,18 @@ class GnutellaProtocol(PeerNetwork):
             query_id=query.query_id or f"flood-{self.next_query_number()}",
         )
         context.visited.add(origin_id)
+        if self.result_caching:
+            cache = self._peer_cache(origin_id)
+            cached = cache.get(self._context_cache_key(context),
+                               self.simulator.now) if cache is not None else None
+            if cached is not None:
+                # The origin re-asked a query it recently completed: the
+                # whole flood is saved and the cached set (its own local
+                # answers included) returns with zero messages.
+                self._serve_cached_locally(context, cached)
+                self.kernel.finish_if_idle(context)
+                return context
+            self.stats.record_cache_miss()
         # The wire form is rendered and measured once; every hop's QUERY
         # message shares the same payload string and byte count.
         wire_xml, wire_bytes = self.wire_form(query, context.plan)
@@ -279,6 +298,24 @@ class GnutellaProtocol(PeerNetwork):
         context.peers_probed += 1
         hops = message.hops
 
+        if self.result_caching:
+            cache = self._peer_caches.get(peer.peer_id)
+            if cache is not None:
+                cached = cache.get(self._context_cache_key(context), self.simulator.now)
+                if cached is not None:
+                    # Path caching: this peer completed the same query
+                    # recently and answers for its whole flood subtree
+                    # from the cached set — the flood stops here.  (An
+                    # empty cached set still cuts the flood: repeated
+                    # miss-queries are the most expensive to re-flood.)
+                    self._send_cached_hit(peer.peer_id, context, cached,
+                                          message_id=message.message_id,
+                                          copies=max(1, message.hops))
+                    return
+                # Symmetric accounting: every lookup at a cache site
+                # counts, so the hit ratio compares across protocols.
+                self.stats.record_cache_miss()
+
         room = context.room()
         taken = local_matches(peer.repository, context.query, plan=context.plan,
                               limit=room) if room > 0 else []
@@ -303,6 +340,11 @@ class GnutellaProtocol(PeerNetwork):
         remaining = message.ttl - 1
         if remaining > 0:
             self._flood_from(peer, ttl=remaining, hops=hops + 1, context=context)
+
+    def _cache_store(self, context: QueryContext, response) -> None:
+        """The origin caches its finished response, becoming a cache
+        site for its own repeats and for floods passing through it."""
+        self._store_response_at(self._peer_cache(context.origin_id), context, response)
 
     def _flood_from(self, peer: Peer, *, ttl: int, hops: int, context: QueryContext) -> None:
         """Send one QUERY copy to every online neighbour of ``peer``.

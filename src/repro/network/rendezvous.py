@@ -317,6 +317,12 @@ class RendezvousProtocol(PeerNetwork):
         """Publish an advertisement with a lease to the peer's rendezvous."""
         peer = self._require_peer(peer_id)
         self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
+        if self.result_caching:
+            # The publisher's own cached answers predate the new object;
+            # other edges' caches are bounded by the TTL/lease instead.
+            cache = self._peer_caches.get(peer_id)
+            if cache is not None:
+                cache.bump_version()
         if self.live_membership:
             self._publish_live(peer, community_id, resource_id, metadata, title)
             return
@@ -415,6 +421,17 @@ class RendezvousProtocol(PeerNetwork):
             origin_id, query, max_results=max_results,
             query_id=query.query_id or f"rdv-{self.next_query_number()}",
         )
+        if self.result_caching:
+            cache = self._peer_cache(origin_id)
+            cached = (cache.get(self._context_cache_key(context), self.simulator.now)
+                      if cache is not None else None)
+            if cached is not None:
+                # The edge re-asked a query whose walk it recently paid
+                # for: the cached set returns with zero messages.
+                self._serve_cached_locally(context, cached)
+                self.kernel.finish_if_idle(context)
+                return context
+            self.stats.record_cache_miss()
         wire_xml, wire_bytes = self.wire_form(query, context.plan)
         context.extra["query_xml"] = wire_xml
         context.extra["query_bytes"] = wire_bytes
@@ -544,6 +561,15 @@ class RendezvousProtocol(PeerNetwork):
             if len(results) >= room:
                 break
         return results, metadata_bytes
+
+    def _cache_store(self, context: QueryContext, response) -> None:
+        """The origin edge caches its finished response.  Entry lifetime
+        is additionally capped at one advertisement lease from the fill:
+        an advertisement serving the response had at most that much
+        life left, so a cached answer can outlive any individual ad by
+        at most one lease period (within the TTL bound as always)."""
+        self._store_response_at(self._peer_cache(context.origin_id), context, response,
+                                lease_ms=self.lease_ms)
 
     def advertisement_count(self) -> int:
         """Live advertisements across all rendezvous peers."""

@@ -72,6 +72,15 @@ class NetworkStats:
     #: ``PeerNetwork.snapshot_uptime()`` at a measurement boundary to
     #: fold still-open sessions in, or the steadiest peers undercount.
     uptime_ms_total: float = 0.0
+    #: query-result cache outcomes (``result_caching`` mode): lookups
+    #: at any cache site that served a cached result set / that fell
+    #: through to discovery (each site counts both ways, so the ratio
+    #: compares across protocols)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: cached results served whose provider was offline at serve time —
+    #: the stale answers the cache's TTL/invalidation rules bound
+    cache_stale_served: int = 0
 
     # ------------------------------------------------------------------
     def record_message(self, message: Message, copies: int = 1) -> None:
@@ -105,6 +114,18 @@ class NetworkStats:
     def record_uptime(self, session_ms: float) -> None:
         """Accumulate one peer's completed online session."""
         self.uptime_ms_total += session_ms
+
+    def record_cache_hit(self, *, stale_results: int = 0) -> None:
+        """One query (or query hop) answered from a result cache."""
+        self.cache_hits += 1
+        self.cache_stale_served += stale_results
+
+    def record_cache_miss(self) -> None:
+        self.cache_misses += 1
+
+    def cache_hit_ratio(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -215,6 +236,10 @@ class NetworkStats:
             "mean_staleness_ms": self.mean_staleness_ms(),
             "max_staleness_ms": self.max_staleness_ms(),
             "uptime_ms_total": self.uptime_ms_total,
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cache_hit_ratio": self.cache_hit_ratio(),
+            "cache_stale_served": float(self.cache_stale_served),
         }
 
     def reset(self) -> None:
@@ -228,3 +253,6 @@ class NetworkStats:
         self.registrations = 0
         self.staleness_windows_ms.clear()
         self.uptime_ms_total = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stale_served = 0

@@ -37,6 +37,7 @@ from repro.network.messages import (
     register_message,
 )
 from repro.network.peers import Peer
+from repro.storage.cache import QueryResultCache
 from repro.storage.index import AttributeIndex
 from repro.storage.query import Query
 
@@ -56,6 +57,9 @@ class _SuperPeerState:
     #: live-membership soft state: leaf id -> virtual time its last
     #: heartbeat (PING / LEAF-ATTACH / REGISTER) arrived here
     last_heard: dict[str, float] = field(default_factory=dict)
+    #: this super-peer's result cache (``result_caching`` mode): it
+    #: lives in the super's RAM and dies with the state on departure
+    cache: Optional[QueryResultCache] = None
 
 
 class SuperPeerProtocol(PeerNetwork):
@@ -133,6 +137,8 @@ class SuperPeerProtocol(PeerNetwork):
         if state is None:
             return
         state.leaves.discard(leaf.peer_id)
+        if state.cache is not None:
+            state.cache.invalidate_provider(leaf.peer_id)
         for resource_id in [rid for rid, record in state.records.items() if record[3] == leaf.peer_id]:
             state.index.remove(resource_id)
             del state.records[resource_id]
@@ -229,6 +235,12 @@ class SuperPeerProtocol(PeerNetwork):
         window since the leaf's departure is recorded."""
         state.leaves.discard(leaf_id)
         state.last_heard.pop(leaf_id, None)
+        if state.cache is not None:
+            # The super learned this leaf is gone (a graceful LEAF-DETACH
+            # or its heartbeat lease lapsing): cached answers naming it
+            # die at the same moment its records do, so a stale cached
+            # hit never outlives the membership staleness window here.
+            state.cache.invalidate_provider(leaf_id)
         stale_keys = [key for key, record in state.records.items()
                       if record[3] == leaf_id]
         for key in stale_keys:
@@ -372,10 +384,29 @@ class SuperPeerProtocol(PeerNetwork):
                        resource_id: str, metadata: dict[str, list[str]],
                        title: str, metadata_bytes: int) -> None:
         state = self._states.setdefault(super_id, _SuperPeerState())
+        if state.cache is not None:
+            # A registration arriving is the invalidation traffic: the
+            # super's catalog version moves, stale cached answers drop.
+            state.cache.bump_version()
         replica_key = f"{resource_id}@{peer_id}"
         view = {path: tuple(values) for path, values in metadata.items()}
         state.records[replica_key] = (community_id, title, view, peer_id, metadata_bytes)
         state.index.add(community_id, replica_key, metadata)
+
+    def _state_cache(self, state: _SuperPeerState, *, create: bool = True
+                     ) -> Optional[QueryResultCache]:
+        if not self.result_caching:
+            return None
+        if state.cache is None and create:
+            state.cache = QueryResultCache(capacity=self.cache_capacity,
+                                           ttl_ms=self.cache_ttl_ms)
+        return state.cache
+
+    def _iter_caches(self):
+        yield from super()._iter_caches()
+        for state in self._states.values():
+            if state.cache is not None:
+                yield state.cache
 
     # ------------------------------------------------------------------
     def start_search(self, origin_id: str, query: Query, *, max_results: int = 100,
@@ -451,6 +482,17 @@ class SuperPeerProtocol(PeerNetwork):
         origin; the room they will occupy is claimed here."""
         super_id = super_peer.peer_id
         context.peers_probed += 1
+        if self.result_caching and super_id == context.extra.get("entry"):
+            # The entry super is where this organisation's repeats
+            # concentrate (its leaf fan-in): a cached answer serves the
+            # whole network's result set and skips the relay broadcast.
+            state = self._states.get(super_id)
+            cached = (state.cache.get(self._context_cache_key(context), self.simulator.now)
+                      if state is not None and state.cache is not None else None)
+            if cached is not None:
+                self._serve_cached_at_entry(super_peer, hops, context, cached)
+                return
+            self.stats.record_cache_miss()
         results: list[SearchResult] = []
         metadata_bytes = 0
         room = context.room()
@@ -494,6 +536,33 @@ class SuperPeerProtocol(PeerNetwork):
                                       payload_bytes=query_bytes)
                 relay.hops = hops + 1
                 self.kernel.send(relay, context=context)
+
+    def _serve_cached_at_entry(self, super_peer: Peer, hops: int,
+                               context: QueryContext, cached) -> None:
+        """Serve a cached result set from the entry super-peer.
+
+        A super-peer origin answers itself directly (no message); a
+        leaf origin gets one QUERY-HIT back.  Either way the relay to
+        the other super-peers — the organisation's per-query broadcast
+        cost — never happens."""
+        if super_peer.peer_id == context.origin_id:
+            self._serve_cached_locally(context, cached)
+            return
+        self._send_cached_hit(super_peer.peer_id, context, cached,
+                              message_id=f"spc-{self.next_query_number()}",
+                              copies=hops or 1)
+
+    def _cache_store(self, context: QueryContext, response) -> None:
+        """The finished response fills the entry super-peer's cache, the
+        fan-in point every leaf behind it shares."""
+        entry = context.extra.get("entry")
+        if entry is None:
+            return
+        state = self._states.get(entry)
+        entry_peer = self.peers.get(entry)
+        if state is None or entry_peer is None or not entry_peer.online:
+            return
+        self._store_response_at(self._state_cache(state), context, response)
 
     # ------------------------------------------------------------------
     def _matches_at(

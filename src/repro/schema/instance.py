@@ -13,7 +13,7 @@ from typing import Mapping, Optional, Sequence, Union
 
 from repro.schema.datatypes import strip_prefix
 from repro.schema.errors import SchemaError
-from repro.schema.model import ElementDeclaration, FieldInfo, Schema
+from repro.schema.model import FieldInfo, Schema
 from repro.xmlkit.dom import Element
 
 FieldValues = Mapping[str, Union[str, Sequence[str]]]

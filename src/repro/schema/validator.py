@@ -19,7 +19,6 @@ from repro.schema.model import (
     ElementDeclaration,
     Particle,
     Schema,
-    SimpleType,
 )
 from repro.xmlkit.dom import Document, Element
 

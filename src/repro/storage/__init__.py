@@ -13,6 +13,9 @@ This package plays that role:
 * :mod:`repro.storage.plan` — compiled query plans: criterion values
   normalized once, criteria cost-ordered, postings intersected without
   intermediate copies (the per-peer evaluation hot path).
+* :mod:`repro.storage.cache` — the query-result cache (LRU + TTL +
+  lease entries keyed by a compiled query's canonical form) the
+  protocol adapters consult before paying discovery again.
 * :mod:`repro.storage.attachments` — simulated storage of the binary
   files attached to shared objects.
 * :mod:`repro.storage.repository` — the per-peer façade combining the
@@ -20,6 +23,7 @@ This package plays that role:
 """
 
 from repro.storage.attachments import Attachment, AttachmentStore
+from repro.storage.cache import CacheEntry, QueryResultCache
 from repro.storage.document_store import DocumentStore, StoredObject
 from repro.storage.errors import StorageError
 from repro.storage.index import AttributeIndex, IndexEntry
@@ -41,6 +45,8 @@ __all__ = [
     "CompiledQuery",
     "CompiledCriterion",
     "compile_query",
+    "QueryResultCache",
+    "CacheEntry",
     "Attachment",
     "AttachmentStore",
     "LocalRepository",

@@ -93,7 +93,7 @@ class CompiledQuery:
     """
 
     __slots__ = ("source", "community_id", "criteria", "is_empty",
-                 "_wire_xml", "_wire_bytes")
+                 "_wire_xml", "_wire_bytes", "_cache_key")
 
     def __init__(self, query: Query) -> None:
         self.source = query
@@ -105,6 +105,7 @@ class CompiledQuery:
         self.is_empty = not self.criteria
         self._wire_xml: Optional[str] = None
         self._wire_bytes: int = -1
+        self._cache_key: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Wire form (computed once, shared by every hop's QUERY message)
@@ -122,6 +123,30 @@ class CompiledQuery:
         if self._wire_bytes < 0:
             self._wire_bytes = len(self.wire_xml.encode("utf-8"))
         return self._wire_bytes
+
+    # ------------------------------------------------------------------
+    # Canonical form (the query-result cache key)
+    # ------------------------------------------------------------------
+    @property
+    def cache_key(self) -> tuple:
+        """A hashable canonical form: two spellings of the same
+        conjunction — criteria reordered, values differing only in case
+        or surrounding whitespace — share one key.  Token-set criteria
+        (CONTAINS / ANY) are order-insensitive by construction."""
+        if self._cache_key is None:
+            parts = []
+            for criterion in self.criteria:
+                if criterion.any_field:
+                    parts.append(("*", "", tuple(sorted(criterion.token_set))))
+                elif criterion.operator is Operator.EQUALS:
+                    parts.append(("=", criterion.field_path, criterion.norm_value))
+                elif criterion.operator is Operator.PREFIX:
+                    parts.append(("^", criterion.field_path, criterion.norm_value))
+                else:  # CONTAINS
+                    parts.append(("~", criterion.field_path, tuple(sorted(criterion.token_set))))
+            parts.sort()
+            self._cache_key = (self.community_id, tuple(parts))
+        return self._cache_key
 
     # ------------------------------------------------------------------
     # Evaluation against an attribute index

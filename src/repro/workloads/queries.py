@@ -46,6 +46,7 @@ def build_query_workload(
     searchable_fields: Optional[Sequence[str]] = None,
     miss_fraction: float = 0.1,
     zipf_exponent: float = 0.8,
+    repeat_alpha: float = 0.0,
     seed: int = 0,
 ) -> QueryWorkload:
     """Build ``count`` queries against ``corpus``.
@@ -54,17 +55,33 @@ def build_query_workload(
     distribution over records so that popular objects are asked for more
     often; a ``miss_fraction`` of queries use vocabulary guaranteed not
     to occur in the corpus.
+
+    ``repeat_alpha`` is the probability that a workload position
+    re-issues an earlier query of the stream verbatim (drawn uniformly
+    over the history, which the Zipf record skew already made
+    popularity-heavy) — the repeat structure result caching feeds on.
+    The repeat decisions use their own random stream, so ``0.0`` (the
+    default) reproduces the uncached workloads bit-identically.
     """
     if not corpus:
         raise ValueError("cannot build a query workload from an empty corpus")
     if not 0.0 <= miss_fraction <= 1.0:
         raise ValueError("miss_fraction must be within [0, 1]")
+    if not 0.0 <= repeat_alpha <= 1.0:
+        raise ValueError("repeat_alpha must be within [0, 1]")
     rng = random.Random(seed)
+    repeat_rng = random.Random(f"repeat:{seed}")
     fields = list(searchable_fields) if searchable_fields else _text_fields(corpus)
     popularity = ZipfDistribution(len(corpus), exponent=zipf_exponent, seed=seed)
     workload = QueryWorkload(community_id=community_id)
 
     for query_index in range(count):
+        if repeat_alpha > 0.0 and workload.queries \
+                and repeat_rng.random() < repeat_alpha:
+            position = repeat_rng.randrange(len(workload.queries))
+            workload.queries.append(workload.queries[position])
+            workload.expected_matches.append(workload.expected_matches[position])
+            continue
         if rng.random() < miss_fraction:
             query = Query.keyword(community_id, f"zzqx{query_index:04d} nothing matches this")
             workload.queries.append(query)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.communities import ALL_COMMUNITIES
 from repro.communities.base import CommunityDefinition
@@ -89,6 +89,20 @@ class ScenarioConfig:
     #: advertisement lease of the rendezvous organisation (its staleness
     #: and repair behaviour is lease-driven rather than heartbeat-driven)
     rendezvous_lease_ms: float = 30 * 60 * 1000.0
+    #: cache finished result sets at each protocol's traffic-concentration
+    #: points and answer repeats without re-paying discovery.  Off (the
+    #: default) is pinned bit-identical to uncached behaviour by the
+    #: contract suite.
+    result_caching: bool = False
+    #: result-cache entries per cache site (LRU beyond this)
+    cache_capacity: int = 128
+    #: result-cache entry lifetime; keep at or below the membership
+    #: lease so stale cached hits stay inside the staleness window
+    cache_ttl_ms: float = 2_000.0
+    #: probability that a workload position re-issues an earlier query
+    #: verbatim (the repeat structure result caching feeds on); 0 keeps
+    #: the historical workloads bit-identical
+    query_repeat_alpha: float = 0.0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -115,6 +129,12 @@ class ScenarioConfig:
             raise ValueError("the maintenance interval must be positive")
         if self.rendezvous_lease_ms <= 0:
             raise ValueError("the rendezvous lease must be positive")
+        if self.cache_capacity < 1:
+            raise ValueError("the result cache needs room for at least one entry")
+        if self.cache_ttl_ms <= 0:
+            raise ValueError("the result cache TTL must be positive")
+        if not 0.0 <= self.query_repeat_alpha <= 1.0:
+            raise ValueError("query_repeat_alpha must be within [0, 1]")
         if self.live_membership and self.protocol == "rendezvous" \
                 and self.rendezvous_lease_ms < 2 * self.maintenance_interval_ms:
             # Renewals fire at lease/2 but only when a maintenance tick
@@ -247,7 +267,10 @@ def build_network(config: ScenarioConfig) -> PeerNetwork:
     right before the workload when the knob is set.
     """
     common = dict(seed=config.seed, compile_queries=config.compile_queries,
-                  maintenance_interval_ms=config.maintenance_interval_ms)
+                  maintenance_interval_ms=config.maintenance_interval_ms,
+                  result_caching=config.result_caching,
+                  cache_capacity=config.cache_capacity,
+                  cache_ttl_ms=config.cache_ttl_ms)
     if config.protocol == "gnutella":
         return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, **common)
     if config.protocol == "super-peer":
@@ -304,6 +327,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
         count=config.queries,
         searchable_fields=[path for path in searchable if "/" not in path] or None,
         miss_fraction=config.miss_fraction,
+        repeat_alpha=config.query_repeat_alpha,
         seed=config.seed,
     )
 

@@ -14,7 +14,6 @@ from repro.core.community import (
 )
 from repro.core.errors import CommunityError
 from repro.core.resource import Resource
-from repro.communities.mp3 import mp3_schema_xsd
 from repro.schema.validator import validate
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core.community import ROOT_COMMUNITY_ID
 from repro.core.errors import CommunityError, InvalidObjectError, NotAMemberError
 from repro.core.resource import Resource
-from repro.core.servent import Servent
 from repro.communities.mp3 import mp3_schema_xsd
 
 

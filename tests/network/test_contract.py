@@ -410,6 +410,163 @@ class TestRendezvousLeaseUnderChurnContract:
         assert any(result.resource_id == resource_id for result in back.results)
 
 
+class TestResultCacheContract:
+    """Acceptance: with ``result_caching=False`` (the default) every
+    protocol reproduces the uncached behaviour bit-identically —
+    results, message counts, byte counts — whatever the cache knobs
+    say.  With it on, runs stay deterministic, repeat-heavy workloads
+    cost measurably fewer messages, and a stale cached hit never
+    outlives the membership staleness window."""
+
+    CONFIG = dict(
+        peers=30,
+        members=12,
+        publishers=6,
+        corpus_size=40,
+        queries=24,
+        ttl=6,
+        seed=23,
+        concurrency=6,
+        query_interarrival_ms=20.0,
+        query_repeat_alpha=0.6,
+    )
+
+    def signature(self, **overrides):
+        scenario = build_scenario(ScenarioConfig(**{**self.CONFIG, **overrides}))
+        counts = scenario.run_queries(max_results=100)
+        stats = scenario.network.stats
+        return {
+            "counts": counts,
+            "total_messages": stats.total_messages,
+            "total_bytes": stats.total_bytes,
+            "by_type": dict(stats.messages_by_type),
+            "bytes_by_type": dict(stats.bytes_by_type),
+            "latencies": [round(record.latency_ms, 6) for record in stats.queries],
+            "cache": (stats.cache_hits, stats.cache_misses, stats.cache_stale_served),
+        }
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_caching_off_is_bit_identical_regardless_of_knobs(self, protocol):
+        """The knob plumbing must leak nothing: a default run and an
+        explicit caching-off run with exotic cache knobs agree on
+        everything pinned, and no cache counter ever moves."""
+        default = self.signature(protocol=protocol)
+        explicit = self.signature(protocol=protocol, result_caching=False,
+                                  cache_capacity=2, cache_ttl_ms=37.0)
+        assert default == explicit
+        assert default["cache"] == (0, 0, 0)
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_caching_on_is_deterministic(self, protocol):
+        first = self.signature(protocol=protocol, result_caching=True)
+        second = self.signature(protocol=protocol, result_caching=True)
+        assert first == second
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_caching_on_deterministic_under_live_membership_and_churn(self, protocol):
+        overrides = dict(protocol=protocol, result_caching=True,
+                         live_membership=True, maintenance_interval_ms=250.0,
+                         rendezvous_lease_ms=1_000.0, cache_ttl_ms=500.0,
+                         churn_session_ms=1_500.0, churn_absence_ms=800.0)
+        assert self.signature(**overrides) == self.signature(**overrides)
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_repeat_heavy_workload_saves_messages(self, protocol):
+        off = self.signature(protocol=protocol)
+        on = self.signature(protocol=protocol, result_caching=True)
+        hits, misses, _ = on["cache"]
+        assert hits > 0, "a repeat-heavy workload must produce cache hits"
+        assert on["total_messages"] <= off["total_messages"]
+        if protocol in ("gnutella", "super-peer"):
+            # The organisations that broadcast per query must save real
+            # traffic; the centralized round trip costs 2 messages with
+            # or without the server cache.
+            assert on["total_messages"] < off["total_messages"]
+
+    # ------------------------------------------------------------------
+    # Invalidation: graceful departure vs. crash churn
+    # ------------------------------------------------------------------
+    def make_cached_centralized(self):
+        network = CentralizedProtocol(seed=7, result_caching=True,
+                                      cache_ttl_ms=60_000.0,
+                                      maintenance_interval_ms=400.0)
+        populate(network)
+        publish_pattern(network, "peer-005", "Observer")
+        publish_pattern(network, "peer-007", "Observer Twin")
+        network.go_live()
+        return network
+
+    @staticmethod
+    def providers_of(network, origin="peer-002"):
+        response = network.search(origin, Query.keyword("patterns", "observer"),
+                                  max_results=50)
+        return {result.provider_id for result in response.results}
+
+    def test_graceful_departure_invalidates_without_staleness(self):
+        """A graceful goodbye (UNREGISTER traffic) reaches the server
+        and kills the cached answers naming the departed provider: no
+        stale hit is ever served."""
+        network = self.make_cached_centralized()
+        assert "peer-005" in self.providers_of(network)  # fills the cache
+        network.depart("peer-005", graceful=True)
+        network.simulator.run(until_ms=network.simulator.now + 300.0)
+        assert "peer-005" not in self.providers_of(network)
+        assert network.stats.cache_stale_served == 0
+
+    def test_crash_stale_hit_is_bounded_by_the_membership_window(self):
+        """A crash leaves the cached answer stale — the hit may name the
+        dead provider — but only until the server's heartbeat lease
+        purges it, the same staleness window the membership layer
+        already reports.  The cache TTL here is 60 s, so the repair is
+        genuinely traffic-driven, not a timeout."""
+        network = self.make_cached_centralized()
+        assert "peer-005" in self.providers_of(network)
+        network.set_online("peer-005", False)  # crash: no goodbye traffic
+        assert "peer-005" in self.providers_of(network)  # served stale
+        assert network.stats.cache_stale_served > 0
+        # One heartbeat lease (2 x 400 ms) later the server purges the
+        # silent peer and the cached answers die with its registrations.
+        network.simulator.run(until_ms=network.simulator.now + 2_500.0)
+        assert "peer-005" not in self.providers_of(network)
+        assert network.stats.staleness_windows_ms
+
+    def test_crash_stale_hit_bounded_at_the_entry_super(self):
+        """Same contract at a super-peer's leaf fan-in cache: the purge
+        of a silent leaf's records invalidates the cached answers that
+        named it."""
+        network = SuperPeerProtocol(seed=7, super_peer_ratio=0.2,
+                                    result_caching=True, cache_ttl_ms=60_000.0,
+                                    maintenance_interval_ms=400.0)
+        populate(network)
+        publish_pattern(network, "peer-005", "Observer")
+        network.go_live()
+        home = network.peer("peer-005").super_peer_id
+        origin = sorted(network.leaves_of(home) - {"peer-005"})[0]
+        assert "peer-005" in self.providers_of(network, origin)  # fills entry cache
+        network.set_online("peer-005", False)
+        assert "peer-005" in self.providers_of(network, origin)  # served stale
+        assert network.stats.cache_stale_served > 0
+        network.simulator.run(until_ms=network.simulator.now + 2_500.0)
+        assert "peer-005" not in self.providers_of(network, origin)
+        assert network.stats.staleness_windows_ms
+
+    def test_crash_stale_hit_bounded_by_ttl_in_gnutella(self):
+        """Nobody announces a flooding peer's crash, so the origin's
+        cached answer stays stale exactly one TTL — the bound the knob
+        documentation demands stays at or below the membership lease."""
+        network = GnutellaProtocol(seed=7, default_ttl=20, degree=2,
+                                   topology_kind="ring", result_caching=True,
+                                   cache_ttl_ms=1_000.0)
+        populate(network)
+        publish_pattern(network, "peer-005", "Observer")
+        assert "peer-005" in self.providers_of(network)  # fills the origin cache
+        network.set_online("peer-005", False)
+        assert "peer-005" in self.providers_of(network)  # stale within the TTL
+        assert network.stats.cache_stale_served > 0
+        network.simulator.run(until_ms=network.simulator.now + 1_500.0)
+        assert "peer-005" not in self.providers_of(network)  # fresh re-flood
+
+
 class TestCompiledPlanContract:
     """Acceptance: the compiled-query fast path is observationally
     identical to the naive path — same search results, same hit counts,

@@ -3,7 +3,7 @@ live-membership (lifecycle-as-protocol-traffic) mode of every adapter."""
 
 import pytest
 
-from repro.network.centralized import INDEX_SERVER_ID, CentralizedProtocol
+from repro.network.centralized import CentralizedProtocol
 from repro.network.gnutella import GnutellaProtocol
 from repro.network.membership import MembershipEvent, PopulationModel
 from repro.network.messages import MessageType

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.network.messages import (
-    Message,
     MessageType,
     download_request,
     next_message_id,

@@ -1,6 +1,5 @@
 """Tests for instance validation against parsed schemas."""
 
-import pytest
 
 from repro.schema.parser import parse_schema_text
 from repro.schema.validator import validate
