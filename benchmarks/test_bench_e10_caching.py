@@ -13,13 +13,22 @@ repeat-heavy workload (``query_repeat_alpha``) and records, per cell:
 * **hit ratio** — cached answers / cache lookups;
 * **messages saved** — total messages versus a caching-off run of the
   same seed and churn (the discovery cost the cache avoided);
-* **stale-answer rate** — cached results served whose provider was
-  already offline, the bounded staleness the TTL pays for coverage.
+* **stale served per hit** — cached results served whose provider
+  was already offline (counted per result, so a single hit can
+  contribute several), the bounded staleness the TTL pays for
+  coverage.
 
 Churn strikes everyone but two searchers — publishers included — so
 cached entries genuinely go stale; membership stays in the instant
 (off) mode so the message delta is purely the cache's doing.  The
 record lands in ``BENCH_perf.json`` under the ``caching`` key.
+
+At this workload's scale the capacity dimension binds only at the
+centralized server (the one site that sees all 48 queries); per-peer
+sites (gnutella origins, entry supers, rendezvous edges) hold too few
+distinct keys for eviction to occur, so their capacity-8 and
+capacity-256 cells are identical — itself a placement finding the
+record reports honestly rather than a knob left unexercised.
 """
 
 from __future__ import annotations
@@ -100,7 +109,9 @@ def run_cell(
         "cache_misses": stats.cache_misses,
         "cache_hit_ratio": round(stats.cache_hit_ratio(), 4),
         "stale_served": stats.cache_stale_served,
-        "stale_rate": round(stats.cache_stale_served / max(1, stats.cache_hits), 4),
+        # Mean stale results per cache hit (a hit can serve several
+        # offline-provider results, so this can exceed 1.0).
+        "stale_per_hit": round(stats.cache_stale_served / max(1, stats.cache_hits), 4),
         "queries_per_s": round(len(counts) / wall, 1),
     }
 
@@ -172,14 +183,14 @@ def test_bench_e10_write_record(benchmark, report, request):
                     int(cell["cache_ttl_ms"]),
                     f"{cell['cache_hit_ratio']:.3f}",
                     cell["messages_saved"],
-                    f"{cell['stale_rate']:.3f}",
+                    f"{cell['stale_per_hit']:.3f}",
                     f"{cell['hit_rate']:.2f}",
                 ]
             )
     report(
         "E10  query-result caching: hit ratio / messages saved / staleness "
         "(30 peers, repeat-heavy workload)",
-        ["protocol", "churn", "size", "ttl ms", "hit ratio", "msgs saved", "stale rate", "success"],
+        ["protocol", "churn", "size", "ttl ms", "hit ratio", "msgs saved", "stale/hit", "success"],
         rows,
     )
     assert PERF_PATH.exists()

@@ -55,10 +55,24 @@ RECORD: dict = {
 }
 
 
-def run_membership(protocol: str, session_ms: float) -> dict:
+def run_membership(protocol: str, session_ms: float, *, repeats: int = 3) -> dict:
     """One grid cell: live-membership workload under churn that strikes
     everyone but two searchers — publishers included, so each protocol's
-    stale state (registrations, ads, leaf records) genuinely decays."""
+    stale state (registrations, ads, leaf records) genuinely decays.
+
+    The simulation is deterministic, so every repeat produces the same
+    counters; only the wall clock varies.  Best-of-``repeats`` keeps a
+    one-off slow (or fast) sample from landing in the committed record
+    as if it were the trajectory."""
+    best = None
+    for _ in range(repeats):
+        sample = _run_membership_once(protocol, session_ms)
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    return best
+
+
+def _run_membership_once(protocol: str, session_ms: float) -> dict:
     scenario = build_scenario(ScenarioConfig(protocol=protocol, **BASE))
     population = PopulationModel(scenario.network, mean_session_ms=session_ms,
                                  mean_absence_ms=session_ms * 0.6, seed=5)
@@ -89,19 +103,28 @@ def run_membership(protocol: str, session_ms: float) -> dict:
     }
 
 
+def _timing_repeats(request) -> int:
+    """Best-of-3 when wall time lands in the record; a single run under
+    ``--benchmark-disable`` (tier-1/fast-CI mode), where the record is
+    never written and only the deterministic counters matter."""
+    return 1 if request.config.getoption("benchmark_disable", False) else 3
+
+
 @pytest.mark.parametrize("protocol", PROTOCOLS)
-def test_bench_e9_membership_grid(benchmark, protocol):
+def test_bench_e9_membership_grid(benchmark, protocol, request):
     """Churn-rate sweep for one protocol; the moderate cell is timed."""
+    repeats = _timing_repeats(request)
     samples = {}
 
     def measure_moderate():
-        samples["moderate"] = run_membership(protocol, CHURN_RATES["moderate"])
+        samples["moderate"] = run_membership(protocol, CHURN_RATES["moderate"],
+                                             repeats=repeats)
         return samples["moderate"]
 
     benchmark.pedantic(measure_moderate, rounds=1, iterations=1)
     for level, session_ms in CHURN_RATES.items():
         if level not in samples:
-            samples[level] = run_membership(protocol, session_ms)
+            samples[level] = run_membership(protocol, session_ms, repeats=repeats)
     RECORD["protocols"][protocol] = samples
     for level, sample in samples.items():
         assert sample["control_bytes"] > 0, f"{protocol}/{level}: no maintenance traffic"
@@ -112,18 +135,13 @@ def test_bench_e9_membership_grid(benchmark, protocol):
         f"{protocol}: no staleness window was ever paid"
 
 
-def test_bench_e9_flood_live_throughput(benchmark):
+def test_bench_e9_flood_live_throughput(benchmark, request):
     """Headline regression-guarded sample: membership-on flood
     throughput (gnutella, moderate churn), best of three."""
-    def best_of_three():
-        best = None
-        for _ in range(3):
-            sample = run_membership("gnutella", CHURN_RATES["moderate"])
-            if best is None or sample["wall_s"] < best["wall_s"]:
-                best = sample
-        return best
-
-    sample = benchmark.pedantic(best_of_three, rounds=1, iterations=1)
+    sample = benchmark.pedantic(
+        lambda: run_membership("gnutella", CHURN_RATES["moderate"],
+                               repeats=_timing_repeats(request)),
+        rounds=1, iterations=1)
     RECORD["flood_live"] = sample
     assert sample["queries_per_s"] > 0
 

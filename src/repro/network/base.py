@@ -596,9 +596,25 @@ class PeerNetwork(ABC):
         key = context.extra.get("cache_key")
         if key is None:
             plan = context.plan if context.plan is not None else compile_query(context.query)
-            key = (plan.cache_key, context.max_results)
+            # "cache_scope" carries whatever else bounds the search's
+            # coverage (gnutella's flood TTL): a shallow search's sparse
+            # result set must never answer a deeper repeat.
+            key = (plan.cache_key, context.max_results, context.extra.get("cache_scope"))
             context.extra["cache_key"] = key
         return key
+
+    def _promised_results(self, context: QueryContext) -> set[tuple[str, str]]:
+        """The ``(provider, resource)`` identities already promised to
+        this query — arrived, claimed in flight, or held locally by the
+        origin (the lazy seed).  Every caching-mode generation site
+        filters against this set and registers what it claims, so no
+        identity is ever promised twice."""
+        seen = context.extra.get("seen_results")
+        if seen is None:
+            seen = {(result.provider_id, result.resource_id)
+                    for result in context.results}
+            context.extra["seen_results"] = seen
+        return seen
 
     def _count_offline_providers(self, results) -> int:
         """How many of ``results`` name a currently-unreachable provider
@@ -613,13 +629,15 @@ class PeerNetwork(ABC):
         """Answer the search from a cache co-located with the origin:
         results append directly, no message is sent, and the query
         quiesces with zero latency — the cache's entire point."""
-        seen = {(result.provider_id, result.resource_id) for result in context.results}
+        seen = self._promised_results(context)
         served = []
         for result in entry.results:
             if len(context.results) >= context.max_results:
                 break
-            if (result.provider_id, result.resource_id) in seen:
+            identity = (result.provider_id, result.resource_id)
+            if identity in seen:
                 continue
+            seen.add(identity)
             context.add_result(result)
             served.append(result)
         context.extra["cache_hit"] = True
@@ -636,12 +654,23 @@ class PeerNetwork(ABC):
         provider has since departed as stale), claim the room and send
         the hit with the elapsed forward-path latency.  An empty served
         set sends nothing unless ``reply_when_empty`` — the centralized
-        server always answers, a flood peer stays silent."""
-        served = cached.results[: context.room()]
+        server always answers, a flood peer stays silent.
+
+        Cached results already promised to the origin — its own local
+        answers, an earlier serving, a direct hit claimed in flight —
+        are filtered *before* the room is claimed, and the served ones
+        are registered in turn: claiming room for a result that never
+        lands (or lands twice) would starve other answerers below
+        ``max_results``."""
+        seen = self._promised_results(context)
+        fresh = [result for result in cached.results
+                 if (result.provider_id, result.resource_id) not in seen]
+        served = fresh[: context.room()]
         self.stats.record_cache_hit(stale_results=self._count_offline_providers(served))
         context.extra["remote_cache_served"] = True
         if not served and not reply_when_empty:
             return
+        seen.update((result.provider_id, result.resource_id) for result in served)
         context.claim(len(served))
         metadata_bytes = (cached.metadata_bytes if len(served) == len(cached.results)
                           else sum(result.metadata_bytes() for result in served))
@@ -756,27 +785,11 @@ class PeerNetwork(ABC):
         results never existed."""
         if peer is None or not isinstance(context, QueryContext):
             return
-        if self.result_caching:
-            # A peer serving from its cache can overlap a direct answer
-            # from the same provider; arrival-time dedup keeps the
-            # response a set.  (Never reached with caching off, so the
-            # uncached path stays bit-identical.)
-            seen = context.extra.get("seen_results")
-            if seen is None:
-                # Seeded with the origin's own local answers so a cached
-                # serving cannot re-deliver them.
-                seen = {(result.provider_id, result.resource_id)
-                        for result in context.results}
-                context.extra["seen_results"] = seen
-            for result in message.carried_results:
-                if len(context.results) >= context.max_results:
-                    break
-                identity = (result.provider_id, result.resource_id)
-                if identity in seen:
-                    continue
-                seen.add(identity)
-                context.add_result(result)
-            return
+        # With caching on, duplicates cannot arrive: every generation
+        # site — a cached serving or a direct answerer — filters and
+        # registers against the query's promised-identities set at
+        # claim time (see ``_promised_results``), so each
+        # (provider, resource) is claimed and sent at most once.
         for result in message.carried_results:
             if len(context.results) >= context.max_results:
                 break

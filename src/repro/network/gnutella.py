@@ -244,6 +244,14 @@ class GnutellaProtocol(PeerNetwork):
             query_id=query.query_id or f"flood-{self.next_query_number()}",
         )
         context.visited.add(origin_id)
+        # The flood TTL bounds coverage, so it scopes the cache key: a
+        # ttl=1 search's sparse answer must not satisfy a ttl=6 repeat
+        # (a false negative).  The scope is deliberately one-directional:
+        # a same-ttl entry cached at a *different* vantage point may
+        # serve true results from beyond this origin's flood horizon —
+        # that is classic Gnutella query-hit caching, extra coverage for
+        # free, and never a fabricated answer.
+        context.extra["cache_scope"] = ttl
         if self.result_caching:
             cache = self._peer_cache(origin_id)
             cached = cache.get(self._context_cache_key(context),
@@ -317,8 +325,23 @@ class GnutellaProtocol(PeerNetwork):
                 self.stats.record_cache_miss()
 
         room = context.room()
-        taken = local_matches(peer.repository, context.query, plan=context.plan,
-                              limit=room) if room > 0 else []
+        if room <= 0:
+            taken = []
+        elif self.result_caching:
+            # A cached serving elsewhere in the flood may already have
+            # promised some of this peer's results; those are filtered
+            # *before* the room limit is applied (a promised duplicate
+            # must neither claim room twice nor consume a limit slot a
+            # fresh match needed), and the survivors register in turn.
+            seen = self._promised_results(context)
+            taken = [stored
+                     for stored in local_matches(peer.repository, context.query,
+                                                 plan=context.plan)
+                     if (peer.peer_id, stored.resource_id) not in seen][:room]
+            seen.update((peer.peer_id, stored.resource_id) for stored in taken)
+        else:
+            taken = local_matches(peer.repository, context.query, plan=context.plan,
+                                  limit=room)
         if taken:
             results = []
             metadata_bytes = 0

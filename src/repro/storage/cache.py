@@ -64,9 +64,6 @@ class CacheEntry:
         self.expires_at_ms = expires_at_ms
         self.hits = 0
 
-    def providers(self) -> set[str]:
-        return {result.provider_id for result in self.results}
-
 
 class QueryResultCache:
     """An LRU + TTL + versioned cache of finished search result sets.

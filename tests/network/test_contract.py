@@ -566,6 +566,97 @@ class TestResultCacheContract:
         network.simulator.run(until_ms=network.simulator.now + 1_500.0)
         assert "peer-005" not in self.providers_of(network)  # fresh re-flood
 
+    def test_shallow_flood_never_answers_a_deeper_repeat(self):
+        """The flood TTL scopes the gnutella cache key: a ttl=1 search
+        that found nothing (and negative-cached the miss) must not
+        satisfy a later deep search for the same query."""
+        network = GnutellaProtocol(seed=7, default_ttl=20, degree=2,
+                                   topology_kind="ring", result_caching=True,
+                                   cache_ttl_ms=60_000.0)
+        populate(network)
+        publish_pattern(network, "peer-006", "Observer")  # 6 hops from peer-000
+        shallow = network.search("peer-000", Query.keyword("patterns", "observer"),
+                                 max_results=50, ttl=1)
+        assert not shallow.results  # out of a ttl=1 flood's reach
+        deep = network.search("peer-000", Query.keyword("patterns", "observer"),
+                              max_results=50, ttl=20)
+        assert {result.provider_id for result in deep.results} == {"peer-006"}
+
+    def test_cached_serving_never_claims_room_for_results_the_origin_holds(self):
+        """A path-cache serving filters results the origin already has
+        *before* slicing to the claimable room; otherwise the one slot
+        of room is burned on a duplicate the origin's arrival dedup
+        drops, and a distinct cached result sitting behind it in the
+        entry is never served at all."""
+        network = GnutellaProtocol(seed=7, default_ttl=20, degree=2,
+                                   topology_kind="ring", result_caching=True,
+                                   cache_ttl_ms=60_000.0)
+        populate(network)
+        publish_pattern(network, "peer-001", "Observer")
+        publish_pattern(network, "peer-005", "Observer Twin")
+        query = Query.keyword("patterns", "observer")
+        # peer-000's search caches both answers, peer-001's first (it
+        # arrives from one hop away, peer-005's from four).
+        first = network.search("peer-000", query, max_results=2)
+        assert {result.provider_id for result in first.results} \
+            == {"peer-001", "peer-005"}
+        # peer-005 crashes: its answer now exists only in the cache
+        # (nobody announces the crash, so the entry survives).
+        network.set_online("peer-005", False)
+        # peer-001 repeats the query with room for exactly one result
+        # beyond its own local copy.  The serving at peer-000 must spend
+        # that room on peer-005's result — sliced naively, the entry
+        # leads with peer-001's own duplicate and the repeat comes back
+        # one result short.
+        repeat = network.search("peer-001", query, max_results=2)
+        assert {result.provider_id for result in repeat.results} \
+            == {"peer-001", "peer-005"}
+        assert network.stats.cache_stale_served > 0
+
+    def test_cached_serving_and_direct_answer_never_promise_twice(self):
+        """The in-flight race: one flood branch serves a provider's
+        result from a path cache while another branch reaches the
+        provider itself.  Both claiming the same (provider, resource)
+        would spend ``max_results`` twice on one result and silence the
+        peer holding the other match — caching on must return exactly
+        what caching off does here."""
+        def build(caching):
+            network = GnutellaProtocol(seed=7, default_ttl=20, degree=2,
+                                       topology_kind="ring", result_caching=caching,
+                                       cache_ttl_ms=60_000.0)
+            populate(network, peer_count=8)
+            network.build_overlay()
+            publish_pattern(network, "peer-002", "Observer")
+            query = Query.keyword("patterns", "observer")
+            network.search("peer-007", query, max_results=2)  # warms 007's cache
+            publish_pattern(network, "peer-003", "Observer Twin")
+            return {result.provider_id
+                    for result in network.search("peer-000", query, max_results=2).results}
+
+        assert build(True) == build(False) == {"peer-002", "peer-003"}
+
+    def test_direct_answer_filters_promised_results_before_the_room_limit(self):
+        """A provider whose first match was already promised by a path
+        cache must spend its room slot on the *fresh* match: slicing
+        local matches to room before filtering would hand the slot to
+        the promised duplicate and silently drop the new result."""
+        network = GnutellaProtocol(seed=7, default_ttl=20, degree=2,
+                                   topology_kind="ring", result_caching=True,
+                                   cache_ttl_ms=60_000.0)
+        populate(network, peer_count=8)
+        network.build_overlay()
+        cached_id = publish_pattern(network, "peer-002", "Observer")
+        query = Query.keyword("patterns", "observer")
+        network.search("peer-000", query, max_results=2)  # caches [002: Observer]
+        fresh_id = publish_pattern(network, "peer-002", "Observer Copy")
+        # Precondition for the trap: local_matches returns resource-id
+        # order, and the already-promised match must come first so a
+        # naive limit-then-filter hands it the only room slot.
+        assert cached_id < fresh_id
+        response = network.search("peer-006", query, max_results=2)
+        assert {result.resource_id for result in response.results} \
+            == {cached_id, fresh_id}
+
 
 class TestCompiledPlanContract:
     """Acceptance: the compiled-query fast path is observationally
