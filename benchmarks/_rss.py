@@ -1,0 +1,93 @@
+"""Peak-RSS measurement helpers for the scale benchmarks.
+
+``resource.getrusage`` reports the high-water resident set of the
+calling process (``RUSAGE_SELF``) and of its *reaped* children
+(``RUSAGE_CHILDREN``) — together they cover both execution modes of the
+scale benchmark: sequential in-process runs and process-per-shard
+fan-out through ``multiprocessing``.  On Linux ``ru_maxrss`` is in
+kilobytes (macOS reports bytes; normalized here).
+
+Peak RSS is a high-water mark, not a live gauge: a big run early in a
+process dominates everything after it.  Workloads that need an
+uncontaminated number run in a fresh child via :func:`measure_in_child`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import resource
+import sys
+from typing import Any, Callable
+
+_KILO = 1 if sys.platform == "darwin" else 1024
+
+
+def self_peak_rss_bytes() -> int:
+    """High-water resident set of this process, in bytes.
+
+    On Linux this reads ``VmHWM`` (the current address space's peak)
+    rather than ``getrusage``'s ``ru_maxrss``: at ``execve`` the kernel
+    folds the old address space's peak into the rusage accounting, so a
+    child — even a *spawned* one, which is fork+exec underneath —
+    inherits its parent's resident footprint as an ``ru_maxrss`` floor.
+    A 100 MB pytest parent would drown every child workload smaller
+    than itself.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _KILO
+
+
+def children_peak_rss_bytes() -> int:
+    """High-water resident set over all reaped children, in bytes.
+
+    The kernel tracks the maximum over children individually, not their
+    sum — exactly the "biggest worker" number the per-process memory
+    comparison wants.  Valid only after the children have been waited
+    on (a closed ``multiprocessing.Pool`` qualifies).  Caveat: each
+    child's contribution is its ``ru_maxrss``, which inherits the
+    parent's footprint across ``execve`` (see
+    :func:`self_peak_rss_bytes`) — workers report their own ``VmHWM``
+    through application channels instead when that matters.
+    """
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * _KILO
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set of this process and any reaped child."""
+    return max(self_peak_rss_bytes(), children_peak_rss_bytes())
+
+
+def _child_entry(fn, args, kwargs, pipe) -> None:  # pragma: no cover - subprocess
+    result = fn(*args, **kwargs)
+    pipe.send((result, self_peak_rss_bytes()))
+    pipe.close()
+
+
+def measure_in_child(fn: Callable[..., Any], *args, **kwargs) -> tuple[Any, int]:
+    """Run ``fn(*args, **kwargs)`` in a fresh process; return
+    ``(result, peak_rss_bytes)`` of that process alone.
+
+    The child is *spawned*, not forked: a forked child inherits the
+    parent's resident pages, so its ``ru_maxrss`` floor is whatever the
+    parent (say, an earlier benchmark in the same pytest session) had
+    already touched — which would drown the very difference an A/B
+    memory comparison measures.  A spawned interpreter starts from a
+    clean footprint.  ``fn`` and its result must be picklable, and
+    ``fn`` must be importable by qualified name in a fresh interpreter
+    (a module-level function).
+    """
+    ctx = multiprocessing.get_context(
+        "spawn" if "spawn" in multiprocessing.get_all_start_methods() else "fork")
+    receiver, sender = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=_child_entry, args=(fn, args, kwargs, sender))
+    process.start()
+    sender.close()
+    result, rss = receiver.recv()
+    process.join()
+    return result, rss

@@ -168,14 +168,16 @@ class MaintenanceTimer:
     one list per tick and nothing else.
     """
 
-    __slots__ = ("interval_ms", "callback", "args", "cancelled")
+    __slots__ = ("interval_ms", "callback", "args", "cancelled", "affinity")
 
     def __init__(self, interval_ms: float, callback: Callable[..., None],
-                 args: tuple) -> None:
+                 args: tuple, affinity: Optional[str] = None) -> None:
         self.interval_ms = interval_ms
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: node id whose home shard executes the timer (None = control)
+        self.affinity = affinity
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -216,7 +218,8 @@ class EventKernel:
     # Recurring maintenance timers
     # ------------------------------------------------------------------
     def every(self, interval_ms: float, callback: Callable[..., None], *args,
-              first_delay_ms: Optional[float] = None) -> MaintenanceTimer:
+              first_delay_ms: Optional[float] = None,
+              affinity: Optional[str] = None) -> MaintenanceTimer:
         """Run ``callback(*args)`` every ``interval_ms`` of virtual time.
 
         Each firing is an ordinary event on the shared queue, so
@@ -226,20 +229,33 @@ class EventKernel:
         keeps rescheduling itself until :meth:`MaintenanceTimer.cancel`;
         drive the simulator with ``run(until_ms=...)`` (an unbounded
         ``run()`` would never drain the queue).
+
+        ``affinity`` names the node the timer maintains (a peer's
+        heartbeat, a super-peer's lease sweep): under a sharded
+        simulator the firing then executes on that node's home shard
+        instead of the control queue, keeping per-peer maintenance
+        shard-local.  The single-queue simulator ignores the hint.
         """
         if interval_ms <= 0:
             raise ValueError("the maintenance interval must be positive")
-        timer = MaintenanceTimer(interval_ms, callback, args)
+        timer = MaintenanceTimer(interval_ms, callback, args, affinity)
         self.timers.append(timer)
         first = interval_ms if first_delay_ms is None else first_delay_ms
-        self.simulator.post(first, self._fire_timer, timer)
+        if affinity is None:
+            self.simulator.post(first, self._fire_timer, timer)
+        else:
+            self.simulator.post_keyed(affinity, first, self._fire_timer, timer)
         return timer
 
     def _fire_timer(self, timer: MaintenanceTimer) -> None:
         if timer.cancelled:
             return
         timer.callback(*timer.args)
-        self.simulator.post(timer.interval_ms, self._fire_timer, timer)
+        if timer.affinity is None:
+            self.simulator.post(timer.interval_ms, self._fire_timer, timer)
+        else:
+            self.simulator.post_keyed(timer.affinity, timer.interval_ms,
+                                      self._fire_timer, timer)
 
     def cancel_timers(self) -> None:
         """Stop every recurring timer (ends a live-membership run)."""

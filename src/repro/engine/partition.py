@@ -1,0 +1,98 @@
+"""Deterministic partitioning of a peer population into shards.
+
+The sharded kernel (:mod:`repro.engine.sharded`) needs a stable mapping
+from node ids to shards.  Two assignment strategies are provided:
+
+* :func:`hash_assignment` — a stateless crc32 hash of the node id.  It
+  needs no topology, assigns virtual nodes (the centralized index
+  server) a home shard the same way, and is what the sharded simulator
+  falls back to for ids outside its explicit assignment table.
+* :func:`topology_assignment` — a balanced, locality-aware partition:
+  each shard is grown by breadth-first search from the smallest
+  unassigned peer id until it reaches its capacity share, so neighbour
+  links tend to stay shard-local and cross-shard traffic (the part that
+  pays the synchronization barrier) is minimized.
+
+Both are pure functions of their inputs — no randomness, no dependence
+on ``PYTHONHASHSEED`` — because the cross-shard determinism contract
+requires the partition itself to be reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable
+from zlib import crc32
+
+from repro.network.topology import Topology
+
+Assignment = Dict[str, int]
+
+
+def shard_of(node_id: str, shards: int) -> int:
+    """Stable home shard of ``node_id`` under a hash partition.
+
+    crc32 rather than ``hash()``: the builtin string hash is salted per
+    process (``PYTHONHASHSEED``), which would make the partition — and
+    therefore the event interleaving — unreproducible across runs.
+    """
+    if shards <= 1:
+        return 0
+    return crc32(node_id.encode("utf-8")) % shards
+
+
+def hash_assignment(node_ids: Iterable[str], shards: int) -> Assignment:
+    """Assign every id its crc32 home shard."""
+    return {node_id: shard_of(node_id, shards) for node_id in node_ids}
+
+
+def topology_assignment(topology: Topology, shards: int) -> Assignment:
+    """Balanced BFS partition of ``topology`` into ``shards`` parts.
+
+    Shards are grown one at a time: seed with the smallest unassigned
+    peer id, expand breadth-first over sorted neighbour lists until the
+    shard holds its capacity share (⌈peers / shards⌉), then start the
+    next shard.  Peers left over (disconnected components, capacity
+    spill) go to the lightest shard, lowest index winning ties.  The
+    whole procedure is deterministic.
+    """
+    ids = sorted(topology.adjacency)
+    if shards <= 1 or len(ids) <= 1:
+        return {peer_id: 0 for peer_id in ids}
+    capacity = -(-len(ids) // shards)  # ceil division
+    assignment: Assignment = {}
+    counts = [0] * shards
+    unassigned = set(ids)
+    for shard in range(shards):
+        if not unassigned:
+            break
+        frontier: deque[str] = deque([min(unassigned)])
+        while frontier and counts[shard] < capacity:
+            node = frontier.popleft()
+            if node not in unassigned:
+                continue
+            unassigned.discard(node)
+            assignment[node] = shard
+            counts[shard] += 1
+            for neighbor in sorted(topology.neighbors(node)):
+                if neighbor in unassigned:
+                    frontier.append(neighbor)
+    for node in sorted(unassigned):
+        shard = min(range(shards), key=lambda index: (counts[index], index))
+        assignment[node] = shard
+        counts[shard] += 1
+    return assignment
+
+
+def cross_shard_edges(topology: Topology, assignment: Assignment) -> int:
+    """Number of overlay edges whose endpoints live on different shards."""
+    return sum(1 for a, b in topology.edges()
+               if assignment.get(a, 0) != assignment.get(b, 0))
+
+
+def shard_sizes(assignment: Assignment, shards: int) -> list[int]:
+    """Peer count per shard (observability for tests and benchmarks)."""
+    sizes = [0] * shards
+    for shard in assignment.values():
+        sizes[shard] += 1
+    return sizes

@@ -128,7 +128,7 @@ class PeerNetwork(ABC):
                  maintenance_interval_ms: float = 2_000.0,
                  heartbeat_lease_intervals: int = 2,
                  result_caching: bool = False, cache_capacity: int = 128,
-                 cache_ttl_ms: float = 2_000.0) -> None:
+                 cache_ttl_ms: float = 2_000.0, shards: int = 1) -> None:
         if maintenance_interval_ms <= 0:
             raise ValueError("the maintenance interval must be positive")
         if heartbeat_lease_intervals < 1:
@@ -137,6 +137,18 @@ class PeerNetwork(ABC):
             raise ValueError("the result cache needs room for at least one entry")
         if cache_ttl_ms <= 0:
             raise ValueError("the result cache TTL must be positive")
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        #: event-queue shard count.  ``shards=1`` (the default) keeps
+        #: the single-queue simulator and the existing hot path
+        #: untouched; ``shards>1`` partitions the queue across a
+        #: :class:`~repro.engine.sharded.ShardedSimulator` whose
+        #: conservative time-window barrier reproduces the single-queue
+        #: execution bit-for-bit (pinned by the cross-shard contract).
+        self.shards = shards
+        if simulator is None and shards > 1:
+            from repro.engine.sharded import ShardedSimulator
+            simulator = ShardedSimulator(seed=seed, shards=shards)
         self.simulator = simulator or NetworkSimulator(seed=seed)
         self.stats = stats or NetworkStats()
         self.peers: dict[str, Peer] = {}

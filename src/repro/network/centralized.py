@@ -37,6 +37,7 @@ from repro.network.messages import (
 from repro.network.peers import Peer
 from repro.storage.cache import QueryResultCache
 from repro.storage.index import AttributeIndex
+from repro.storage.interning import intern_view
 from repro.storage.query import Query
 
 INDEX_SERVER_ID = "index-server"
@@ -124,7 +125,7 @@ class CentralizedProtocol(PeerNetwork):
             entry = _CatalogEntry(
                 resource_id=resource_id, community_id=community_id,
                 title=title, metadata=dict(metadata),
-                metadata_view={path: tuple(values) for path, values in metadata.items()},
+                metadata_view=intern_view(metadata),
                 metadata_bytes=metadata_bytes,
             )
             self._catalog[resource_id] = entry

@@ -50,6 +50,7 @@ from repro.network.messages import (
 )
 from repro.network.peers import Peer
 from repro.storage.index import AttributeIndex
+from repro.storage.interning import intern_view
 from repro.storage.query import Query
 
 
@@ -356,7 +357,7 @@ class RendezvousProtocol(PeerNetwork):
             metadata=dict(metadata),
             provider_id=provider_id,
             expires_at_ms=self.simulator.now + self.lease_ms,
-            metadata_view={path: tuple(values) for path, values in metadata.items()},
+            metadata_view=intern_view(metadata),
             metadata_bytes=metadata_bytes,
         )
         state.index.add(community_id, key, metadata)

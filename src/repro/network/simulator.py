@@ -114,6 +114,19 @@ class NetworkSimulator:
         heapq.heappush(self._queue,
                        [self._now + delay_ms, next(self._sequence), callback, args])
 
+    def post_keyed(self, key: str, delay_ms: float,
+                   callback: Callable[..., None], *args) -> None:
+        """:meth:`post` with a shard-affinity hint.
+
+        ``key`` names the node whose home shard should execute the
+        event (recurring per-peer maintenance timers pass their peer
+        id).  The single-queue simulator has no shards, so the hint is
+        ignored here; :class:`repro.engine.sharded.ShardedSimulator`
+        overrides this to queue the event on the key's shard.
+        """
+        heapq.heappush(self._queue,
+                       [self._now + delay_ms, next(self._sequence), callback, args])
+
     def schedule_at(self, time_ms: float, callback: Callable[..., None],
                     *args) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute virtual time ``time_ms``."""

@@ -39,6 +39,7 @@ from repro.network.messages import (
 from repro.network.peers import Peer
 from repro.storage.cache import QueryResultCache
 from repro.storage.index import AttributeIndex
+from repro.storage.interning import intern_view
 from repro.storage.query import Query
 
 
@@ -389,7 +390,7 @@ class SuperPeerProtocol(PeerNetwork):
             # super's catalog version moves, stale cached answers drop.
             state.cache.bump_version()
         replica_key = f"{resource_id}@{peer_id}"
-        view = {path: tuple(values) for path, values in metadata.items()}
+        view = intern_view(metadata)
         state.records[replica_key] = (community_id, title, view, peer_id, metadata_bytes)
         state.index.add(community_id, replica_key, metadata)
 

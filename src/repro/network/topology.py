@@ -35,6 +35,17 @@ class Topology:
     def edge_count(self) -> int:
         return sum(len(neighbors) for neighbors in self.adjacency.values()) // 2
 
+    def edges(self) -> Iterable[tuple[str, str]]:
+        """Every undirected edge once, as ``(a, b)`` with ``a < b``.
+
+        Sorted-order iteration keeps consumers (shard partitioning,
+        cross-shard edge counting) deterministic.
+        """
+        for node in sorted(self.adjacency):
+            for neighbor in sorted(self.adjacency[node]):
+                if node < neighbor:
+                    yield node, neighbor
+
     def add_edge(self, a: str, b: str) -> None:
         if a == b:
             return

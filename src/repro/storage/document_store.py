@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.storage.errors import ObjectNotFoundError
+from repro.storage.interning import intern_view
 from repro.xmlkit.dom import Element
 from repro.xmlkit.serializer import canonical, serialize
 
@@ -53,12 +54,13 @@ class StoredObject:
         Built once and shared: every :class:`SearchResult` generated for
         this object (one per answering peer per query) references the
         same immutable-valued mapping instead of re-copying the
-        metadata dictionary.  Callers must treat it as read-only.
+        metadata dictionary.  The paths and value tuples are interned
+        (:mod:`repro.storage.interning`), so the thousands of copies of
+        one corpus object spread across a large population share one
+        canonical tuple per field.  Callers must treat it as read-only.
         """
         if self._metadata_view is None:
-            self._metadata_view = {
-                path: tuple(values) for path, values in self.metadata.items()
-            }
+            self._metadata_view = intern_view(self.metadata)
         return self._metadata_view
 
     def metadata_wire_bytes(self) -> int:

@@ -7,19 +7,43 @@ engine instead of the entire XML object."  The :class:`AttributeIndex`
 is that search engine: it stores, per community and field path, both
 the exact value and its word tokens, so queries can do exact matching
 (enumerations, identifiers) and keyword matching (descriptions).
+
+Two posting layouts share one public API:
+
+* ``layout="lean"`` (the default) — postings are sorted
+  ``array('I')`` lists of small numeric ids (one number per indexed
+  object, mapped through a per-index id table), intersected by
+  galloping binary search.  A posting entry costs 4 bytes instead of a
+  hashed set slot holding a 40-character resource-id string, which is
+  what lets 10k–100k peer populations hold their indexes in RAM.
+* ``layout="set"`` — the historical per-entry ``set[str]`` layout,
+  kept for the memory A/B benchmark and as the reference semantics.
+
+Both layouts return identical result sets for every lookup — numeric
+ids are resolved back to resource-id strings at the boundary, and
+every consumer sorts result ids before use, so the layout is never
+observable in results, counts or bytes (pinned by the contract suite).
 """
 
 from __future__ import annotations
 
 import re
+import sys
+from array import array
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, Optional
+
+from repro.storage.interning import intern_values
 
 _TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
 
 #: shared empty posting set returned by the non-copying lookups, so a
 #: miss costs no allocation (callers must treat postings as read-only)
 EMPTY_POSTING: frozenset[str] = frozenset()
+
+#: shared empty posting array (the lean layout's miss result)
+EMPTY_IDS = array("I")
 
 
 def tokenize(text: str) -> list[str]:
@@ -33,7 +57,9 @@ class IndexEntry:
 
     The entry carries its normalized form (``value_lower``) and word
     tokens, computed once at ``add`` time, so :meth:`AttributeIndex.remove`
-    never re-tokenizes stored values.
+    never re-tokenizes stored values.  The normalized value and the
+    token tuple are interned: every peer indexing the same corpus value
+    references one canonical string/tuple instead of its own copy.
     """
 
     community_id: str
@@ -45,21 +71,117 @@ class IndexEntry:
 
     def __post_init__(self) -> None:
         if not self.value_lower:
-            object.__setattr__(self, "value_lower", self.value.lower())
+            object.__setattr__(self, "value_lower", sys.intern(self.value.lower()))
         if not self.tokens:
-            object.__setattr__(self, "tokens", tuple(tokenize(self.value)))
+            object.__setattr__(self, "tokens", intern_values(tokenize(self.value)))
+
+
+def _insert_id(bucket: array, numeric_id: int) -> None:
+    """Insert ``numeric_id`` into a sorted posting array (set semantics)."""
+    position = bisect_left(bucket, numeric_id)
+    if position == len(bucket) or bucket[position] != numeric_id:
+        bucket.insert(position, numeric_id)
+
+
+def _discard_id(bucket: array, numeric_id: int) -> None:
+    """Remove ``numeric_id`` from a sorted posting array if present."""
+    position = bisect_left(bucket, numeric_id)
+    if position < len(bucket) and bucket[position] == numeric_id:
+        del bucket[position]
+
+
+def _gallop_intersect(small, large) -> array:
+    """Members of sorted ``small`` also in sorted ``large``.
+
+    Walks the smaller posting and locates each id in the larger one by
+    binary search from a moving lower bound — the classic galloping
+    strategy, O(|small| · log |large|) instead of a linear merge, which
+    is the right trade when selective criteria meet broad ones.
+    """
+    out = array("I")
+    append = out.append
+    low, high = 0, len(large)
+    for numeric_id in small:
+        low = bisect_left(large, numeric_id, low, high)
+        if low == high:
+            break
+        if large[low] == numeric_id:
+            append(numeric_id)
+            low += 1
+    return out
+
+
+def intersect_postings(arrays: list, id_sets: list):
+    """Ids present in every posting; postings may be sorted arrays
+    (exact/keyword buckets, treated read-only) or ``set[int]`` objects
+    (prefix/any-field matches, freshly computed so mutable in place).
+    Returns an iterable of numeric ids (a sorted array or a set)."""
+    if arrays:
+        arrays = sorted(arrays, key=len)
+        accumulated = arrays[0]
+        for other in arrays[1:]:
+            if len(accumulated) <= len(other):
+                accumulated = _gallop_intersect(accumulated, other)
+            else:
+                accumulated = _gallop_intersect(other, accumulated)
+            if not accumulated:
+                return accumulated
+        if not id_sets:
+            return accumulated
+        result = set(accumulated)
+        for id_set in sorted(id_sets, key=len):
+            result &= id_set
+            if not result:
+                break
+        return result
+    id_sets = sorted(id_sets, key=len)
+    result = id_sets[0]
+    for id_set in id_sets[1:]:
+        result &= id_set
+        if not result:
+            break
+    return result
 
 
 class AttributeIndex:
     """Inverted index: (community, field, token/value) → resource ids."""
 
-    def __init__(self) -> None:
-        # community -> field path -> token -> set of resource ids
-        self._tokens: dict[str, dict[str, dict[str, set[str]]]] = {}
-        # community -> field path -> exact value (lowered) -> set of resource ids
-        self._values: dict[str, dict[str, dict[str, set[str]]]] = {}
+    def __init__(self, *, layout: str = "lean") -> None:
+        if layout not in ("lean", "set"):
+            raise ValueError(f"unknown index layout {layout!r}; choose 'lean' or 'set'")
+        self.layout = layout
+        #: True when postings are numeric-id arrays (the default)
+        self.lean = layout == "lean"
+        # community -> field path -> token -> posting (set[str] | array('I'))
+        self._tokens: dict[str, dict[str, dict[str, object]]] = {}
+        # community -> field path -> exact value (lowered) -> posting
+        self._values: dict[str, dict[str, dict[str, object]]] = {}
         # resource id -> its entries (for removal and size accounting)
         self._entries: dict[str, list[IndexEntry]] = {}
+        # lean layout: resource id <-> dense numeric id
+        self._ids: dict[str, int] = {}
+        self._rids: list[str] = []
+        self._free: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Numeric-id table (lean layout)
+    # ------------------------------------------------------------------
+    def _assign_id(self, resource_id: str) -> int:
+        numeric_id = self._ids.get(resource_id)
+        if numeric_id is None:
+            if self._free:
+                numeric_id = self._free.pop()
+                self._rids[numeric_id] = resource_id
+            else:
+                numeric_id = len(self._rids)
+                self._rids.append(resource_id)
+            self._ids[resource_id] = numeric_id
+        return numeric_id
+
+    def resolve_ids(self, numeric_ids) -> set[str]:
+        """Resource-id strings of ``numeric_ids`` (the lean→public boundary)."""
+        rids = self._rids
+        return {rids[numeric_id] for numeric_id in numeric_ids}
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -72,36 +194,68 @@ class AttributeIndex:
         """
         if resource_id in self._entries:
             self.remove(resource_id)
+        community_id = sys.intern(community_id)
+        resource_id = sys.intern(resource_id)
+        lean = self.lean
+        numeric_id = self._assign_id(resource_id) if lean else 0
         entries: list[IndexEntry] = []
         for field_path, values in fields.items():
+            field_path = sys.intern(field_path)
             for value in values:
                 value = value.strip()
                 if not value:
                     continue
+                value = sys.intern(value)
                 entry = IndexEntry(community_id, resource_id, field_path, value)
                 entries.append(entry)
                 field_values = self._values.setdefault(community_id, {}).setdefault(field_path, {})
-                field_values.setdefault(entry.value_lower, set()).add(resource_id)
                 field_tokens = self._tokens.setdefault(community_id, {}).setdefault(field_path, {})
-                for token in entry.tokens:
-                    field_tokens.setdefault(token, set()).add(resource_id)
+                if lean:
+                    bucket = field_values.get(entry.value_lower)
+                    if bucket is None:
+                        field_values[entry.value_lower] = bucket = array("I")
+                    _insert_id(bucket, numeric_id)
+                    for token in entry.tokens:
+                        token_bucket = field_tokens.get(token)
+                        if token_bucket is None:
+                            field_tokens[token] = token_bucket = array("I")
+                        _insert_id(token_bucket, numeric_id)
+                else:
+                    field_values.setdefault(entry.value_lower, set()).add(resource_id)
+                    for token in entry.tokens:
+                        field_tokens.setdefault(token, set()).add(resource_id)
         self._entries[resource_id] = entries
+        if lean and not entries:
+            self._release_id(resource_id, numeric_id)
         return len(entries)
+
+    def _release_id(self, resource_id: str, numeric_id: int) -> None:
+        del self._ids[resource_id]
+        self._rids[numeric_id] = ""
+        self._free.append(numeric_id)
 
     def remove(self, resource_id: str) -> None:
         """Remove every entry of ``resource_id`` (peer un-sharing)."""
-        for entry in self._entries.pop(resource_id, []):
+        entries = self._entries.pop(resource_id, [])
+        numeric_id = self._ids.get(resource_id) if self.lean else None
+        for entry in entries:
             values = self._values.get(entry.community_id, {}).get(entry.field_path, {})
             bucket = values.get(entry.value_lower)
             if bucket is not None:
-                bucket.discard(resource_id)
+                if numeric_id is None:
+                    bucket.discard(resource_id)
+                else:
+                    _discard_id(bucket, numeric_id)
                 if not bucket:
                     values.pop(entry.value_lower, None)
             tokens = self._tokens.get(entry.community_id, {}).get(entry.field_path, {})
             for token in entry.tokens:
                 token_bucket = tokens.get(token)
                 if token_bucket is not None:
-                    token_bucket.discard(resource_id)
+                    if numeric_id is None:
+                        token_bucket.discard(resource_id)
+                    else:
+                        _discard_id(token_bucket, numeric_id)
                     if not token_bucket:
                         tokens.pop(token, None)
             # Prune emptied field/community levels so an add/remove
@@ -113,29 +267,41 @@ class AttributeIndex:
                     del community[entry.field_path]
                     if not community:
                         del table[entry.community_id]
+        if numeric_id is not None and entries:
+            self._release_id(resource_id, numeric_id)
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def exact(self, community_id: str, field_path: str, value: str) -> set[str]:
         """Resource ids whose field equals ``value`` (case-insensitive)."""
-        return set(self.exact_ref(community_id, field_path, value.strip().lower()))
+        bucket = self.exact_ref(community_id, field_path, value.strip().lower())
+        if self.lean:
+            return self.resolve_ids(bucket)
+        return set(bucket)
 
     def exact_ref(self, community_id: str, field_path: str, normalized_value: str):
-        """Non-copying variant of :meth:`exact`: the *live* posting set.
+        """Non-copying variant of :meth:`exact`: the *live* posting.
 
         ``normalized_value`` must already be stripped and lowered (a
-        compiled plan does this once).  The returned set is internal
-        state — callers must not mutate it.
+        compiled plan does this once).  The returned posting — a
+        ``set[str]`` in the set layout, a sorted ``array('I')`` of
+        numeric ids in the lean layout — is internal state; callers
+        must not mutate it.
         """
-        return self._values.get(community_id, {}).get(field_path, {}).get(
-            normalized_value, EMPTY_POSTING)
+        bucket = self._values.get(community_id, {}).get(field_path, {}).get(
+            normalized_value)
+        if bucket is None:
+            return EMPTY_IDS if self.lean else EMPTY_POSTING
+        return bucket
 
     def keyword(self, community_id: str, field_path: str, text: str) -> set[str]:
         """Resource ids whose field contains every word of ``text``."""
         postings = self.keyword_postings(community_id, field_path, tokenize(text))
         if postings is None:
             return set()
+        if self.lean:
+            return self.resolve_ids(intersect_postings(postings, []))
         if len(postings) == 1:
             return set(postings[0])
         postings.sort(key=len)
@@ -148,9 +314,10 @@ class AttributeIndex:
 
     def keyword_postings(self, community_id: str, field_path: str,
                          tokens) -> Optional[list]:
-        """Non-copying variant of :meth:`keyword`: one live posting set
-        per token, or ``None`` when no match is possible (no tokens, or
-        a token with no postings).  Callers must not mutate the sets.
+        """Non-copying variant of :meth:`keyword`: one live posting per
+        token (``set[str]`` or sorted ``array('I')`` depending on the
+        layout), or ``None`` when no match is possible (no tokens, or a
+        token with no postings).  Callers must not mutate the postings.
         """
         if not tokens:
             return None
@@ -167,10 +334,24 @@ class AttributeIndex:
 
     def prefix(self, community_id: str, field_path: str, stem: str) -> set[str]:
         """Resource ids whose field has a token starting with ``stem``."""
+        if self.lean:
+            return self.resolve_ids(self.prefix_ids(community_id, field_path, stem))
         stem = stem.strip().lower()
         if not stem:
             return set()
         matches: set[str] = set()
+        for token, bucket in self._tokens.get(community_id, {}).get(field_path, {}).items():
+            if token.startswith(stem):
+                matches.update(bucket)
+        return matches
+
+    def prefix_ids(self, community_id: str, field_path: str, stem: str) -> set[int]:
+        """Lean-layout :meth:`prefix`: matching *numeric* ids, as a
+        fresh set the caller may mutate (plans intersect in place)."""
+        stem = stem.strip().lower()
+        matches: set[int] = set()
+        if not stem:
+            return matches
         for token, bucket in self._tokens.get(community_id, {}).get(field_path, {}).items():
             if token.startswith(stem):
                 matches.update(bucket)
@@ -185,6 +366,8 @@ class AttributeIndex:
         tokenized once by the caller instead of once per indexed field.
         Returns a fresh set (the union is computed, never aliased).
         """
+        if self.lean:
+            return self.resolve_ids(self.any_field_ids(community_id, tokens))
         matches: set[str] = set()
         if not tokens:
             return matches
@@ -201,6 +384,25 @@ class AttributeIndex:
                     break
             if current:
                 matches.update(current)
+        return matches
+
+    def any_field_ids(self, community_id: str, tokens) -> set[int]:
+        """Lean-layout :meth:`any_field_keyword_tokens`: per-field
+        galloping intersections, unioned as a fresh set of numeric ids
+        the caller may mutate."""
+        matches: set[int] = set()
+        if not tokens:
+            return matches
+        for field_tokens in self._tokens.get(community_id, {}).values():
+            postings = []
+            for token in tokens:
+                bucket = field_tokens.get(token)
+                if not bucket:
+                    postings = None
+                    break
+                postings.append(bucket)
+            if postings:
+                matches.update(intersect_postings(postings, []))
         return matches
 
     def fields_for(self, community_id: str) -> list[str]:
@@ -227,6 +429,26 @@ class AttributeIndex:
         for entries in self._entries.values():
             for entry in entries:
                 total += len(entry.field_path) + len(entry.value)
+        return total
+
+    def posting_bytes(self) -> int:
+        """Actual memory held by the posting containers themselves.
+
+        This is the number the lean layout shrinks: a numeric-id array
+        slot costs ``itemsize`` (4) bytes, a set layout pays the hashed
+        set plus a reference per member.  Resource-id strings and the
+        dictionary levels above the postings are shared by both layouts
+        and excluded.
+        """
+        total = 0
+        for table in (self._values, self._tokens):
+            for community in table.values():
+                for field_postings in community.values():
+                    for bucket in field_postings.values():
+                        if isinstance(bucket, array):
+                            total += sys.getsizeof(bucket)
+                        else:
+                            total += sys.getsizeof(bucket) + 8 * len(bucket)
         return total
 
     def entries_for(self, resource_id: str) -> Iterable[IndexEntry]:

@@ -1,0 +1,57 @@
+"""Shared-structure interning for metadata carried by many copies.
+
+At population scale the same searchable metadata travels everywhere: a
+corpus object published by one peer is advertised to super-peers,
+catalogued by the index server, leased to rendezvous points and carried
+inside every :class:`~repro.network.base.SearchResult` it produces.
+Each copy used to materialize its own ``{path: (values...)}`` mapping
+with its own value tuples — at 10k peers that is tens of thousands of
+identical tuples holding identical strings.
+
+This module provides one canonical copy per distinct content:
+
+* :func:`intern_values` returns a canonical tuple of interned strings
+  for a value sequence — two objects sharing a field value share one
+  tuple object and one string object;
+* :func:`intern_view` builds a metadata view whose paths, tuples and
+  strings are all canonical.
+
+The table is keyed by content, so growth is bounded by the number of
+*distinct* field values in play (the corpus vocabulary), not by the
+number of peers or copies.  Interning never changes equality — only
+identity — so indexes, caches and wire-size accounting behave
+bit-identically with or without it (pinned by the contract suite).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Mapping
+
+_TUPLES: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+
+def intern_values(values: Iterable[str]) -> tuple[str, ...]:
+    """Canonical tuple of interned strings equal to ``tuple(values)``."""
+    key = tuple(values)
+    cached = _TUPLES.get(key)
+    if cached is None:
+        cached = tuple(sys.intern(value) for value in key)
+        _TUPLES[cached] = cached
+    return cached
+
+
+def intern_view(metadata: Mapping[str, Iterable[str]]) -> dict[str, tuple[str, ...]]:
+    """A metadata view (path → value tuple) built from canonical parts."""
+    return {sys.intern(path): intern_values(values)
+            for path, values in metadata.items()}
+
+
+def interned_tuples() -> int:
+    """Size of the tuple table (observability for tests/benchmarks)."""
+    return len(_TUPLES)
+
+
+def clear() -> None:
+    """Drop the table (test isolation; canonical copies re-form lazily)."""
+    _TUPLES.clear()

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.storage.index import AttributeIndex, tokenize
+from repro.storage.index import AttributeIndex, intersect_postings, tokenize
 from repro.storage.query import Criterion, Operator, Query
 
 #: evaluation order: cheap hash probes first, token-table scans last
@@ -160,6 +160,8 @@ class CompiledQuery:
         """
         if self.is_empty:
             return set()
+        if index.lean:
+            return self._evaluate_lean(index)
         community_id = self.community_id
         postings: list = []
         for criterion in self.criteria:
@@ -195,6 +197,44 @@ class CompiledQuery:
             if not result:
                 break
         return set(result) if not isinstance(result, set) else result
+
+    def _evaluate_lean(self, index: AttributeIndex) -> set[str]:
+        """Lean-layout evaluation: numeric-id postings all the way down.
+
+        Exact and keyword criteria contribute live sorted ``array('I')``
+        postings (no copies), prefix and any-field criteria contribute
+        fresh ``set[int]`` matches; the postings intersect smallest-first
+        by galloping binary search and only the surviving ids are
+        resolved back to resource-id strings.
+        """
+        community_id = self.community_id
+        arrays: list = []
+        id_sets: list = []
+        for criterion in self.criteria:
+            if criterion.any_field:
+                matched = index.any_field_ids(community_id, criterion.tokens)
+                if not matched:
+                    return set()
+                id_sets.append(matched)
+            elif criterion.operator is Operator.EQUALS:
+                bucket = index.exact_ref(community_id, criterion.field_path,
+                                         criterion.norm_value)
+                if not bucket:
+                    return set()
+                arrays.append(bucket)
+            elif criterion.operator is Operator.PREFIX:
+                matched = index.prefix_ids(community_id, criterion.field_path,
+                                           criterion.norm_value)
+                if not matched:
+                    return set()
+                id_sets.append(matched)
+            else:  # CONTAINS
+                buckets = index.keyword_postings(community_id, criterion.field_path,
+                                                 criterion.tokens)
+                if buckets is None:
+                    return set()
+                arrays.extend(buckets)
+        return index.resolve_ids(intersect_postings(arrays, id_sets))
 
     # ------------------------------------------------------------------
     # Evaluation against a plain metadata dictionary

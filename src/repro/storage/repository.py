@@ -34,10 +34,13 @@ class PublishResult:
 class LocalRepository:
     """Store, index and attachments of one peer."""
 
-    def __init__(self, owner: str = "") -> None:
+    def __init__(self, owner: str = "", *, index_layout: str = "lean") -> None:
         self.owner = owner
         self.documents = DocumentStore()
-        self.index = AttributeIndex()
+        #: lean (numeric-id array postings) by default; the set layout
+        #: remains available for the memory A/B benchmark
+        self.index_layout = index_layout
+        self.index = AttributeIndex(layout=index_layout)
         self.attachments = AttachmentStore()
 
     # ------------------------------------------------------------------
@@ -85,7 +88,7 @@ class LocalRepository:
         use this to measure cold-index query phases: the index is
         rebuilt from scratch immediately before the workload runs.
         """
-        self.index = AttributeIndex()
+        self.index = AttributeIndex(layout=self.index_layout)
         indexed = 0
         for stored in self.documents:
             indexed += self.index.add(stored.community_id, stored.resource_id,

@@ -103,8 +103,22 @@ class ScenarioConfig:
     #: verbatim (the repeat structure result caching feeds on); 0 keeps
     #: the historical workloads bit-identical
     query_repeat_alpha: float = 0.0
+    #: event-queue shards.  1 (the default) keeps the single-queue
+    #: simulator; N>1 runs the scenario on a ShardedSimulator whose
+    #: windowed barrier is pinned bit-identical to shards=1 by the
+    #: cross-shard determinism contract
+    shards: int = 1
+    #: convenience alias for big runs: when set, overrides ``peers``
+    #: (the scale benchmark and examples speak in populations)
+    population: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.population is not None:
+            if self.population < 2:
+                raise ValueError("a population needs at least two peers")
+            self.peers = self.population
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}; choose from {sorted(PROTOCOLS)}")
         if self.community not in ALL_COMMUNITIES:
@@ -270,7 +284,8 @@ def build_network(config: ScenarioConfig) -> PeerNetwork:
                   maintenance_interval_ms=config.maintenance_interval_ms,
                   result_caching=config.result_caching,
                   cache_capacity=config.cache_capacity,
-                  cache_ttl_ms=config.cache_ttl_ms)
+                  cache_ttl_ms=config.cache_ttl_ms,
+                  shards=config.shards)
     if config.protocol == "gnutella":
         return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, **common)
     if config.protocol == "super-peer":

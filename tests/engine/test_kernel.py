@@ -394,3 +394,35 @@ class TestRetrieveOnKernel:
         network.simulator.schedule(0.5, lambda: network.set_online("peer-05", False))
         network.kernel.run_until_complete([context])
         assert context.done and context.stored is None
+
+
+class TestTimerAffinity:
+    """Recurring timers carry an optional shard-affinity hint."""
+
+    def test_every_without_affinity_behaves_as_before(self):
+        kernel, simulator, _, _ = make_kernel()
+        fired = []
+        kernel.every(10.0, lambda: fired.append(simulator.now))
+        simulator.run(until_ms=35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_every_with_affinity_fires_identically_on_single_queue(self):
+        # The hint routes execution under a sharded simulator; on the
+        # single-queue simulator it must change nothing observable.
+        kernel, simulator, _, _ = make_kernel()
+        fired = []
+        timer = kernel.every(10.0, lambda: fired.append(simulator.now), affinity="a")
+        assert timer.affinity == "a"
+        simulator.run(until_ms=35.0)
+        assert fired == [10.0, 20.0, 30.0]
+        timer.cancel()
+        simulator.run(until_ms=60.0)
+        assert len(fired) == 3
+
+    def test_affinity_timer_first_delay_override(self):
+        kernel, simulator, _, _ = make_kernel()
+        fired = []
+        kernel.every(10.0, lambda: fired.append(simulator.now),
+                     first_delay_ms=3.0, affinity="b")
+        simulator.run(until_ms=25.0)
+        assert fired == [3.0, 13.0, 23.0]

@@ -1,0 +1,267 @@
+"""Unit tests for the sharded simulator, its barrier and the partitioner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.kernel import EventKernel, ExchangeContext
+from repro.engine.partition import (
+    cross_shard_edges,
+    hash_assignment,
+    shard_of,
+    shard_sizes,
+    topology_assignment,
+)
+from repro.engine.sharded import ShardedSimulator
+from repro.network.messages import Message, MessageType
+from repro.network.peers import Peer
+from repro.network.simulator import LatencyModel, NetworkSimulator
+from repro.network.stats import NetworkStats
+from repro.network.topology import Topology, build_topology
+
+
+def make_sharded_kernel(*, shards=2, base_ms=20.0, jitter_ms=10.0, seed=1,
+                        peer_ids=("a", "b", "c", "d")):
+    """Kernel on a sharded simulator with peers split across shards."""
+    assignment = {peer_id: index % shards for index, peer_id in enumerate(peer_ids)}
+    simulator = ShardedSimulator(
+        latency=LatencyModel(base_ms=base_ms, jitter_ms=jitter_ms, seed=seed),
+        seed=seed, shards=shards, assignment=assignment)
+    peers = {peer_id: Peer(peer_id=peer_id) for peer_id in peer_ids}
+    kernel = EventKernel(simulator=simulator, peers=peers, stats=NetworkStats())
+    return kernel, simulator, peers
+
+
+def ping(sender, recipient):
+    return Message(type=MessageType.PING, sender=sender, recipient=recipient)
+
+
+class TestPartition:
+    def test_hash_assignment_is_stable_and_in_range(self):
+        ids = [f"peer-{index:04d}" for index in range(100)]
+        assignment = hash_assignment(ids, 4)
+        assert assignment == hash_assignment(ids, 4)
+        assert set(assignment.values()) <= {0, 1, 2, 3}
+        assert all(shard_of(peer_id, 4) == shard for peer_id, shard in assignment.items())
+
+    def test_single_shard_maps_everything_to_zero(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_topology_assignment_is_balanced_and_deterministic(self):
+        ids = [f"peer-{index:04d}" for index in range(40)]
+        topology = build_topology(ids, kind="power-law", degree=4, seed=3)
+        assignment = topology_assignment(topology, 4)
+        assert assignment == topology_assignment(topology, 4)
+        sizes = shard_sizes(assignment, 4)
+        assert sum(sizes) == 40
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_topology_assignment_cuts_fewer_edges_than_hashing(self):
+        # Locality is the point of the BFS growth: on a ring the
+        # partition should cut only the few edges between segments.
+        ids = [f"peer-{index:04d}" for index in range(64)]
+        topology = build_topology(ids, kind="ring", seed=0)
+        bfs_cut = cross_shard_edges(topology, topology_assignment(topology, 4))
+        hash_cut = cross_shard_edges(topology, hash_assignment(ids, 4))
+        assert bfs_cut <= 8 < hash_cut
+
+    def test_disconnected_leftovers_go_to_lightest_shard(self):
+        topology = Topology({"a": {"b"}, "b": {"a"}, "x": set(), "y": set()})
+        assignment = topology_assignment(topology, 2)
+        assert sorted(shard_sizes(assignment, 2)) == [2, 2]
+
+    def test_edges_iterates_each_edge_once_sorted(self):
+        topology = Topology()
+        topology.add_edge("b", "a")
+        topology.add_edge("b", "c")
+        assert list(topology.edges()) == [("a", "b"), ("b", "c")]
+
+
+class TestShardedRouting:
+    def test_message_events_run_on_recipient_shard(self):
+        kernel, simulator, _ = make_sharded_kernel()
+        seen = []
+        kernel.register(MessageType.PING, lambda peer, msg, ctx: seen.append(msg.recipient))
+        kernel.send(ping("a", "c"))  # both shard 0
+        kernel.send(ping("a", "b"))  # cross 0 -> 1
+        simulator.run()
+        assert sorted(seen) == ["b", "c"]
+        assert simulator.events_per_shard[0] >= 1
+        assert simulator.events_per_shard[1] >= 1
+
+    def test_cross_shard_sends_from_handlers_park_in_outbox(self):
+        kernel, simulator, _ = make_sharded_kernel()
+
+        def relay(peer, message, context):
+            if message.recipient == "a":
+                kernel.send(ping("a", "b"))  # shard 0 -> shard 1, mid-event
+
+        kernel.register(MessageType.PING, relay)
+        kernel.send(ping("b", "a"))
+        simulator.run()
+        assert simulator.cross_shard_messages >= 1
+        assert simulator.windows >= 2
+        assert simulator.pending_events() == 0
+
+    def test_control_events_stay_on_control_queue(self):
+        kernel, simulator, _ = make_sharded_kernel()
+        fired = []
+        simulator.schedule(5.0, fired.append, "control")
+        simulator.run()
+        assert fired == ["control"]
+        assert simulator.control_events == 1
+        assert simulator.events_per_shard == [0, 0]
+
+    def test_post_keyed_routes_to_key_shard(self):
+        kernel, simulator, _ = make_sharded_kernel()
+        fired = []
+        simulator.post_keyed("b", 5.0, fired.append, "on-b-shard")
+        simulator.run()
+        assert fired == ["on-b-shard"]
+        assert simulator.events_per_shard[simulator.shard_of_node("b")] == 1
+
+    def test_single_queue_simulator_ignores_affinity_hint(self):
+        simulator = NetworkSimulator(seed=1)
+        fired = []
+        simulator.post_keyed("anything", 5.0, fired.append, "x")
+        simulator.run()
+        assert fired == ["x"]
+
+    def test_assign_pins_new_node_and_rejects_bad_shard(self):
+        _, simulator, _ = make_sharded_kernel()
+        simulator.assign("late-joiner", 1)
+        assert simulator.shard_of_node("late-joiner") == 1
+        with pytest.raises(ValueError):
+            simulator.assign("x", 7)
+
+
+class TestConservativeBarrier:
+    def test_execution_order_matches_single_queue_exactly(self):
+        """The determinism argument, pinned at the event level: the
+        windowed merge pops the same (time, sequence) order the
+        single-queue simulator would, cascades included."""
+
+        def cascade(make_kernel):
+            kernel, simulator, _ = make_kernel()
+            trace = []
+
+            def handler(peer, message, context):
+                trace.append((round(simulator.now, 9), message.sender,
+                              message.recipient))
+                if message.hops < 3:
+                    target = {"a": "b", "b": "c", "c": "d", "d": "a"}[message.recipient]
+                    forwarded = message.forwarded(message.recipient, target)
+                    forwarded.type = MessageType.PING
+                    kernel.send(forwarded)
+
+            kernel.register(MessageType.PING, handler)
+            for origin, target in (("a", "b"), ("c", "d"), ("b", "a")):
+                kernel.send(ping(origin, target))
+            simulator.run()
+            return trace
+
+        def sharded():
+            return make_sharded_kernel(shards=2)
+
+        def plain():
+            simulator = NetworkSimulator(
+                latency=LatencyModel(base_ms=20.0, jitter_ms=10.0, seed=1), seed=1)
+            peers = {peer_id: Peer(peer_id=peer_id) for peer_id in "abcd"}
+            return EventKernel(simulator=simulator, peers=peers,
+                               stats=NetworkStats()), simulator, peers
+
+        assert cascade(sharded) == cascade(plain)
+
+    def test_recurring_timer_fires_exactly_at_window_boundaries(self):
+        # Lookahead is 20ms, so windows close at multiples of the base
+        # latency; a timer whose interval equals the lookahead fires
+        # exactly on every boundary and must neither be skipped nor run
+        # twice.
+        kernel, simulator, _ = make_sharded_kernel(base_ms=20.0, jitter_ms=0.0)
+        fired = []
+        timer = kernel.every(20.0, lambda: fired.append(simulator.now), affinity="b")
+        simulator.run(until_ms=100.0)
+        assert fired == [20.0, 40.0, 60.0, 80.0, 100.0]
+        timer.cancel()
+        simulator.run(until_ms=200.0)
+        assert len(fired) == 5
+
+    def test_schedule_at_clamps_to_now_on_sharded_clock(self):
+        _, simulator, _ = make_sharded_kernel()
+        simulator.advance(50.0)
+        fired = []
+        handle = simulator.schedule_at(10.0, fired.append, "past")
+        assert handle.time == 50.0  # clamped to now, not scheduled into the past
+        simulator.run()
+        assert fired == ["past"]
+
+    def test_lookahead_violation_is_detected_not_silent(self):
+        kernel, simulator, _ = make_sharded_kernel(base_ms=20.0, jitter_ms=0.0)
+
+        def rogue(peer, message, context):
+            if message.recipient == "a":
+                # A protocol bug: cross-shard reply cheaper than one link.
+                kernel.send(ping("a", "b"), latency_ms=1.0)
+
+        kernel.register(MessageType.PING, rogue)
+        kernel.send(ping("b", "a"))
+        with pytest.raises(RuntimeError, match="lookahead violated"):
+            simulator.run()
+
+    def test_degenerate_latency_model_falls_back_to_single_queue(self):
+        kernel, simulator, _ = make_sharded_kernel(base_ms=0.0, jitter_ms=5.0)
+        assert simulator.lookahead_ms == 0.0
+        seen = []
+        kernel.register(MessageType.PING, lambda peer, msg, ctx: seen.append(msg.recipient))
+        kernel.send(ping("a", "b"))
+        simulator.run()
+        assert seen == ["b"]
+        assert simulator.windows == 0  # no windowed execution happened
+
+    def test_run_until_ms_advances_clock_like_single_queue(self):
+        _, sharded_sim, _ = make_sharded_kernel()
+        plain_sim = NetworkSimulator(seed=1)
+        for simulator in (sharded_sim, plain_sim):
+            simulator.run(until_ms=123.0)
+            assert simulator.now == 123.0
+
+
+class TestCrossShardInFlight:
+    def test_departed_destination_drops_in_flight_cross_shard_message(self):
+        # The delivery crosses a barrier while its destination departs:
+        # the message must be dropped on arrival (no handler call) and
+        # still decrement the exchange's pending count to completion.
+        kernel, simulator, peers = make_sharded_kernel()
+        handled = []
+        kernel.register(MessageType.PING, lambda peer, msg, ctx: handled.append(msg))
+        context = ExchangeContext()
+        kernel.send(ping("a", "b"), context=context)     # cross-shard, in flight
+        def depart():
+            peers["b"].online = False
+
+        simulator.schedule(1.0, depart)                  # departs before delivery
+        kernel.run_until_complete([context])
+        assert handled == []
+        assert context.done and context.pending == 0 and not context.starved
+
+    def test_cancelled_entry_parked_in_outbox_never_runs(self):
+        kernel, simulator, _ = make_sharded_kernel()
+        fired = []
+        handles = []
+
+        def relay(peer, message, context):
+            if message.recipient == "a":
+                # Cross-shard schedule from inside an event: parks in the
+                # outbox until the barrier.
+                handles.append(simulator.schedule(
+                    25.0, fired.append, ping("a", "b"), None))
+
+        kernel.register(MessageType.PING, relay)
+        kernel.send(ping("b", "a"))
+        # Run just the first delivery, then cancel the parked entry.
+        simulator.step()
+        assert handles and simulator.pending_events() == 1
+        handles[0].cancel()
+        assert simulator.pending_events() == 0
+        simulator.run()
+        assert fired == []

@@ -136,3 +136,99 @@ class TestMaintenance:
         index.remove("g1")
         index.remove("r9")
         assert (index._tokens, index._values, index._entries) == snapshot
+
+
+class TestLeanLayout:
+    """The lean (numeric-id array) layout is observably identical to the
+    set layout through the public API, and measurably smaller."""
+
+    CORPUS = {
+        f"r{number}": {
+            "name": [f"Pattern {number % 7}"],
+            "intent": [f"decouple thing {number % 5} from observer {number % 3}"],
+            "category": ["behavioral" if number % 2 else "creational"],
+        }
+        for number in range(50)
+    }
+
+    def build(self, layout):
+        index = AttributeIndex(layout=layout)
+        for resource_id, fields in self.CORPUS.items():
+            index.add("patterns", resource_id, fields)
+        return index
+
+    def test_unknown_layout_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            AttributeIndex(layout="bitset")
+
+    def test_every_lookup_matches_set_layout(self):
+        lean, sets = self.build("lean"), self.build("set")
+        probes = [
+            ("exact", ("patterns", "category", "Behavioral")),
+            ("exact", ("patterns", "name", "pattern 3")),
+            ("keyword", ("patterns", "intent", "decouple observer")),
+            ("keyword", ("patterns", "intent", "thing 4")),
+            ("keyword", ("patterns", "intent", "nonexistent")),
+            ("prefix", ("patterns", "intent", "obs")),
+            ("prefix", ("patterns", "name", "")),
+            ("any_field_keyword", ("patterns", "behavioral decouple")),
+            ("any_field_keyword", ("patterns", "")),
+        ]
+        for method, args in probes:
+            assert getattr(lean, method)(*args) == getattr(sets, method)(*args), (method, args)
+        assert lean.values_for("patterns", "name") == sets.values_for("patterns", "name")
+        assert lean.fields_for("patterns") == sets.fields_for("patterns")
+        assert lean.entry_count() == sets.entry_count()
+
+    def test_remove_and_readd_round_trip(self):
+        for layout in ("lean", "set"):
+            index = self.build(layout)
+            before = index.exact("patterns", "category", "behavioral")
+            index.remove("r3")
+            assert "r3" not in index.exact("patterns", "category", "behavioral")
+            index.add("patterns", "r3", self.CORPUS["r3"])
+            assert index.exact("patterns", "category", "behavioral") == before
+
+    def test_remove_all_empties_index_and_recycles_ids(self):
+        index = self.build("lean")
+        for resource_id in self.CORPUS:
+            index.remove(resource_id)
+        assert index.entry_count() == 0
+        assert index._values == {} and index._tokens == {}
+        assert not index._ids
+        # A fresh add after total removal reuses recycled numeric ids
+        # rather than growing the id table forever under churn.
+        table_size = len(index._rids)
+        index.add("patterns", "r0", self.CORPUS["r0"])
+        assert len(index._rids) == table_size
+
+    def test_compiled_plan_evaluates_identically_on_both_layouts(self):
+        from repro.storage.plan import compile_query
+        from repro.storage.query import Operator, Query
+        lean, sets = self.build("lean"), self.build("set")
+        queries = [
+            Query("patterns").where("category", "behavioral", Operator.EQUALS),
+            Query("patterns").where("intent", "decouple observer"),
+            Query("patterns").where("category", "behavioral", Operator.EQUALS)
+                             .where("intent", "thing 2"),
+            Query("patterns").where("intent", "obs", Operator.PREFIX),
+            Query.keyword("patterns", "decouple 4"),
+        ]
+        for query in queries:
+            plan = compile_query(query)
+            assert plan.evaluate(lean) == plan.evaluate(sets) == query.evaluate(sets) \
+                == query.evaluate(lean), query.describe()
+
+    def test_lean_postings_are_measurably_smaller(self):
+        lean, sets = self.build("lean"), self.build("set")
+        assert lean.posting_bytes() < sets.posting_bytes() / 2
+
+    def test_interned_views_share_structure(self):
+        from repro.storage.interning import intern_values, intern_view
+        one = intern_view({"name": ["Observer"], "tags": ["a", "b"]})
+        two = intern_view({"name": ["Observer"], "tags": ["a", "b"]})
+        assert one == two
+        assert one["name"] is two["name"]
+        assert one["tags"] is two["tags"]
+        assert intern_values(["x", "y"]) is intern_values(["x", "y"])
