@@ -156,7 +156,11 @@ class RendezvousProtocol(PeerNetwork):
             state = self._states.pop(peer.peer_id, None)
             peer.is_super_peer = False
             if state is not None:
-                for edge_id in state.edges:
+                # Sorted for reproducibility hygiene: today each edge's
+                # new rendezvous is a crc32 hash of its own id, so the
+                # outcome is order-independent, but a load-aware
+                # _attach_edge would silently inherit set-salt order.
+                for edge_id in sorted(state.edges):
                     edge = self.peers.get(edge_id)
                     if edge is not None and edge.online:
                         self._attach_edge(edge)

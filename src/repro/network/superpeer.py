@@ -149,7 +149,12 @@ class SuperPeerProtocol(PeerNetwork):
     # ------------------------------------------------------------------
     def _on_peer_departed(self, peer: Peer) -> None:
         if peer.is_super_peer:
-            orphans = list(self._states.get(peer.peer_id, _SuperPeerState()).leaves)
+            # Sorted, not raw set order: orphans re-attach least-loaded
+            # first-come, so the iteration order decides the new
+            # leaf->super map.  Raw set[str] order varies with the
+            # per-process string-hash salt (PYTHONHASHSEED), which made
+            # super-peer churn runs irreproducible across processes.
+            orphans = sorted(self._states.get(peer.peer_id, _SuperPeerState()).leaves)
             self._states.pop(peer.peer_id, None)
             peer.is_super_peer = False
             for orphan_id in orphans:
