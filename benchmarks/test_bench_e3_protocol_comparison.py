@@ -23,7 +23,7 @@ def run_protocol(protocol: str):
     counts = scenario.run_queries(max_results=200)
     stats = scenario.network.stats
     recall_samples = []
-    for found, expected in zip(counts, scenario.workload.expected_matches):
+    for found, expected in zip(counts, scenario.workload.expected_matches, strict=True):
         if expected:
             recall_samples.append(min(found, expected) / expected)
     recall = sum(recall_samples) / len(recall_samples) if recall_samples else 0.0

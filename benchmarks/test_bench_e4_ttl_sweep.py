@@ -23,7 +23,8 @@ def run_ttl(ttl: int):
     counts = scenario.run_queries(max_results=300)
     stats = scenario.network.stats
     recall_samples = [min(found, expected) / expected
-                      for found, expected in zip(counts, scenario.workload.expected_matches)
+                      for found, expected in zip(counts, scenario.workload.expected_matches,
+                                                 strict=True)
                       if expected]
     return {
         "recall": sum(recall_samples) / len(recall_samples) if recall_samples else 0.0,

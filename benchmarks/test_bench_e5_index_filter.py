@@ -71,7 +71,7 @@ def test_bench_e5_report(benchmark, corpus, report):
     rows = []
     answerable = {}
     sizes = {}
-    for policy, fields in POLICIES.items():
+    for policy in POLICIES:
         index = indexes[policy]
         sizes[policy] = index.size_bytes()
         answered = {name for name, query in QUERY_CLASSES.items() if query.evaluate(index)}

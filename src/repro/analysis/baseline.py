@@ -1,0 +1,92 @@
+"""The detlint baseline: accepted findings, checked in and reasoned.
+
+A baseline entry grandfathers one existing finding so the gate can be
+strict for new code without forcing a rewrite of every historical
+site.  Entries are explicit — path, rule, the offending source line,
+and a mandatory reason — so an accepted risk is a documented decision
+a reviewer can see, not an invisible default.
+
+Format (tab-separated, ``#`` comments and blank lines ignored)::
+
+    path<TAB>RULE<TAB>stripped source line<TAB>reason
+
+The stripped source line is the fingerprint: it survives the site
+moving within its file (line numbers do not).  Identical lines in one
+file take one entry each — matching consumes entries multiset-style.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.detlint import Finding
+
+__all__ = ["BaselineError", "load_baseline", "match_baseline", "format_baseline"]
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be parsed (or lacks a reason)."""
+
+
+def load_baseline(path: Path) -> Counter:
+    """Parse ``path`` into a fingerprint multiset."""
+    entries: Counter = Counter()
+    for number, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise BaselineError(
+                f"{path}:{number}: expected 4 tab-separated fields "
+                f"(path, rule, source line, reason), got {len(parts)}"
+            )
+        entry_path, rule, snippet, reason = (part.strip() for part in parts)
+        if not reason:
+            raise BaselineError(
+                f"{path}:{number}: baseline entries must state a reason"
+            )
+        entries[(entry_path, rule, snippet)] += 1
+    return entries
+
+
+def match_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> tuple[list[Finding], list[tuple[str, str, str]]]:
+    """Split findings into (new, ...) and report stale baseline entries.
+
+    Returns ``(new_findings, stale_entries)``: findings not covered by
+    the baseline, and baseline fingerprints that matched nothing (the
+    site was fixed — the entry should be deleted).
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return new, stale
+
+
+def format_baseline(findings: Iterable[Finding], *, reason: str = "TODO: justify") -> str:
+    """Render findings as baseline lines (for ``--write-baseline``)."""
+    header = (
+        "# detlint baseline — accepted findings, one reasoned entry per site.\n"
+        "# Format: path<TAB>RULE<TAB>stripped source line<TAB>reason\n"
+        "# Regenerate with: python -m repro.analysis src/ --write-baseline\n"
+        "# (then replace the TODO reasons — the gate refuses reasonless entries).\n"
+    )
+    # Matching is multiset-style, so identical lines in one file keep
+    # one entry each — a set here would under-count duplicate sites.
+    counts = Counter(finding.fingerprint for finding in findings)
+    body = "".join(
+        f"{path}\t{rule}\t{snippet}\t{reason}\n"
+        for (path, rule, snippet), count in sorted(counts.items())
+        for _ in range(count)
+    )
+    return header + body

@@ -15,11 +15,14 @@ answer later queries of the same batch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
 from repro.network.errors import NetworkError
 from repro.storage.errors import StorageError
 from repro.storage.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.network.base import PeerNetwork
 
 
 @dataclass(frozen=True)
@@ -85,7 +88,7 @@ class BatchOutcome:
 class QueryDriver:
     """Keeps a batch of searches and downloads concurrently in flight."""
 
-    def __init__(self, network) -> None:
+    def __init__(self, network: PeerNetwork) -> None:
         self.network = network
 
     def run_batch(self, requests: Sequence[tuple[str, Query]], *,
@@ -116,14 +119,17 @@ class QueryDriver:
         """
         if interarrival_ms < 0:
             raise ValueError("interarrival must be non-negative")
-        contexts: list[Optional[object]] = [None] * len(ops)
+        # Entries are QueryContext/RetrieveContext aligned with ops (or
+        # None when a submission failed); Any keeps the two finish_* call
+        # sites below from needing per-branch casts.
+        contexts: list[Any] = [None] * len(ops)
         failures: set[int] = set()
         # Completion is counted by the kernel's per-context watcher hook,
         # so the drive loop below is O(1) per processed event instead of
         # re-scanning every context of the batch after each event.
         settled = 0
 
-        def note_done(_context) -> None:
+        def note_done(_context: object) -> None:
             nonlocal settled
             settled += 1
 

@@ -217,7 +217,7 @@ class EventKernel:
     # ------------------------------------------------------------------
     # Recurring maintenance timers
     # ------------------------------------------------------------------
-    def every(self, interval_ms: float, callback: Callable[..., None], *args,
+    def every(self, interval_ms: float, callback: Callable[..., None], *args: object,
               first_delay_ms: Optional[float] = None,
               affinity: Optional[str] = None) -> MaintenanceTimer:
         """Run ``callback(*args)`` every ``interval_ms`` of virtual time.

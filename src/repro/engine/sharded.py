@@ -51,7 +51,7 @@ single-kernel semantics — instead of spinning on zero-width windows.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.engine.partition import Assignment, shard_of
 from repro.network.messages import Message
@@ -129,18 +129,18 @@ class ShardedSimulator(NetworkSimulator):
     # Scheduling (routing layer over the parent's single queue)
     # ------------------------------------------------------------------
     def schedule(self, delay_ms: float, callback: Callable[..., None],
-                 *args) -> EventHandle:
+                 *args: object) -> EventHandle:
         if delay_ms < 0:
             raise ValueError("cannot schedule events in the past")
         entry = [self._now + delay_ms, next(self._sequence), callback, args]
         self._route(entry)
         return EventHandle(entry)
 
-    def post(self, delay_ms: float, callback: Callable[..., None], *args) -> None:
+    def post(self, delay_ms: float, callback: Callable[..., None], *args: object) -> None:
         self._route([self._now + delay_ms, next(self._sequence), callback, args])
 
     def post_keyed(self, key: str, delay_ms: float,
-                   callback: Callable[..., None], *args) -> None:
+                   callback: Callable[..., None], *args: object) -> None:
         """Post an event with explicit shard affinity (keyed timers)."""
         if self._degenerate or not key:
             heapq.heappush(self._queue,
@@ -180,7 +180,7 @@ class ShardedSimulator(NetworkSimulator):
     # ------------------------------------------------------------------
     # Windowed execution
     # ------------------------------------------------------------------
-    def _queues(self):
+    def _queues(self) -> Iterator[tuple[int, list]]:
         yield CONTROL, self._queue
         for shard, queue in enumerate(self._shard_queues):
             yield shard, queue

@@ -319,6 +319,9 @@ class PeerNetwork(ABC):
         # Re-arm after kernel.cancel_timers() too, so going live again
         # after a paused run actually resumes heartbeats and sweeps.
         if self._maintenance_timer is None or self._maintenance_timer.cancelled:
+            # detlint: ignore[KERN001] -- network-wide tick: one round visits
+            # every peer/site, so it has no single home shard; it runs on the
+            # sharded simulator's control queue by design.
             self._maintenance_timer = self.kernel.every(
                 self.maintenance_interval_ms, self._maintenance_tick)
 
@@ -717,6 +720,9 @@ class PeerNetwork(ABC):
         # recurring sweep (one TTL period) just bounds memory and keeps
         # the expiration counters honest.
         if self._cache_sweep_timer is None or self._cache_sweep_timer.cancelled:
+            # detlint: ignore[KERN001] -- sweeps every cache site in one pass
+            # (peer caches plus subclass sites), so it is control-plane work
+            # with no single home shard.
             self._cache_sweep_timer = self.kernel.every(self.cache_ttl_ms, self._cache_sweep)
 
     def _cache_sweep(self) -> None:

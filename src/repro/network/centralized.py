@@ -320,7 +320,7 @@ class CentralizedProtocol(PeerNetwork):
                    if heard <= deadline}
         if not expired:
             return
-        for peer_id in expired:
+        for peer_id in sorted(expired):
             del self._server_heartbeats[peer_id]
         # One catalog pass for the whole expiry batch, however many
         # peers lapsed together.

@@ -215,7 +215,7 @@ class GnutellaProtocol(PeerNetwork):
 
     def _stamp_freshness(self, now: float) -> None:
         for peer in self.peers.values():
-            for neighbor_id in peer.neighbors:
+            for neighbor_id in sorted(peer.neighbors):
                 peer.last_pong_ms[neighbor_id] = now
 
     # ------------------------------------------------------------------
@@ -415,7 +415,7 @@ class GnutellaProtocol(PeerNetwork):
             current = self.peers.get(current_id)
             if current is None or not current.online:
                 continue
-            for neighbor_id in current.neighbors:
+            for neighbor_id in sorted(current.neighbors):
                 neighbor = self.peers.get(neighbor_id)
                 if neighbor is None or not neighbor.online or neighbor_id in visited:
                     continue

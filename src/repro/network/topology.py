@@ -57,7 +57,7 @@ class Topology:
         self.adjacency.get(b, set()).discard(a)
 
     def remove_peer(self, peer_id: str) -> None:
-        for neighbor in self.adjacency.pop(peer_id, set()):
+        for neighbor in sorted(self.adjacency.pop(peer_id, set())):
             self.adjacency.get(neighbor, set()).discard(peer_id)
 
     def is_connected(self) -> bool:

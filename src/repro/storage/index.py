@@ -32,7 +32,7 @@ import sys
 from array import array
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.storage.interning import intern_values
 
@@ -90,7 +90,7 @@ def _discard_id(bucket: array, numeric_id: int) -> None:
         del bucket[position]
 
 
-def _gallop_intersect(small, large) -> array:
+def _gallop_intersect(small: array, large: array) -> array:
     """Members of sorted ``small`` also in sorted ``large``.
 
     Walks the smaller posting and locates each id in the larger one by
@@ -111,7 +111,7 @@ def _gallop_intersect(small, large) -> array:
     return out
 
 
-def intersect_postings(arrays: list, id_sets: list):
+def intersect_postings(arrays: list, id_sets: list) -> array | set[int]:
     """Ids present in every posting; postings may be sorted arrays
     (exact/keyword buckets, treated read-only) or ``set[int]`` objects
     (prefix/any-field matches, freshly computed so mutable in place).
@@ -153,9 +153,11 @@ class AttributeIndex:
         #: True when postings are numeric-id arrays (the default)
         self.lean = layout == "lean"
         # community -> field path -> token -> posting (set[str] | array('I'))
-        self._tokens: dict[str, dict[str, dict[str, object]]] = {}
+        # Posting values are layout-polymorphic, hence Any: set[str] in
+        # the set layout, sorted array('I') in the lean layout.
+        self._tokens: dict[str, dict[str, dict[str, Any]]] = {}
         # community -> field path -> exact value (lowered) -> posting
-        self._values: dict[str, dict[str, dict[str, object]]] = {}
+        self._values: dict[str, dict[str, dict[str, Any]]] = {}
         # resource id -> its entries (for removal and size accounting)
         self._entries: dict[str, list[IndexEntry]] = {}
         # lean layout: resource id <-> dense numeric id
@@ -178,7 +180,7 @@ class AttributeIndex:
             self._ids[resource_id] = numeric_id
         return numeric_id
 
-    def resolve_ids(self, numeric_ids) -> set[str]:
+    def resolve_ids(self, numeric_ids: Iterable[int]) -> set[str]:
         """Resource-id strings of ``numeric_ids`` (the lean→public boundary)."""
         rids = self._rids
         return {rids[numeric_id] for numeric_id in numeric_ids}
@@ -280,7 +282,8 @@ class AttributeIndex:
             return self.resolve_ids(bucket)
         return set(bucket)
 
-    def exact_ref(self, community_id: str, field_path: str, normalized_value: str):
+    def exact_ref(self, community_id: str, field_path: str,
+                  normalized_value: str) -> Any:  # set[str] | array, by layout
         """Non-copying variant of :meth:`exact`: the *live* posting.
 
         ``normalized_value`` must already be stripped and lowered (a
@@ -313,7 +316,7 @@ class AttributeIndex:
         return result
 
     def keyword_postings(self, community_id: str, field_path: str,
-                         tokens) -> Optional[list]:
+                         tokens: Sequence[str]) -> Optional[list]:
         """Non-copying variant of :meth:`keyword`: one live posting per
         token (``set[str]`` or sorted ``array('I')`` depending on the
         layout), or ``None`` when no match is possible (no tokens, or a
@@ -361,7 +364,8 @@ class AttributeIndex:
         """Keyword match across every indexed field of a community."""
         return self.any_field_keyword_tokens(community_id, tokenize(text))
 
-    def any_field_keyword_tokens(self, community_id: str, tokens) -> set[str]:
+    def any_field_keyword_tokens(self, community_id: str,
+                                 tokens: Sequence[str]) -> set[str]:
         """Non-copying variant of :meth:`any_field_keyword`: the text is
         tokenized once by the caller instead of once per indexed field.
         Returns a fresh set (the union is computed, never aliased).
@@ -372,7 +376,7 @@ class AttributeIndex:
         if not tokens:
             return matches
         for field_tokens in self._tokens.get(community_id, {}).values():
-            current = None
+            current: Any = None
             for token in tokens:
                 bucket = field_tokens.get(token)
                 if not bucket:
@@ -386,7 +390,7 @@ class AttributeIndex:
                 matches.update(current)
         return matches
 
-    def any_field_ids(self, community_id: str, tokens) -> set[int]:
+    def any_field_ids(self, community_id: str, tokens: Sequence[str]) -> set[int]:
         """Lean-layout :meth:`any_field_keyword_tokens`: per-field
         galloping intersections, unioned as a fresh set of numeric ids
         the caller may mutate."""
@@ -394,7 +398,7 @@ class AttributeIndex:
         if not tokens:
             return matches
         for field_tokens in self._tokens.get(community_id, {}).values():
-            postings = []
+            postings: Optional[list[Any]] = []
             for token in tokens:
                 bucket = field_tokens.get(token)
                 if not bucket:

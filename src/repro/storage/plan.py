@@ -28,7 +28,7 @@ CONTAINS value matches no index entry but any metadata dictionary).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.storage.index import AttributeIndex, intersect_postings, tokenize
 from repro.storage.query import Criterion, Operator, Query
@@ -62,7 +62,7 @@ class CompiledCriterion:
                      else _OPERATOR_COST[self.operator])
 
     # ------------------------------------------------------------------
-    def matches_values(self, values) -> bool:
+    def matches_values(self, values: Sequence[str]) -> bool:
         """Precompiled :meth:`Criterion.matches` over one field's values."""
         if self.operator is Operator.EQUALS and not self.any_field:
             wanted = self.norm_value

@@ -250,7 +250,10 @@ class Element:
             return False
         if len(self.children) != len(other.children):
             return False
-        return all(a.structurally_equal(b) for a, b in zip(self.children, other.children))
+        return all(
+            a.structurally_equal(b)
+            for a, b in zip(self.children, other.children, strict=True)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Element {self.tag} attrs={len(self.attributes)} children={len(self.children)}>"

@@ -92,7 +92,13 @@ class XPath:
         for absolute, steps in self._paths:
             start: list[Element] = [_document_start(root)] if absolute else [root]
             for node in _evaluate_steps(start, steps):
-                marker = id(node) if isinstance(node, Element) else id(node) ^ hash(node)
+                # Identity-only dedup: every yielded node is kept alive by
+                # ``results``, so id() is injective here, and two live
+                # objects can never collide.  (The historical
+                # ``id ^ hash`` variant mixed in the per-process str-hash
+                # salt for no discriminating power — equal-but-distinct
+                # strings already differ by id.)
+                marker = id(node)
                 if marker not in seen:
                     seen.add(marker)
                     results.append(node)

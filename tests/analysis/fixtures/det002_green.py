@@ -1,0 +1,7 @@
+"""DET002 green: crc32 is the stable-hash bar."""
+
+from zlib import crc32
+
+
+def shard_of(node_id: str, shards: int) -> int:
+    return crc32(node_id.encode("utf-8")) % shards

@@ -1,0 +1,5 @@
+"""DET002 red: builtin hash() reaching a routing decision."""
+
+
+def shard_of(node_id: str, shards: int) -> int:
+    return hash(node_id) % shards

@@ -1,0 +1,8 @@
+"""DET003 green: injected, explicitly seeded streams."""
+
+import random
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,8 @@
+"""DET003 red: the ambient global random stream, and an unseeded Random."""
+
+import random
+
+
+def jitter() -> float:
+    rng = random.Random()        # entropy-seeded
+    return random.random() + rng.random()

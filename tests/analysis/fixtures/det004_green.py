@@ -1,0 +1,9 @@
+"""DET004 green: virtual time comes from the simulator clock."""
+
+
+class Simulator:
+    now: float = 0.0
+
+
+def stamp(simulator: Simulator) -> float:
+    return simulator.now

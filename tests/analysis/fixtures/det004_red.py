@@ -1,0 +1,8 @@
+"""DET004 red: wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> tuple[float, float, str]:
+    return time.time(), time.perf_counter(), datetime.now().isoformat()

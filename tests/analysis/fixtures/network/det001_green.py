@@ -1,0 +1,20 @@
+"""DET001 green: sorted iteration and order-insensitive reducers pass."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class State:
+    leaves: set[str] = field(default_factory=set)
+    tables: dict[str, set[str]] = field(default_factory=dict)
+
+
+def reattach(state: State) -> list[str]:
+    orphans = sorted(state.leaves)                    # sorted materialization
+    for leaf in sorted(state.leaves):                 # sorted for-loop
+        orphans.append(leaf)
+    count = sum(1 for leaf in state.leaves if leaf)   # order-insensitive reducer
+    biggest = max(state.leaves, default="")           # plain-name arg, no iteration flagged
+    present = "x" in state.leaves                     # membership, not iteration
+    mirrored = {leaf for leaf in state.leaves}        # set -> set stays order-free
+    return orphans + [str(count), biggest, str(present), *sorted(mirrored)]

@@ -1,0 +1,22 @@
+"""DET001 red: every construct the set-iteration rule must catch."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class State:
+    leaves: set[str] = field(default_factory=set)
+    tables: dict[str, set[str]] = field(default_factory=dict)
+
+
+def reattach(state: State) -> list[str]:
+    orphans = list(state.leaves)            # materialization in set order
+    for leaf in state.leaves:               # bare for-loop
+        orphans.append(leaf)
+    ordered = [leaf for leaf in state.leaves]   # list comprehension
+    for member in state.tables.pop("a", set()):  # dict-of-set value
+        ordered.append(member)
+    local: set[str] = set()
+    for item in local | state.leaves:       # set algebra
+        ordered.append(item)
+    return ordered

@@ -1,3 +1,13 @@
+# detlint regression fixture — DO NOT FIX.
+#
+# This is the PR 6 (pre-review-fix) variant of src/repro/network/superpeer.py,
+# commit 9195772, carrying the historical cross-process nondeterminism bug:
+# _on_peer_departed materializes a dead super's orphaned leaves with
+# list(state.leaves) in raw set order, and since re-attachment is
+# least-loaded-first, the PYTHONHASHSEED-dependent iteration order decided
+# the new leaf->super map (counters flipped between salts; see
+# ARCHITECTURE.md "Determinism" and CHANGES.md "PR 6 review fixes").
+# tests/analysis/test_detlint.py asserts detlint flags it as DET001.
 """FastTrack-style super-peer network organisation.
 
 A fraction of well-connected peers are promoted to *super-peers*.  Leaf
@@ -149,12 +159,7 @@ class SuperPeerProtocol(PeerNetwork):
     # ------------------------------------------------------------------
     def _on_peer_departed(self, peer: Peer) -> None:
         if peer.is_super_peer:
-            # Sorted, not raw set order: orphans re-attach least-loaded
-            # first-come, so the iteration order decides the new
-            # leaf->super map.  Raw set[str] order varies with the
-            # per-process string-hash salt (PYTHONHASHSEED), which made
-            # super-peer churn runs irreproducible across processes.
-            orphans = sorted(self._states.get(peer.peer_id, _SuperPeerState()).leaves)
+            orphans = list(self._states.get(peer.peer_id, _SuperPeerState()).leaves)
             self._states.pop(peer.peer_id, None)
             peer.is_super_peer = False
             for orphan_id in orphans:
@@ -278,7 +283,7 @@ class SuperPeerProtocol(PeerNetwork):
                 self.kernel.send(ping_message(peer_id, super_id))
 
     def _stamp_freshness(self, now: float) -> None:
-        for state in self._states.values():
+        for super_id, state in self._states.items():
             state.last_heard = {leaf_id: now for leaf_id in sorted(state.leaves)}
         for peer in self.peers.values():
             if not peer.is_super_peer and peer.super_peer_id is not None:

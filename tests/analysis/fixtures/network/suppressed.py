@@ -1,0 +1,19 @@
+"""Suppression round-trip: a reasoned ignore silences exactly its rule."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class State:
+    members: set[str] = field(default_factory=set)
+
+
+def tally(state: State) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    # detlint: ignore[DET001] -- every member gets the same count; the
+    # write order cannot reach any decision.
+    for member in state.members:
+        counts[member] = 1
+    for member in state.members:  # detlint: ignore[DET001] -- same-line form, same argument
+        counts[member] += 1
+    return counts

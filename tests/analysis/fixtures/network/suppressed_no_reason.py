@@ -1,0 +1,15 @@
+"""A reasonless suppression suppresses nothing and is itself flagged."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class State:
+    members: set[str] = field(default_factory=set)
+
+
+def tally(state: State) -> list[str]:
+    out = []
+    for member in state.members:  # detlint: ignore[DET001]
+        out.append(member)
+    return out

@@ -1,0 +1,112 @@
+"""Baseline semantics: reasoned entries, multiset matching, staleness."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    format_baseline,
+    load_baseline,
+    match_baseline,
+)
+from repro.analysis.detlint import Finding
+
+
+def make_finding(path="src/repro/network/mod.py", rule="DET001",
+                 snippet="for peer in peers:", line=10):
+    return Finding(path=path, line=line, col=4, rule=rule,
+                   message="unsorted iteration", snippet=snippet)
+
+
+class TestLoadBaseline:
+    def test_parses_entries_and_ignores_comments(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "# header comment\n"
+            "\n"
+            "a.py\tDET001\tfor x in s:\tlegacy site\n"
+            "a.py\tDET001\tfor x in s:\tlegacy site\n"
+            "b.py\tDET004\tt = time.time()\twall-clock report field\n",
+            encoding="utf-8",
+        )
+        entries = load_baseline(baseline)
+        assert entries[("a.py", "DET001", "for x in s:")] == 2
+        assert entries[("b.py", "DET004", "t = time.time()")] == 1
+
+    def test_reason_is_mandatory(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("a.py\tDET001\tfor x in s:\t\n", encoding="utf-8")
+        with pytest.raises(BaselineError, match="reason"):
+            load_baseline(baseline)
+
+    def test_malformed_line_is_rejected(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("a.py\tDET001\n", encoding="utf-8")
+        with pytest.raises(BaselineError, match="4 tab-separated"):
+            load_baseline(baseline)
+
+
+class TestMatchBaseline:
+    def test_matched_findings_are_consumed(self, tmp_path):
+        finding = make_finding()
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(format_baseline([finding], reason="accepted"),
+                            encoding="utf-8")
+        new, stale = match_baseline([finding], load_baseline(baseline))
+        assert new == []
+        assert stale == []
+
+    def test_multiset_matching_counts_duplicate_sites(self, tmp_path):
+        first, second = make_finding(line=10), make_finding(line=20)
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(format_baseline([first, second], reason="accepted"),
+                            encoding="utf-8")
+        entries = load_baseline(baseline)
+        # Two findings share a fingerprint -> the baseline carries it twice.
+        assert entries[first.fingerprint] == 2
+        new, stale = match_baseline([first, second], entries)
+        assert new == [] and stale == []
+        # Only one entry would leave the second finding uncovered.
+        new, _ = match_baseline([first, second],
+                                entries - Counter({first.fingerprint: 1}))
+        assert new == [second]
+
+    def test_unmatched_finding_is_new(self):
+        new, stale = match_baseline([make_finding()], {})
+        assert len(new) == 1
+        assert stale == []
+
+    def test_fixed_site_reports_stale_entry(self, tmp_path):
+        gone = make_finding(snippet="removed_line()")
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(format_baseline([gone], reason="accepted"),
+                            encoding="utf-8")
+        new, stale = match_baseline([], load_baseline(baseline))
+        assert new == []
+        assert stale == [gone.fingerprint]
+
+    def test_line_moves_do_not_invalidate_entries(self, tmp_path):
+        """The fingerprint is the stripped source line, not its number."""
+        original = make_finding(line=10)
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(format_baseline([original], reason="accepted"),
+                            encoding="utf-8")
+        moved = make_finding(line=99)
+        new, stale = match_baseline([moved], load_baseline(baseline))
+        assert new == [] and stale == []
+
+
+class TestFormatBaseline:
+    def test_round_trips_through_load(self, tmp_path):
+        findings = [make_finding(), make_finding(rule="DET004",
+                                                 snippet="t = time.time()")]
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(format_baseline(findings, reason="accepted"),
+                            encoding="utf-8")
+        new, stale = match_baseline(findings, load_baseline(baseline))
+        assert new == [] and stale == []
+
+    def test_default_reason_is_a_todo_marker(self):
+        text = format_baseline([make_finding()])
+        assert "TODO" in text

@@ -100,7 +100,7 @@ class TestFullLoop:
         alice = Servent("alice", network)
         bob = Servent("bob", network)
         wire(network)
-        for key, factory in sorted(ALL_COMMUNITIES.items()):
+        for _key, factory in sorted(ALL_COMMUNITIES.items()):
             factory().create_on(alice)
         # The root community now contains one object per community.
         browse = bob.search_communities()

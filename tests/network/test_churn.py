@@ -39,7 +39,7 @@ class TestChurnModel:
         for peer_id in {event.peer_id for event in churn.events}:
             states = [event.online for event in churn.events if event.peer_id == peer_id]
             assert states[0] is False
-            assert all(a != b for a, b in zip(states, states[1:]))
+            assert all(a != b for a, b in zip(states, states[1:], strict=False))
 
     def test_observed_availability_roughly_matches_expected(self):
         network = build_network(60)
