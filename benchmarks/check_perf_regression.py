@@ -47,6 +47,18 @@ def samples(record: dict):
     # from the current record warn instead of failing (see main()).
     for label, sample in sorted(record.get("scale", {}).get("grid", {}).items()):
         yield f"scale/{label}", sample
+    # E12 fault grid: the faulty cells pay for drops, retries and the
+    # chunked-download pacing, so their throughput is guarded per
+    # (protocol, loss rate, hardened/legacy stack) cell — a reliable-
+    # delivery change that quietly doubles the retry traffic shows up
+    # here even while the recall assertions still pass.
+    for protocol, sweep in sorted(record.get("faults", {}).get("protocols", {}).items()):
+        for cell in sweep.get("cells", []):
+            stack = "hardened" if cell.get("hardened") else "legacy"
+            label = f"faults/{protocol}/loss{round(cell.get('loss_rate', 0) * 100)}_{stack}"
+            yield label, cell
+        for stack, cell in sorted(sweep.get("outage", {}).items()):
+            yield f"faults/{protocol}/outage_{stack}", cell
 
 
 def write_step_summary(rows, hardware: float, tolerance: float, failures) -> None:

@@ -31,7 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, TYPE_CHECKING
 
-from repro.network.messages import Message, MessageType
+from repro.network.faults import FaultModel
+from repro.network.messages import Message, MessageType, ack_message
 from repro.network.simulator import NetworkSimulator
 from repro.network.stats import NetworkStats
 from repro.storage.query import Query
@@ -154,6 +155,17 @@ class RetrieveContext(ExchangeContext):
     attachments_transferred: int = 0
     replicated: bool = False
     error: Optional[Exception] = None
+    # Chunked-transfer state (``download_chunk_bytes`` mode).  The
+    # received set is consulted only by length and membership, never
+    # iterated, so its order cannot leak into results.
+    chunks_received: set[int] = field(default_factory=set)
+    chunk_total: int = 0
+    #: providers that stalled or crashed out of this download
+    failed_providers: list[str] = field(default_factory=list)
+    #: re-requests already burned on the current provider
+    provider_attempts: int = 0
+    #: True while the stall watchdog holds a pending token on this context
+    watchdog_held: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -202,6 +214,9 @@ class EventKernel:
         self.virtual_nodes: set[str] = set()
         #: recurring maintenance timers (heartbeats, lease sweeps)
         self.timers: list[MaintenanceTimer] = []
+        #: fault injection (``None`` = the perfect-link default; the
+        #: send path then takes a single never-taken branch)
+        self.faults: Optional[FaultModel] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -289,7 +304,40 @@ class EventKernel:
             context.pending += 1
         delay = latency_ms if latency_ms is not None else self._link_latency(
             message.sender, message.recipient)
+        if self.faults is not None:
+            decision = self.faults.decide(message.sender, message.recipient,
+                                          self.simulator.now)
+            if decision.drop:
+                # The delivery is lost, but the exchange's reference
+                # count must still fall at the original arrival time —
+                # a drop event rides the queue in the delivery's place
+                # (and routes to the recipient's shard exactly like it).
+                self.stats.record_drop(partition=decision.partitioned)
+                self.simulator.post(delay, self._drop, message, context)
+                return
+            if decision.duplicate:
+                self.stats.record_duplicate()
+                if context is not None:
+                    context.pending += 1
+                self.simulator.post(delay + decision.duplicate_lag_ms,
+                                    self._deliver, message, context)
+            delay += decision.extra_delay_ms
         self.simulator.post(delay, self._deliver, message, context)
+
+    def _drop(self, message: Message, context: Optional[ExchangeContext]) -> None:
+        """A faulted delivery's arrival-time bookkeeping (no dispatch)."""
+        if context is not None:
+            context.pending -= 1
+            if context.pending <= 0 and not context.done:
+                self._complete(context)
+
+    def release(self, context: ExchangeContext) -> None:
+        """Drop one externally-held pending token (reliable envelopes and
+        download watchdogs park a token on the context so it cannot
+        complete while a retransmission or failover may still extend it)."""
+        context.pending -= 1
+        if context.pending <= 0 and not context.done:
+            self._complete(context)
 
     def finish_if_idle(self, context: ExchangeContext) -> None:
         """Complete an exchange that sent no messages (purely local answer)."""
@@ -307,6 +355,14 @@ class EventKernel:
                 handler = self._handlers.get(message.type._value_)
                 if handler is not None:
                     handler(peer, message, context)
+                if message.ack_to:
+                    # Reliable envelope: acknowledge on (handled) arrival.
+                    # A recipient that was offline sends nothing, so the
+                    # sender's retry timer fires — exactly the semantics
+                    # a lost delivery has.
+                    self.send(ack_message(recipient, message.ack_to,
+                                          message_id=message.message_id),
+                              context=context)
         finally:
             if context is not None:
                 context.pending -= 1

@@ -63,6 +63,7 @@ from repro.network.simulator import (
     EventHandle,
     LatencyModel,
     NetworkSimulator,
+    SimulationTruncated,
 )
 
 #: shard index of the control queue in observability counters
@@ -293,6 +294,12 @@ class ShardedSimulator(NetworkSimulator):
             if not self.step():
                 break
             processed += 1
+        if processed >= max_events:
+            earliest = self._peek_time()
+            if earliest is not None and (until_ms is None or earliest <= until_ms):
+                raise SimulationTruncated(
+                    f"run() hit max_events={max_events} with eligible events "
+                    f"still queued at t={self._now:.3f}ms", processed=processed)
         if until_ms is not None and self._now < until_ms:
             self._now = until_ms
         return processed

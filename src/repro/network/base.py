@@ -11,21 +11,24 @@ experiments test.
 from __future__ import annotations
 
 import itertools
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional, Union
 
-from repro.engine.kernel import EventKernel, QueryContext, RetrieveContext
+from repro.engine.kernel import EventKernel, ExchangeContext, QueryContext, RetrieveContext
 from repro.network.errors import (
     DuplicatePeerError,
     PeerOfflineError,
     TransferError,
     UnknownPeerError,
 )
+from repro.network.faults import FaultModel, FaultPlan, build_fault_model
 from repro.network.messages import (
     Message,
     MessageType,
     attachment_transfer,
+    download_chunk,
     download_request,
     download_response,
     query_hit_message,
@@ -117,6 +120,15 @@ class RetrieveResult:
     attachments_transferred: int = 0
 
 
+@dataclass
+class _PendingAck:
+    """One reliably-sent message awaiting its ACK (see ``send_reliable``)."""
+
+    message: Message
+    context: Optional[ExchangeContext]
+    attempt: int = 0
+
+
 class PeerNetwork(ABC):
     """Common behaviour of all network organisations."""
 
@@ -128,7 +140,13 @@ class PeerNetwork(ABC):
                  maintenance_interval_ms: float = 2_000.0,
                  heartbeat_lease_intervals: int = 2,
                  result_caching: bool = False, cache_capacity: int = 128,
-                 cache_ttl_ms: float = 2_000.0, shards: int = 1) -> None:
+                 cache_ttl_ms: float = 2_000.0, shards: int = 1,
+                 faults: Optional[FaultPlan] = None,
+                 reliable_delivery: bool = False,
+                 retry_timeout_ms: float = 250.0,
+                 retry_max_attempts: int = 4,
+                 download_chunk_bytes: Optional[int] = None,
+                 download_stall_timeout_ms: float = 500.0) -> None:
         if maintenance_interval_ms <= 0:
             raise ValueError("the maintenance interval must be positive")
         if heartbeat_lease_intervals < 1:
@@ -139,6 +157,14 @@ class PeerNetwork(ABC):
             raise ValueError("the result cache TTL must be positive")
         if shards < 1:
             raise ValueError("need at least one shard")
+        if retry_timeout_ms <= 0:
+            raise ValueError("the retry timeout must be positive")
+        if retry_max_attempts < 1:
+            raise ValueError("reliable delivery needs at least one attempt")
+        if download_chunk_bytes is not None and download_chunk_bytes < 1:
+            raise ValueError("download chunks must be at least one byte")
+        if download_stall_timeout_ms <= 0:
+            raise ValueError("the download stall timeout must be positive")
         #: event-queue shard count.  ``shards=1`` (the default) keeps
         #: the single-queue simulator and the existing hot path
         #: untouched; ``shards>1`` partitions the queue across a
@@ -189,7 +215,48 @@ class PeerNetwork(ABC):
         self._cache_sweep_timer = None
         self._maintenance_timer = None
         self._query_sequence = itertools.count(1)
+        #: when on, request/response traffic that semantically needs
+        #: delivery (REGISTER / JOIN / AD-RENEW / LEAF-ATTACH,
+        #: DOWNLOAD-REQUEST) rides an ACK + capped-exponential-backoff
+        #: envelope; gnutella's flood stays best-effort by design.  Off
+        #: (the default) is pinned bit-identical by the fault contract.
+        self.reliable_delivery = reliable_delivery
+        #: first retransmission fires this long after a reliable send;
+        #: each further attempt doubles it, capped at 8x
+        self.retry_timeout_ms = retry_timeout_ms
+        #: total attempts (the original send plus retransmissions) per
+        #: reliable message, and re-requests per download provider
+        self.retry_max_attempts = retry_max_attempts
+        #: ``None`` keeps the legacy single-response download; a byte
+        #: count streams downloads as chunks with stall detection and
+        #: deterministic failover to the next-ranked replica
+        self.download_chunk_bytes = download_chunk_bytes
+        #: a chunked download making no progress for this long is
+        #: stalled: re-request the provider, then fail over
+        self.download_stall_timeout_ms = download_stall_timeout_ms
+        #: reliably-sent messages awaiting their ACK, keyed by message id
+        self._pending_acks: dict[str, _PendingAck] = {}
         self._register_handlers(self.kernel)
+        #: deterministic fault injection (``faults=None``, the default,
+        #: is pinned bit-identical to the perfect-link substrate)
+        self.faults: Optional[FaultModel] = None
+        if faults is not None:
+            self.install_faults(faults)
+
+    def install_faults(self, plan: FaultPlan) -> None:
+        """Arm ``plan`` from the current virtual time onwards.
+
+        Plan times (partition windows, crash instants) are relative to
+        this moment.  Scenarios install after bootstrap so structural
+        setup stays fault-free and the plan describes the measured
+        workload environment; a directly-built network passing
+        ``faults=`` to the constructor installs at time zero.
+        """
+        self.faults = build_fault_model(plan, epoch_ms=self.simulator.now)
+        assert self.faults is not None
+        self.kernel.faults = self.faults
+        for peer_id, at_ms in plan.crashes:
+            self.simulator.post(max(0.0, at_ms), self._fault_crash, peer_id)
 
     # ------------------------------------------------------------------
     # Membership
@@ -506,7 +573,14 @@ class PeerNetwork(ABC):
             started_at=self.simulator.now,
         )
         request = download_request(requester_id, provider_id, resource_id)
-        self.kernel.send(request, context=context)
+        self.send_reliable(request, context=context)
+        if self.download_chunk_bytes is not None:
+            # The stall watchdog holds a pending token so a download
+            # whose chunks stop arriving stays open long enough to
+            # re-request or fail over instead of completing as lost.
+            context.pending += 1
+            context.watchdog_held = True
+            self._arm_download_watchdog(context)
         return context
 
     def retrieve(self, requester_id: str, provider_id: str, resource_id: str,
@@ -558,17 +632,20 @@ class PeerNetwork(ABC):
             attachments_transferred=context.attachments_transferred,
         )
 
-    def locate_provider(self, resource_id: str, *, exclude: Optional[str] = None) -> Optional[str]:
+    def locate_provider(self, resource_id: str, *,
+                        exclude: Union[str, Iterable[str], None] = None) -> Optional[str]:
         """An online peer currently holding ``resource_id``, or ``None``.
 
         Deterministic: originals are preferred over replicas, ties
         break by peer id.  Used by the mixed-workload driver to resolve
-        a download target at submission time, so downloads follow the
-        replica set as it grows mid-run.
+        a download target at submission time, and by download failover
+        to pick the next-ranked replica — ``exclude`` takes a single
+        peer id or a collection (the requester plus every provider that
+        already crashed or stalled out of the transfer).
         """
-        for holder in self.replicas.holders(resource_id):
-            if holder == exclude:
-                continue
+        excluded = frozenset((exclude,)) if isinstance(exclude, str) \
+            else frozenset(exclude or ())
+        for holder in self.replicas.holders(resource_id, exclude=excluded):
             peer = self.peers.get(holder)
             if peer is not None and peer.online \
                     and peer.repository.documents.contains(resource_id):
@@ -731,6 +808,305 @@ class PeerNetwork(ABC):
             cache.sweep(now)
 
     # ------------------------------------------------------------------
+    # Reliable delivery (ACK + capped exponential backoff + timeout)
+    # ------------------------------------------------------------------
+    def send_reliable(self, message: Message, *,
+                      context: Optional[ExchangeContext] = None) -> None:
+        """Send ``message``, retransmitting until acknowledged.
+
+        With ``reliable_delivery`` off this is a plain ``kernel.send``
+        (the pinned default).  On, the message is marked for
+        acknowledgement, parked in the pending-ACK table and
+        retransmitted on a capped exponential backoff until its ACK
+        arrives or ``retry_max_attempts`` sends are exhausted.  Only
+        traffic that semantically needs delivery goes through here —
+        REGISTER / JOIN / AD-RENEW / LEAF-ATTACH and DOWNLOAD-REQUEST;
+        floods and heartbeats stay best-effort by design.
+        """
+        if not self.reliable_delivery:
+            self.kernel.send(message, context=context)
+            return
+        message.ack_to = message.sender
+        entry = _PendingAck(message=message, context=context)
+        self._pending_acks[message.message_id] = entry
+        if context is not None:
+            # The envelope holds a pending token: a dropped request's
+            # arrival-time bookkeeping must not complete the exchange
+            # while a retransmission may still extend it.
+            context.pending += 1
+        self.kernel.send(message, context=context)
+        self._arm_retry(entry)
+
+    def _retry_timeout_for(self, attempt: int) -> float:
+        """Capped exponential backoff: 1x, 2x, 4x, ... up to 8x."""
+        return self.retry_timeout_ms * min(2.0 ** attempt, 8.0)
+
+    def _arm_retry(self, entry: _PendingAck) -> None:
+        # post_keyed declares the retry timer's shard affinity (the
+        # sender's home shard) and enqueues directly there, bypassing
+        # the cross-shard outbox — so a short timeout never violates
+        # the sharded kernel's conservative lookahead window.
+        self.simulator.post_keyed(
+            entry.message.sender, self._retry_timeout_for(entry.attempt),
+            self._check_reliable, entry.message.message_id, entry.attempt)
+
+    def _check_reliable(self, message_id: str, attempt: int) -> None:
+        """One retry timer firing: retransmit, give up, or stand down."""
+        entry = self._pending_acks.get(message_id)
+        if entry is None or entry.attempt != attempt:
+            return  # acked meanwhile, or a newer attempt armed its own timer
+        sender = entry.message.sender
+        peer = self.peers.get(sender)
+        if (peer is None or not peer.online) and sender not in self.kernel.virtual_nodes:
+            # The sender crashed or churned offline: nobody is left to
+            # retransmit.  Settle quietly — this is the sender's death,
+            # not a delivery timeout.
+            self._settle_reliable(message_id, entry)
+            return
+        if entry.attempt + 1 >= self.retry_max_attempts:
+            self.stats.record_timeout()
+            self._settle_reliable(message_id, entry)
+            return
+        entry.attempt += 1
+        self.stats.record_retry()
+        self.kernel.send(entry.message, context=entry.context)
+        self._arm_retry(entry)
+
+    def _settle_reliable(self, message_id: str, entry: _PendingAck) -> None:
+        del self._pending_acks[message_id]
+        if entry.context is not None:
+            self.kernel.release(entry.context)
+
+    def _on_ack(self, peer: Optional[Peer], message: Message, context) -> None:
+        """The sender's ACK arrival: resolve the pending envelope.
+
+        Idempotent under duplication — a retransmitted original
+        produces multiple ACKs carrying the same message id, and every
+        one after the first finds the table entry already gone.
+        """
+        entry = self._pending_acks.pop(message.message_id, None)
+        if entry is None:
+            return
+        if entry.context is not None:
+            self.kernel.release(entry.context)
+
+    def _fault_crash(self, peer_id: str) -> None:
+        """A crash-stop failure from the fault plan: the peer goes
+        offline permanently (never rescheduled), exactly like an
+        ungraceful churn departure."""
+        peer = self.peers.get(peer_id)
+        if peer is None or not peer.online:
+            return
+        self.depart(peer_id, graceful=False)
+
+    # ------------------------------------------------------------------
+    # Chunked downloads: stall detection and replica failover
+    # ------------------------------------------------------------------
+    def _chunk_sizes(self, payload_bytes: int) -> tuple:
+        chunk_bytes = self.download_chunk_bytes
+        assert chunk_bytes is not None
+        total = max(1, math.ceil(payload_bytes / chunk_bytes))
+        return tuple([chunk_bytes] * (total - 1)
+                     + [payload_bytes - chunk_bytes * (total - 1)])
+
+    def _begin_chunked_serve(self, peer: Peer, stored: StoredObject,
+                             context: RetrieveContext) -> None:
+        """The provider streams the whole object as paced chunk emissions.
+
+        Unlike the legacy single-response path — which schedules every
+        delivery up front, so a provider crash mid-transfer changes
+        nothing — each chunk is emitted by its own event that checks
+        the provider is still online.  A crash-stop between chunks
+        therefore strands the rest of the stream, which is exactly what
+        the requester's stall watchdog exists to notice.
+
+        Attachments stream *first* (each one chunked like the document)
+        and the document chunks come last: the assembled object rides
+        the very final chunk, so ``context.stored`` is only set once
+        everything arrived and a stall at *any* point is recoverable by
+        the watchdog's full restart against a surviving replica.
+        """
+        sizes = self._chunk_sizes(len(stored.to_xml_text().encode("utf-8")))
+        uris = tuple(uri for uri in stored.metadata.get("__attachments__", [])
+                     if peer.repository.attachments.has(uri))
+        if uris:
+            self._emit_attachment(peer.peer_id, stored, uris, sizes, 0, 0,
+                                  context, False)
+        else:
+            self._emit_chunk(peer.peer_id, stored, sizes, 0, context, False)
+
+    def _stream_live(self, provider_id: str, context: RetrieveContext) -> bool:
+        """Is this emission chain still the download's active stream?"""
+        peer = self.peers.get(provider_id)
+        if peer is None or not peer.online:
+            return False  # crash-stop mid-transfer: the rest never leaves
+        if context.done or context.stored is not None \
+                or context.provider_id != provider_id:
+            return False  # completed meanwhile, or the requester failed over
+        return True
+
+    def _emit_chunk(self, provider_id: str, stored: StoredObject,
+                    sizes: tuple, index: int, context: RetrieveContext,
+                    holds_token: bool) -> None:
+        """Emit document chunk ``index`` and schedule the next emission.
+
+        Scheduled emissions hold a pending token on the context so the
+        exchange cannot complete between two chunks; the token is
+        released here whatever path the emission takes.
+        """
+        try:
+            if not self._stream_live(provider_id, context):
+                return
+            size = sizes[index]
+            total = len(sizes)
+            latency = self.simulator.transfer_time(
+                provider_id, context.requester_id, size,
+                bandwidth_kbps=context.bandwidth_kbps)
+            chunk = download_chunk(provider_id, context.requester_id,
+                                   context.resource_id, index=index, total=total,
+                                   size_bytes=size,
+                                   payload_object=stored if index == total - 1 else None)
+            self.kernel.send(chunk, context=context, latency_ms=latency)
+            if index + 1 < total:
+                transmission = latency - self.simulator.link_latency(
+                    provider_id, context.requester_id)
+                context.pending += 1
+                self.simulator.post_keyed(provider_id, transmission, self._emit_chunk,
+                                          provider_id, stored, sizes, index + 1,
+                                          context, True)
+        finally:
+            if holds_token:
+                self.kernel.release(context)
+
+    def _emit_attachment(self, provider_id: str, stored: StoredObject,
+                         uris: tuple, doc_sizes: tuple, uri_index: int,
+                         chunk_index: int, context: RetrieveContext,
+                         holds_token: bool) -> None:
+        """Emit one chunk of one attachment, paced like the doc stream.
+
+        After the last chunk of the last attachment the chain hands
+        over to :meth:`_emit_chunk` for the document itself.
+        """
+        try:
+            if not self._stream_live(provider_id, context):
+                return
+            peer = self.peers[provider_id]
+            uri = uris[uri_index]
+            transmission = 0.0
+            last_of_attachment = True
+            if peer.repository.attachments.has(uri):
+                attachment = peer.repository.attachments.serve(uri)
+                sizes = self._chunk_sizes(attachment.size_bytes)
+                size = sizes[chunk_index]
+                last_of_attachment = chunk_index + 1 >= len(sizes)
+                latency = self.simulator.transfer_time(
+                    provider_id, context.requester_id, size,
+                    bandwidth_kbps=context.bandwidth_kbps)
+                transfer = attachment_transfer(
+                    provider_id, context.requester_id, context.resource_id,
+                    uri=uri, size_bytes=size,
+                    payload_object=attachment if last_of_attachment else None,
+                    chunk_index=chunk_index, chunk_total=len(sizes))
+                self.kernel.send(transfer, context=context, latency_ms=latency)
+                transmission = latency - self.simulator.link_latency(
+                    provider_id, context.requester_id)
+            context.pending += 1
+            if not last_of_attachment:
+                self.simulator.post_keyed(provider_id, transmission,
+                                          self._emit_attachment, provider_id,
+                                          stored, uris, doc_sizes, uri_index,
+                                          chunk_index + 1, context, True)
+            elif uri_index + 1 < len(uris):
+                self.simulator.post_keyed(provider_id, transmission,
+                                          self._emit_attachment, provider_id,
+                                          stored, uris, doc_sizes, uri_index + 1,
+                                          0, context, True)
+            else:
+                self.simulator.post_keyed(provider_id, transmission,
+                                          self._emit_chunk, provider_id, stored,
+                                          doc_sizes, 0, context, True)
+        finally:
+            if holds_token:
+                self.kernel.release(context)
+
+    def _download_progress(self, context: RetrieveContext) -> tuple:
+        """The watchdog's progress mark: any arrival moves it.
+
+        Bytes (not chunk ordinals) are the primary signal so progress
+        during the attachment phase — when ``chunks_received`` is still
+        empty — keeps the watchdog quiet.
+        """
+        return (context.transfer_bytes, len(context.chunks_received),
+                context.provider_id, context.provider_attempts)
+
+    def _arm_download_watchdog(self, context: RetrieveContext) -> None:
+        # Keyed to the requester: the watchdog is the requester's own
+        # timer, so it runs on the requester's home shard and stays
+        # lookahead-safe at any timeout value.
+        self.simulator.post_keyed(
+            context.requester_id, self.download_stall_timeout_ms,
+            self._check_download, context, self._download_progress(context))
+
+    def _check_download(self, context: RetrieveContext, progress_then: tuple) -> None:
+        """One watchdog firing: re-arm on progress, recover on stall."""
+        if context.done or context.stored is not None or not context.watchdog_held:
+            return
+        requester = self.peers.get(context.requester_id)
+        if requester is None or not requester.online:
+            # Nobody is left to collect the download.
+            self._release_watchdog(context)
+            return
+        if self._download_progress(context) != progress_then:
+            self._arm_download_watchdog(context)
+            return
+        self._recover_download(context)
+
+    def _recover_download(self, context: RetrieveContext) -> None:
+        """A stalled transfer: re-request the provider, then fail over.
+
+        A provider that is still online gets ``retry_max_attempts``
+        requests in total (the stall may have been a lost request or a
+        lost chunk).  A dead or exhausted provider is struck off and
+        the download restarts against the next-ranked replica from the
+        registry — deterministically, so a mid-transfer crash degrades
+        to a slower download instead of a lost one.  With no replica
+        left the watchdog stands down and the exchange completes as a
+        failed transfer.
+        """
+        provider = self.peers.get(context.provider_id)
+        if provider is not None and provider.online \
+                and context.provider_attempts + 1 < self.retry_max_attempts:
+            context.provider_attempts += 1
+            self.stats.record_retry()
+        else:
+            context.failed_providers.append(context.provider_id)
+            next_provider = self.locate_provider(
+                context.resource_id,
+                exclude=[context.requester_id, *context.failed_providers])
+            if next_provider is None:
+                self.stats.record_timeout()
+                self._release_watchdog(context)
+                return
+            self.stats.record_failover()
+            context.provider_id = next_provider
+            context.provider_attempts = 0
+        # Restart the stream: stale partial state is discarded
+        # (transfer_bytes keeps accumulating — the wasted wire bytes
+        # are an honest cost of the recovery).
+        context.error = None
+        context.chunks_received.clear()
+        context.extra.pop("chunk_payload", None)
+        request = download_request(context.requester_id, context.provider_id,
+                                   context.resource_id)
+        self.send_reliable(request, context=context)
+        self._arm_download_watchdog(context)
+
+    def _release_watchdog(self, context: RetrieveContext) -> None:
+        if context.watchdog_held:
+            context.watchdog_held = False
+            self.kernel.release(context)
+
+    # ------------------------------------------------------------------
     # Download message handlers (shared by every protocol)
     # ------------------------------------------------------------------
     def _on_download_request(self, peer: Optional[Peer], message: Message,
@@ -740,10 +1116,18 @@ class PeerNetwork(ABC):
         after its cumulative transmission time."""
         if peer is None or not isinstance(context, RetrieveContext):
             return
+        if peer.peer_id != context.provider_id:
+            return  # a late retransmission reached a struck-off provider
         try:
             stored = peer.repository.retrieve(message.resource_id)
         except ObjectNotFoundError as error:
             context.error = error
+            return
+        if self.download_chunk_bytes is not None:
+            if context.extra.get("serving") == (peer.peer_id, context.provider_attempts):
+                return  # a duplicated request: this stream is already running
+            context.extra["serving"] = (peer.peer_id, context.provider_attempts)
+            self._begin_chunked_serve(peer, stored, context)
             return
         payload = len(stored.to_xml_text().encode("utf-8"))
         latency = self.simulator.transfer_time(peer.peer_id, context.requester_id, payload,
@@ -774,17 +1158,71 @@ class PeerNetwork(ABC):
         if peer is None or not isinstance(context, RetrieveContext):
             return
         if message.attachment_uri:
-            attachment = message.payload_object
-            if attachment is not None:
+            if message.chunk_total:
+                # A chunk of a streamed attachment: partial chunks only
+                # count bytes; the attachment itself rides the final
+                # chunk of its stream.
+                context.transfer_bytes += message.payload_bytes
+                attachment = message.payload_object
+                if attachment is None:
+                    return
+                seen = context.extra.setdefault("attachments_seen", set())
+                if message.attachment_uri in seen:
+                    return  # a duplicate, or a failover re-serving it
+                seen.add(message.attachment_uri)
                 peer.repository.attachments.receive(attachment)
                 context.attachments_transferred += 1
-                context.transfer_bytes += attachment.size_bytes
+                return
+            attachment = message.payload_object
+            if attachment is None:
+                return
+            if self.faults is not None:
+                # Duplicate-tolerance under injected faults: each
+                # attachment counts once per download.  (Gated so the
+                # pinned faults=None byte accounting stays untouched.)
+                seen = context.extra.setdefault("attachments_seen", set())
+                if message.attachment_uri in seen:
+                    return
+                seen.add(message.attachment_uri)
+            peer.repository.attachments.receive(attachment)
+            context.attachments_transferred += 1
+            context.transfer_bytes += attachment.size_bytes
+            return
+        if message.chunk_total:
+            self._on_chunk_arrival(peer, message, context)
             return
         stored = message.payload_object
         if stored is None:
             return
-        context.stored = stored
+        if context.stored is not None:
+            return  # a duplicated response: the document already arrived
         context.transfer_bytes += message.payload_bytes
+        self._complete_document(peer, context, stored)
+
+    def _on_chunk_arrival(self, peer: Peer, message: Message,
+                          context: RetrieveContext) -> None:
+        """One chunk of a chunked download reached the requester."""
+        if context.stored is not None:
+            return  # the document already completed (a straggler chunk)
+        context.transfer_bytes += message.payload_bytes
+        if message.chunk_index in context.chunks_received:
+            return  # a duplicated delivery: bytes burned, no progress
+        context.chunks_received.add(message.chunk_index)
+        context.chunk_total = message.chunk_total
+        if message.payload_object is not None:
+            # The assembled object rides the final chunk; stash it in
+            # case faults deliver chunks out of order.
+            context.extra["chunk_payload"] = message.payload_object
+        if len(context.chunks_received) >= message.chunk_total:
+            stored = context.extra.pop("chunk_payload", None)
+            if stored is None:
+                return  # payload chunk lost; the watchdog will re-request
+            self._complete_document(peer, context, stored)
+
+    def _complete_document(self, peer: Peer, context: RetrieveContext,
+                           stored: StoredObject) -> None:
+        """The document arrived in full: replicate and re-announce it."""
+        context.stored = stored
         replica = peer.repository.publish(
             stored.community_id, stored.document, dict(stored.metadata), title=stored.title
         )
@@ -794,6 +1232,7 @@ class PeerNetwork(ABC):
         # The new replica is announced so later searches can find it here.
         self.publish(peer.peer_id, stored.community_id, replica.resource_id,
                      dict(stored.metadata), title=stored.title)
+        self._release_watchdog(context)
 
     def _on_query_hit(self, peer: Optional[Peer], message: Message,
                       context) -> None:
@@ -808,7 +1247,18 @@ class PeerNetwork(ABC):
         # registers against the query's promised-identities set at
         # claim time (see ``_promised_results``), so each
         # (provider, resource) is claimed and sent at most once.
-        for result in message.carried_results:
+        results = message.carried_results
+        if self.faults is not None:
+            # Injected duplication can replay a QUERY (the answerer
+            # responds twice) or a QUERY-HIT (the same hit arrives
+            # twice); each (provider, resource) counts once per query.
+            # (Gated so the pinned faults=None path stays untouched.)
+            seen = context.extra.setdefault("hit_identities", set())
+            results = [result for result in results
+                       if (result.provider_id, result.resource_id) not in seen]
+            seen.update((result.provider_id, result.resource_id)
+                        for result in results)
+        for result in results:
             if len(context.results) >= context.max_results:
                 break
             context.add_result(result)
@@ -821,6 +1271,7 @@ class PeerNetwork(ABC):
         kernel.register(MessageType.DOWNLOAD_REQUEST, self._on_download_request)
         kernel.register(MessageType.DOWNLOAD_RESPONSE, self._on_download_response)
         kernel.register(MessageType.QUERY_HIT, self._on_query_hit)
+        kernel.register(MessageType.ACK, self._on_ack)
 
     def _on_peer_added(self, peer: Peer) -> None:
         """Subclass hook: wire a new peer into the overlay."""

@@ -87,7 +87,9 @@ class CentralizedProtocol(PeerNetwork):
         if self.live_membership:
             # The registration is real traffic: the catalog learns of
             # the object when the REGISTER *arrives* at the server.
-            self.kernel.send(register_message(
+            # Reliable: a lost registration makes the object invisible
+            # until the peer next rejoins.
+            self.send_reliable(register_message(
                 peer_id, INDEX_SERVER_ID, community_id=community_id,
                 resource_id=resource_id, metadata_bytes=metadata_bytes,
                 payload_object=(dict(metadata), title)))
@@ -293,11 +295,13 @@ class CentralizedProtocol(PeerNetwork):
         idempotent, and costs the full upload either way, which is the
         maintenance price the centralized organisation pays for churn.
         """
-        self.kernel.send(join_message(peer.peer_id, INDEX_SERVER_ID))
+        # JOIN and the re-uploads are the traffic this peer's whole
+        # visibility rides on — reliable delivery retries them.
+        self.send_reliable(join_message(peer.peer_id, INDEX_SERVER_ID))
         for stored in peer.repository.documents:
             metadata = stored.metadata
             metadata_bytes = metadata_wire_bytes(metadata)
-            self.kernel.send(register_message(
+            self.send_reliable(register_message(
                 peer.peer_id, INDEX_SERVER_ID, community_id=stored.community_id,
                 resource_id=stored.resource_id, metadata_bytes=metadata_bytes,
                 payload_object=(dict(metadata), stored.title)))

@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the peer-to-peer substrate.
+
+The simulator's links are perfect by default: nothing is ever lost,
+duplicated or delayed beyond the latency model, and the only failure
+mode is a peer churning offline.  This module adds the faults a real
+deployment actually sees — per-link message loss, duplication, extra
+delay, scheduled partitions between topology regions and crash-stop
+peer failures — while keeping every run bit-reproducible.
+
+Determinism contract
+--------------------
+Every fault decision is drawn from a *dedicated* RNG stream, so the
+latency model's per-pair jitter streams are never perturbed: a
+:class:`FaultPlan` with all rates at ``0.0`` produces runs bit-identical
+to ``faults=None``.  Each decision seeds its own ``random.Random`` from
+``zlib.crc32`` over ``(plan seed, decision ordinal)``.  The ordinal is
+the message's position in the network's deterministic send order — a
+per-message identity *within the run* — rather than the global
+``msg-N`` token, because that counter never resets between runs in one
+process and keying on it would break run-twice reproducibility.  Send
+order is identical under ``shards=1`` and ``shards=N`` (the sharded
+kernel's conservative window barrier reproduces single-queue execution
+exactly), so fault decisions — and therefore the drop/duplicate/retry
+counters — are bit-identical across shard counts and across interpreter
+hash seeds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One scheduled link partition: traffic between the two sides is
+    cut during ``[start_ms, end_ms)`` and heals afterwards.
+
+    Only links *crossing* the cut are affected; traffic within either
+    side (or touching a node named on neither side) flows normally.
+    """
+
+    start_ms: float
+    end_ms: float
+    left: tuple[str, ...]
+    right: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject into one run.
+
+    Rates are per-message probabilities in ``[0, 1]``; a message is
+    first tested against any partition window (a deterministic cut,
+    no randomness), then against loss, duplication and extra delay.
+    ``link_loss`` overrides the default ``loss_rate`` for specific
+    links (symmetric; ``(a, b, rate)`` covers both directions).
+    ``crashes`` schedules crash-stop failures: ``(peer_id, at_ms)``
+    takes the peer offline permanently at that virtual time.
+
+    All times (partition windows, crash instants) are relative to the
+    moment the plan is *installed* on a network — at construction for a
+    directly-built network, at the start of the workload phase for a
+    scenario (bootstrap is structural setup and stays fault-free).
+    """
+
+    seed: int = 0
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    extra_delay_rate: float = 0.0
+    extra_delay_ms: float = 0.0
+    #: duplicated deliveries arrive up to this long after the original
+    duplicate_spread_ms: float = 40.0
+    link_loss: tuple[tuple[str, str, float], ...] = ()
+    partitions: tuple[PartitionWindow, ...] = ()
+    crashes: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "extra_delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate!r}")
+        if self.extra_delay_ms < 0 or self.duplicate_spread_ms < 0:
+            raise ValueError("fault delays must be non-negative")
+        for source, target, rate in self.link_loss:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"link loss rate for {source!r}<->{target!r} must be "
+                    f"within [0, 1], got {rate!r}")
+        for window in self.partitions:
+            if window.start_ms < 0 or window.end_ms <= window.start_ms:
+                raise ValueError("partition windows need 0 <= start < end")
+            if not window.left or not window.right:
+                raise ValueError("partition windows need nodes on both sides")
+        for peer_id, at_ms in self.crashes:
+            if at_ms < 0:
+                raise ValueError(f"crash time for {peer_id!r} must be non-negative")
+
+
+class FaultDecision:
+    """What the fault model decided for one message send."""
+
+    __slots__ = ("drop", "partitioned", "duplicate", "extra_delay_ms",
+                 "duplicate_lag_ms")
+
+    def __init__(self, *, drop: bool = False, partitioned: bool = False,
+                 duplicate: bool = False, extra_delay_ms: float = 0.0,
+                 duplicate_lag_ms: float = 0.0) -> None:
+        self.drop = drop
+        self.partitioned = partitioned
+        self.duplicate = duplicate
+        self.extra_delay_ms = extra_delay_ms
+        self.duplicate_lag_ms = duplicate_lag_ms
+
+
+#: the no-fault decision, shared: the common case allocates nothing
+_CLEAN = FaultDecision()
+_PARTITION_DROP = FaultDecision(drop=True, partitioned=True)
+_LOSS_DROP = FaultDecision(drop=True)
+
+
+class FaultModel:
+    """Executable form of a :class:`FaultPlan`.
+
+    The kernel consults :meth:`decide` once per message send (local
+    deliveries — sender == recipient — are never faulted; they model
+    in-process work, not a link).
+    """
+
+    def __init__(self, plan: FaultPlan, *, epoch_ms: float = 0.0) -> None:
+        self.plan = plan
+        #: virtual time the plan was installed; window times are
+        #: interpreted relative to it
+        self.epoch_ms = epoch_ms
+        self._link_loss: dict[tuple[str, str], float] = {}
+        for source, target, rate in plan.link_loss:
+            self._link_loss[(source, target)] = rate
+            self._link_loss[(target, source)] = rate
+        self._partitions = [
+            (window.start_ms, window.end_ms, frozenset(window.left), frozenset(window.right))
+            for window in plan.partitions
+        ]
+        self._random_faults = bool(
+            plan.loss_rate or plan.duplicate_rate or plan.extra_delay_rate
+            or self._link_loss)
+        # Decision ordinal: the per-message key of the dedicated fault
+        # stream (see the module docstring for why it is not ``msg-N``).
+        self._decisions = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def partitioned(self, sender: str, recipient: str, now_ms: float) -> bool:
+        """Is the ``sender -> recipient`` link cut at ``now_ms``?"""
+        elapsed = now_ms - self.epoch_ms
+        for start, end, left, right in self._partitions:
+            if start <= elapsed < end and (
+                    (sender in left and recipient in right)
+                    or (sender in right and recipient in left)):
+                return True
+        return False
+
+    def _loss_rate(self, sender: str, recipient: str) -> float:
+        override = self._link_loss.get((sender, recipient))
+        return override if override is not None else self.plan.loss_rate
+
+    def _rng(self) -> random.Random:
+        ordinal = next(self._decisions)
+        key = zlib.crc32(f"{self.plan.seed}:{ordinal}".encode("utf-8"))
+        return random.Random(key)
+
+    def decide(self, sender: str, recipient: str, now_ms: float) -> FaultDecision:
+        """One message's fate, decided at send time.
+
+        A partition cut is deterministic and consumes no randomness;
+        all probabilistic faults draw from this message's own
+        crc32-keyed stream, so enabling one fault kind never shifts
+        the draws of another.
+        """
+        if sender == recipient:
+            return _CLEAN
+        if self._partitions and self.partitioned(sender, recipient, now_ms):
+            return _PARTITION_DROP
+        if not self._random_faults:
+            return _CLEAN
+        plan = self.plan
+        rng = self._rng()
+        # The four rolls are drawn unconditionally, in a fixed order:
+        # each fault kind's outcome then depends only on the plan seed,
+        # the ordinal and its own rate — changing one rate never shifts
+        # another kind's per-message pattern.
+        loss_roll = rng.random()
+        duplicate_roll = rng.random()
+        delay_roll = rng.random()
+        lag_roll = rng.random()
+        if loss_roll < self._loss_rate(sender, recipient):
+            return _LOSS_DROP
+        duplicate = duplicate_roll < plan.duplicate_rate
+        extra_delay = plan.extra_delay_ms if delay_roll < plan.extra_delay_rate else 0.0
+        if not duplicate and extra_delay == 0.0:
+            return _CLEAN
+        lag = lag_roll * plan.duplicate_spread_ms if duplicate else 0.0
+        return FaultDecision(duplicate=duplicate, extra_delay_ms=extra_delay,
+                             duplicate_lag_ms=lag)
+
+
+def build_fault_model(plan: Optional[FaultPlan], *,
+                      epoch_ms: float = 0.0) -> Optional[FaultModel]:
+    """A :class:`FaultModel` for ``plan``, or ``None`` for no faults."""
+    if plan is None:
+        return None
+    if not isinstance(plan, FaultPlan):
+        raise TypeError(f"faults must be a FaultPlan or None, got {type(plan).__name__}")
+    return FaultModel(plan, epoch_ms=epoch_ms)

@@ -13,10 +13,20 @@ message per neighbour to the kernel; each delivery at a not-yet-visited
 peer evaluates the query locally (attribute-index intersection),
 schedules a QUERY-HIT back along the reverse path, and re-floods to its
 own neighbours with the TTL decremented.  Deliveries at peers that
-already saw the query — or that churned offline while the message was
+already saw the query — or that churned offline while the message is
 in flight — are dropped, which is how duplicate suppression and
 mid-query churn fall out of the message model instead of being special
 cases of a graph walk.
+
+Reliability stance: gnutella's traffic is *best-effort by design*, so
+the ``reliable_delivery`` knob changes nothing here except downloads
+(the shared DOWNLOAD-REQUEST envelope in the base class).  The flood's
+redundancy — many paths, duplicate suppression — is its loss recovery:
+under injected message loss a query hit can still arrive along another
+path, and the duplicate-suppression ``visited`` set makes duplicated
+QUERY deliveries harmless.  PING/PONG keepalives are likewise
+unacknowledged; a lost heartbeat is indistinguishable from a dead
+neighbour one lease later, exactly as in the real protocol.
 """
 
 from __future__ import annotations

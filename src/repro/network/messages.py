@@ -36,6 +36,9 @@ class MessageType(Enum):
     LEAF_ATTACH = "leaf-attach"
     LEAF_DETACH = "leaf-detach"
     AD_RENEW = "ad-renew"
+    # Reliable-delivery envelope: a header-only acknowledgement echoing
+    # the acknowledged message's id (see ``PeerNetwork.send_reliable``).
+    ACK = "ack"
 
 
 _HEADER_BYTES = 23  # Gnutella descriptor header size
@@ -94,6 +97,13 @@ class Message:
     attachment_uri: str = ""
     carried_results: tuple = ()
     payload_object: object = None
+    #: reliable-delivery envelope: when non-empty, the kernel sends an
+    #: ACK back to this node id once the message is handled on arrival
+    ack_to: str = ""
+    #: chunked-download framing (``download_chunk_bytes`` mode): this
+    #: chunk's ordinal and the transfer's chunk count (0 = unchunked)
+    chunk_index: int = 0
+    chunk_total: int = 0
 
     def forwarded(self, sender: str, recipient: str) -> "Message":
         """A copy of this message forwarded one hop further.
@@ -287,10 +297,54 @@ def download_response(sender: str, recipient: str, resource_id: str, *,
     )
 
 
+def ack_message(sender: str, recipient: str, *, message_id: str) -> Message:
+    """Acknowledge one reliably-sent message (header-only).
+
+    The ACK reuses the acknowledged message's id, which is how the
+    sender's pending-ACK table correlates it; a retransmitted original
+    therefore produces ACKs that all resolve the same entry.
+    """
+    return Message(
+        type=MessageType.ACK,
+        sender=sender,
+        recipient=recipient,
+        message_id=message_id,
+    )
+
+
+def download_chunk(sender: str, recipient: str, resource_id: str, *,
+                   index: int, total: int, size_bytes: int,
+                   payload_object: object = None) -> Message:
+    """One chunk of a chunked download (``download_chunk_bytes`` mode).
+
+    The stored object rides the final chunk; the requester assembles
+    the transfer from chunk ordinals, so loss or reordering of any
+    chunk is detectable by the stall watchdog instead of silently
+    corrupting the download.
+    """
+    return Message(
+        type=MessageType.DOWNLOAD_RESPONSE,
+        sender=sender,
+        recipient=recipient,
+        resource_id=resource_id,
+        payload_bytes=size_bytes,
+        chunk_index=index,
+        chunk_total=total,
+        payload_object=payload_object,
+    )
+
+
 def attachment_transfer(sender: str, recipient: str, resource_id: str, *,
                         uri: str, size_bytes: int, payload_object: object = None,
-                        message_id: Optional[str] = None) -> Message:
-    """One attachment of a download, transferred as its own event."""
+                        message_id: Optional[str] = None,
+                        chunk_index: int = 0, chunk_total: int = 0) -> Message:
+    """One attachment of a download, transferred as its own event.
+
+    In chunked-download mode the attachment is itself streamed as
+    paced chunks (``chunk_total`` set, the payload riding the final
+    chunk) so a provider crash mid-attachment is detectable by the
+    requester's stall watchdog.
+    """
     return Message(
         type=MessageType.DOWNLOAD_RESPONSE,
         sender=sender,
@@ -300,4 +354,6 @@ def attachment_transfer(sender: str, recipient: str, resource_id: str, *,
         payload_bytes=size_bytes,
         attachment_uri=uri,
         payload_object=payload_object,
+        chunk_index=chunk_index,
+        chunk_total=chunk_total,
     )

@@ -209,7 +209,9 @@ class RendezvousProtocol(PeerNetwork):
             return
         target = online[zlib.crc32(peer.peer_id.encode("utf-8")) % len(online)]
         peer.super_peer_id = target
-        self.kernel.send(leaf_attach_message(peer.peer_id, target))
+        # Attachment is the edge's whole visibility — reliable delivery
+        # retries it (and the renewals below) under faults.
+        self.send_reliable(leaf_attach_message(peer.peer_id, target))
         self._readvertise(peer, target)
         self._last_renewed[peer.peer_id] = now
 
@@ -233,7 +235,7 @@ class RendezvousProtocol(PeerNetwork):
         for stored in peer.repository.documents:
             metadata = stored.metadata
             metadata_bytes = metadata_wire_bytes(metadata)
-            self.kernel.send(ad_renew_message(
+            self.send_reliable(ad_renew_message(
                 peer.peer_id, target, community_id=stored.community_id,
                 resource_id=stored.resource_id, metadata_bytes=metadata_bytes,
                 payload_object=(dict(metadata), stored.title)))
@@ -380,7 +382,7 @@ class RendezvousProtocol(PeerNetwork):
         target = peer.super_peer_id
         if target is None:
             return
-        self.kernel.send(register_message(
+        self.send_reliable(register_message(
             peer.peer_id, target, community_id=community_id,
             resource_id=resource_id, metadata_bytes=metadata_bytes,
             payload_object=(dict(metadata), title)))

@@ -27,6 +27,21 @@ from typing import Callable, Optional
 _TIME, _SEQUENCE, _CALLBACK, _ARGS = 0, 1, 2, 3
 
 
+class SimulationTruncated(RuntimeError):
+    """``run(max_events=...)`` hit its event cap with work still eligible.
+
+    A capped run that stops silently is indistinguishable from a
+    completed one — under fault injection that would let a starved run
+    masquerade as a finished scenario — so hitting the cap with
+    eligible events still queued raises instead.  ``processed`` carries
+    how many events ran before the cap.
+    """
+
+    def __init__(self, message: str, *, processed: int) -> None:
+        super().__init__(message)
+        self.processed = processed
+
+
 class EventHandle:
     """Handle returned by :meth:`NetworkSimulator.schedule`; allows cancelling."""
 
@@ -135,7 +150,10 @@ class NetworkSimulator:
     def run(self, until_ms: Optional[float] = None, *, max_events: int = 1_000_000) -> int:
         """Process events until the queue is empty or ``until_ms`` is reached.
 
-        Returns the number of events processed in this call.
+        Returns the number of events processed in this call.  Hitting
+        ``max_events`` with eligible events still queued raises
+        :class:`SimulationTruncated` — a capped run must never
+        masquerade as a completed one.
         """
         processed = 0
         while self._queue and processed < max_events:
@@ -151,9 +169,25 @@ class NetworkSimulator:
             callback(*entry[_ARGS])
             processed += 1
             self.events_processed += 1
+        if processed >= max_events and self._has_eligible(until_ms):
+            raise SimulationTruncated(
+                f"run() hit max_events={max_events} with eligible events still "
+                f"queued at t={self._now:.3f}ms", processed=processed)
         if until_ms is not None and self._now < until_ms:
             self._now = until_ms
         return processed
+
+    def _has_eligible(self, until_ms: Optional[float]) -> bool:
+        """Any live queued event within the ``until_ms`` horizon?
+
+        Runs only on the cap-hit error path, so the linear scan over
+        the heap costs nothing in normal operation.
+        """
+        for entry in self._queue:
+            if entry[_CALLBACK] is not None and (
+                    until_ms is None or entry[_TIME] <= until_ms):
+                return True
+        return False
 
     def step(self) -> bool:
         """Process exactly one pending event (skipping cancelled ones).

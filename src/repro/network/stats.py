@@ -17,7 +17,7 @@ CONTROL_TYPE_VALUES = frozenset({
     MessageType.REGISTER.value, MessageType.UNREGISTER.value,
     MessageType.JOIN.value, MessageType.LEAVE.value,
     MessageType.LEAF_ATTACH.value, MessageType.LEAF_DETACH.value,
-    MessageType.AD_RENEW.value,
+    MessageType.AD_RENEW.value, MessageType.ACK.value,
 })
 QUERY_TYPE_VALUES = frozenset({MessageType.QUERY.value, MessageType.QUERY_HIT.value})
 DOWNLOAD_TYPE_VALUES = frozenset({
@@ -81,6 +81,21 @@ class NetworkStats:
     #: cached results served whose provider was offline at serve time —
     #: the stale answers the cache's TTL/invalidation rules bound
     cache_stale_served: int = 0
+    # Fault / recovery axis (``faults`` + reliable-delivery modes): what
+    # the injected faults cost and what the hardening recovered.
+    #: deliveries lost to injected faults (loss draws + partition cuts)
+    dropped: int = 0
+    #: of ``dropped``, those cut by a scheduled partition window
+    partition_dropped: int = 0
+    #: extra deliveries produced by the duplication fault
+    duplicated: int = 0
+    #: reliable-envelope retransmissions plus same-provider download
+    #: re-requests
+    retries: int = 0
+    #: reliable sends (or downloads) abandoned after the retry budget
+    timeouts: int = 0
+    #: downloads re-pointed at the next-ranked replica mid-transfer
+    failovers: int = 0
 
     # ------------------------------------------------------------------
     def record_message(self, message: Message, copies: int = 1) -> None:
@@ -122,6 +137,39 @@ class NetworkStats:
 
     def record_cache_miss(self) -> None:
         self.cache_misses += 1
+
+    def record_drop(self, *, partition: bool = False) -> None:
+        """One delivery lost to an injected fault."""
+        self.dropped += 1
+        if partition:
+            self.partition_dropped += 1
+
+    def record_duplicate(self) -> None:
+        """One extra delivery produced by the duplication fault."""
+        self.duplicated += 1
+
+    def record_retry(self) -> None:
+        """One retransmission (reliable envelope or download re-request)."""
+        self.retries += 1
+
+    def record_timeout(self) -> None:
+        """One reliable exchange abandoned after exhausting its retries."""
+        self.timeouts += 1
+
+    def record_failover(self) -> None:
+        """One download re-pointed at the next-ranked replica."""
+        self.failovers += 1
+
+    def fault_summary(self) -> dict[str, int]:
+        """The fault/recovery axis as one comparable dictionary."""
+        return {
+            "dropped": self.dropped,
+            "partition_dropped": self.partition_dropped,
+            "duplicated": self.duplicated,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failovers": self.failovers,
+        }
 
     def cache_hit_ratio(self) -> float:
         lookups = self.cache_hits + self.cache_misses
@@ -240,6 +288,12 @@ class NetworkStats:
             "cache_misses": float(self.cache_misses),
             "cache_hit_ratio": self.cache_hit_ratio(),
             "cache_stale_served": float(self.cache_stale_served),
+            "dropped": float(self.dropped),
+            "partition_dropped": float(self.partition_dropped),
+            "duplicated": float(self.duplicated),
+            "retries": float(self.retries),
+            "timeouts": float(self.timeouts),
+            "failovers": float(self.failovers),
         }
 
     def reset(self) -> None:
@@ -256,3 +310,9 @@ class NetworkStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_stale_served = 0
+        self.dropped = 0
+        self.partition_dropped = 0
+        self.duplicated = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.failovers = 0

@@ -211,11 +211,13 @@ class SuperPeerProtocol(PeerNetwork):
         # Grace stamp: trust the new super until the first heartbeat
         # round has had a chance to be answered.
         peer.last_pong_ms[target] = now
-        self.kernel.send(leaf_attach_message(peer.peer_id, target))
+        # Attachment and the metadata re-upload are the leaf's whole
+        # searchability — reliable delivery retries them under faults.
+        self.send_reliable(leaf_attach_message(peer.peer_id, target))
         for stored in peer.repository.documents:
             metadata = stored.metadata
             metadata_bytes = metadata_wire_bytes(metadata)
-            self.kernel.send(register_message(
+            self.send_reliable(register_message(
                 peer.peer_id, target, community_id=stored.community_id,
                 resource_id=stored.resource_id, metadata_bytes=metadata_bytes,
                 payload_object=(dict(metadata), stored.title)))
@@ -370,7 +372,7 @@ class SuperPeerProtocol(PeerNetwork):
         target = peer.super_peer_id
         if target is None:
             return
-        self.kernel.send(register_message(
+        self.send_reliable(register_message(
             peer.peer_id, target, community_id=community_id,
             resource_id=resource_id, metadata_bytes=metadata_bytes,
             payload_object=(dict(metadata), title)))

@@ -79,11 +79,19 @@ class ReplicaRegistry:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def holders(self, resource_id: str) -> list[str]:
-        """Every known holder, originals first, deterministic order."""
+    def holders(self, resource_id: str, *,
+                exclude: frozenset[str] = frozenset()) -> list[str]:
+        """Every known holder, originals first, deterministic order.
+
+        ``exclude`` filters peers out of the ranking — download
+        failover passes the requester plus the providers that already
+        crashed or stalled out of the transfer, so the next-ranked
+        surviving replica is chosen deterministically.
+        """
         entries = self._entries.get(resource_id, {})
         return [entry.peer_id for entry in sorted(
-            entries.values(), key=lambda entry: (entry.provenance != ORIGINAL, entry.peer_id))]
+            entries.values(), key=lambda entry: (entry.provenance != ORIGINAL, entry.peer_id))
+            if entry.peer_id not in exclude]
 
     def provenance(self, resource_id: str, peer_id: str) -> str | None:
         entry = self._entries.get(resource_id, {}).get(peer_id)

@@ -26,6 +26,7 @@ from repro.core.servent import Servent
 from repro.engine.driver import BatchOutcome, QueryDriver, RetrieveOp, SearchOp, WorkloadOp
 from repro.network.base import PeerNetwork
 from repro.network.centralized import CentralizedProtocol
+from repro.network.faults import FaultPlan
 from repro.network.gnutella import GnutellaProtocol
 from repro.network.membership import PopulationModel
 from repro.network.rendezvous import RendezvousProtocol
@@ -108,6 +109,29 @@ class ScenarioConfig:
     #: windowed barrier is pinned bit-identical to shards=1 by the
     #: cross-shard determinism contract
     shards: int = 1
+    #: deterministic fault plan (message loss, duplication, partitions,
+    #: crash-stop failures) applied at delivery time; ``None`` (the
+    #: default) keeps the fault-free path pinned bit-identical by the
+    #: fault contract
+    faults: Optional[FaultPlan] = None
+    #: acknowledge-and-retry envelope around the registration-style
+    #: control traffic (REGISTER / JOIN / LEAF-ATTACH / AD-RENEW /
+    #: DOWNLOAD-REQUEST); off by default — with it off the ack machinery
+    #: never engages and behaviour is bit-identical to the seed
+    reliable_delivery: bool = False
+    #: base ack timeout of the reliable envelope (doubles per attempt,
+    #: capped at 8x)
+    retry_timeout_ms: float = 250.0
+    #: total send attempts (first try included) before the envelope
+    #: gives up on a message or a download provider
+    retry_max_attempts: int = 4
+    #: serve downloads as a paced stream of chunks of this size instead
+    #: of one up-front scheduled response; required for mid-transfer
+    #: failover (``None`` keeps the legacy single-shot transfer)
+    download_chunk_bytes: Optional[int] = None
+    #: requester-side watchdog period: how long a download may make no
+    #: progress before the requester re-requests or fails over
+    download_stall_timeout_ms: float = 500.0
     #: convenience alias for big runs: when set, overrides ``peers``
     #: (the scale benchmark and examples speak in populations)
     population: Optional[int] = None
@@ -149,6 +173,16 @@ class ScenarioConfig:
             raise ValueError("the result cache TTL must be positive")
         if not 0.0 <= self.query_repeat_alpha <= 1.0:
             raise ValueError("query_repeat_alpha must be within [0, 1]")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError("faults must be a FaultPlan or None")
+        if self.retry_timeout_ms <= 0:
+            raise ValueError("the retry timeout must be positive")
+        if self.retry_max_attempts < 1:
+            raise ValueError("need at least one delivery attempt")
+        if self.download_chunk_bytes is not None and self.download_chunk_bytes < 1:
+            raise ValueError("download chunks need at least one byte")
+        if self.download_stall_timeout_ms <= 0:
+            raise ValueError("the download stall timeout must be positive")
         if self.live_membership and self.protocol == "rendezvous" \
                 and self.rendezvous_lease_ms < 2 * self.maintenance_interval_ms:
             # Renewals fire at lease/2 but only when a maintenance tick
@@ -285,7 +319,12 @@ def build_network(config: ScenarioConfig) -> PeerNetwork:
                   result_caching=config.result_caching,
                   cache_capacity=config.cache_capacity,
                   cache_ttl_ms=config.cache_ttl_ms,
-                  shards=config.shards)
+                  shards=config.shards,
+                  reliable_delivery=config.reliable_delivery,
+                  retry_timeout_ms=config.retry_timeout_ms,
+                  retry_max_attempts=config.retry_max_attempts,
+                  download_chunk_bytes=config.download_chunk_bytes,
+                  download_stall_timeout_ms=config.download_stall_timeout_ms)
     if config.protocol == "gnutella":
         return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, **common)
     if config.protocol == "super-peer":
@@ -371,6 +410,13 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
             seed=config.seed,
         )
         churn.start([servent.peer_id for servent in servents[config.members:]])
+
+    if config.faults is not None:
+        # Faults arm only now: bootstrap (overlay construction, corpus
+        # publication, community joins) is structural setup, so the plan
+        # describes the measured workload environment and its window /
+        # crash times count from the start of the query phase.
+        network.install_faults(config.faults)
 
     # Reset the statistics so experiments measure the query phase only,
     # not community creation and publishing.  Session clocks restart at

@@ -15,7 +15,8 @@ from repro.engine.partition import (
 from repro.engine.sharded import ShardedSimulator
 from repro.network.messages import Message, MessageType
 from repro.network.peers import Peer
-from repro.network.simulator import LatencyModel, NetworkSimulator
+from repro.network.simulator import (LatencyModel, NetworkSimulator,
+                                     SimulationTruncated)
 from repro.network.stats import NetworkStats
 from repro.network.topology import Topology, build_topology
 
@@ -265,3 +266,26 @@ class TestCrossShardInFlight:
         assert simulator.pending_events() == 0
         simulator.run()
         assert fired == []
+
+
+class TestTruncationIsLoud:
+    def test_max_events_cap_with_leftover_work_raises(self):
+        _, simulator, _ = make_sharded_kernel()
+        for tick in range(10):
+            simulator.schedule(float(tick + 1), lambda: None)
+        with pytest.raises(SimulationTruncated) as excinfo:
+            simulator.run(max_events=5)
+        assert excinfo.value.processed == 5
+
+    def test_max_events_cap_without_leftover_work_returns_normally(self):
+        _, simulator, _ = make_sharded_kernel()
+        for tick in range(5):
+            simulator.schedule(float(tick + 1), lambda: None)
+        assert simulator.run(max_events=5) == 5
+
+    def test_max_events_cap_ignores_events_beyond_horizon(self):
+        _, simulator, _ = make_sharded_kernel()
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(1_000.0, lambda: None)
+        assert simulator.run(until_ms=10.0, max_events=1) == 1
+        assert simulator.now == 10.0

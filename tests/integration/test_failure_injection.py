@@ -139,3 +139,63 @@ class TestChurnDuringWorkload:
         watcher_app = joined_apps[-1]
         response = watcher_app.search({"title": record["title"]}, max_results=50)
         assert any(result.resource_id == published.resource_id for result in response.results)
+
+
+class TestProviderCrashMidDownload:
+    """A provider crash-stopping between chunks of an in-flight chunked
+    download must degrade to a slower transfer from the next-ranked
+    replica — never a lost download — and the recovery must show up in
+    the fault/recovery counters."""
+
+    def build(self, **knobs):
+        network = GnutellaProtocol(seed=21, degree=3, default_ttl=8,
+                                   reliable_delivery=True,
+                                   download_chunk_bytes=2_048,
+                                   download_stall_timeout_ms=400.0, **knobs)
+        alice = Servent("alice", network)
+        mirror = Servent("mirror", network)
+        requester = Servent("requester", network)
+        relays = [Servent(f"relay-{index}", network) for index in range(5)]
+        definition = design_pattern_community()
+        alice_app = definition.application_on(alice)
+        apps = []
+        for servent in (mirror, requester):
+            found = servent.search_communities("patterns").results[0]
+            apps.append(Application(servent, servent.join_community(found)))
+        network.build_overlay()
+        published = alice_app.publish(gof_pattern_records()[0])
+        return network, published.resource_id, apps
+
+    def test_failover_completes_the_download(self):
+        network, resource_id, (mirror_app, requester_app) = self.build()
+        # The mirror replicates the object first, so a second holder
+        # exists when the original provider crashes.
+        baseline = network.retrieve("mirror", "alice", resource_id)
+        assert network.replication_degree(resource_id) == 2
+
+        # Crash alice in the middle of the requester's transfer window.
+        network.simulator.post(baseline.latency_ms * 0.5,
+                               network._fault_crash, "alice")
+        recovered = network.retrieve("requester", "alice", resource_id)
+
+        assert recovered.stored is not None
+        assert recovered.provider_id == "mirror"
+        assert recovered.attachments_transferred == baseline.attachments_transferred
+        assert network.stats.failovers == 1
+        # The wasted partial stream is honest wire cost: the recovered
+        # transfer paid at least as many bytes as the clean one.
+        assert recovered.transfer_bytes >= baseline.transfer_bytes
+        assert recovered.latency_ms > baseline.latency_ms
+        # The requester is now a holder too: the failover replicated.
+        assert network.replication_degree(resource_id) == 3
+        response = requester_app.search("abstract", max_results=10)
+        assert response.result_count >= 1
+
+    def test_crash_without_replica_fails_with_timeout_recorded(self):
+        network, resource_id, _ = self.build()
+        network.simulator.post(5.0, network._fault_crash, "alice")
+        from repro.network.errors import TransferError
+        with pytest.raises(TransferError):
+            network.retrieve("requester", "alice", resource_id)
+        assert network.stats.timeouts >= 1
+        assert network.stats.failovers == 0

@@ -856,3 +856,142 @@ print(json.dumps({
         second = self.run_with_hash_seed(protocol, "4")
         assert first == second
         assert first["cache_hits"] > 0
+
+
+class TestFaultContract:
+    """Acceptance for deterministic fault injection.  ``faults=None``
+    (the default) must be bit-identical to the seed behaviour for all
+    four protocols whatever the reliability knobs say — including the
+    live-membership + caching + shards=4 cell.  And a fixed FaultPlan
+    seed must reproduce the exact drop/duplicate/retry/failover
+    counters across shard counts and across interpreter hash salts."""
+
+    CONFIG = dict(
+        peers=30,
+        members=12,
+        publishers=6,
+        corpus_size=40,
+        queries=16,
+        ttl=6,
+        seed=23,
+        concurrency=8,
+        query_interarrival_ms=20.0,
+    )
+
+    FAULTY = dict(
+        live_membership=True,
+        churn_session_ms=900.0,
+        churn_absence_ms=500.0,
+        reliable_delivery=True,
+        retry_timeout_ms=120.0,
+    )
+
+    def signature(self, **overrides):
+        from repro.network.faults import FaultPlan  # noqa: F401 (knob type)
+        scenario = build_scenario(ScenarioConfig(**{**self.CONFIG, **overrides}))
+        counts = scenario.run_queries(max_results=100)
+        stats = scenario.network.stats
+        return {
+            "counts": counts,
+            "total_messages": stats.total_messages,
+            "total_bytes": stats.total_bytes,
+            "by_type": dict(stats.messages_by_type),
+            "bytes_by_type": dict(stats.bytes_by_type),
+            "latencies": [round(record.latency_ms, 6) for record in stats.queries],
+            "faults": stats.fault_summary(),
+        }
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_faults_off_is_bit_identical_regardless_of_knobs(self, protocol):
+        """The knob plumbing leaks nothing: a default run agrees with an
+        explicit faults=None run under exotic (inert) reliability
+        timers, and no fault counter ever moves."""
+        default = self.signature(protocol=protocol)
+        explicit = self.signature(protocol=protocol, faults=None,
+                                  retry_timeout_ms=37.0, retry_max_attempts=9,
+                                  download_stall_timeout_ms=77.0)
+        assert default == explicit
+        assert all(value == 0.0 for value in default["faults"].values())
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_faults_off_live_caching_sharded_cell_unchanged(self, protocol):
+        """The busiest composed cell — live membership, churn, caching,
+        shards=4 — is equally pinned against the inert knobs."""
+        cell = dict(live_membership=True, churn_session_ms=1_500.0,
+                    churn_absence_ms=800.0, result_caching=True, shards=4)
+        default = self.signature(protocol=protocol, **cell)
+        explicit = self.signature(protocol=protocol, faults=None,
+                                  retry_timeout_ms=41.0, retry_max_attempts=7,
+                                  download_stall_timeout_ms=99.0, **cell)
+        assert default == explicit
+        assert all(value == 0.0 for value in default["faults"].values())
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_fault_counters_identical_across_shard_counts(self, protocol):
+        """A fixed fault seed drops/duplicates the *same* messages under
+        shards=1 and shards=4: every pinned observable — including the
+        fault and recovery counters — agrees exactly."""
+        from repro.network.faults import FaultPlan
+        plan = FaultPlan(seed=17, loss_rate=0.08, duplicate_rate=0.04)
+        single = self.signature(protocol=protocol, faults=plan,
+                                shards=1, **self.FAULTY)
+        sharded = self.signature(protocol=protocol, faults=plan,
+                                 shards=4, **self.FAULTY)
+        assert single == sharded
+        assert single["faults"]["dropped"] > 0
+
+
+class TestFaultHashSaltIndependence:
+    """Fault decisions and recovery counters must not depend on the
+    per-process string hash salt (crc32-keyed streams, no builtin
+    ``hash``): the same faulty cell replayed in subprocesses under two
+    ``PYTHONHASHSEED`` values commits identical counters."""
+
+    SCRIPT = """
+import json, sys
+from repro.network.faults import FaultPlan
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+scenario = build_scenario(ScenarioConfig(
+    protocol=sys.argv[1], peers=30, members=12, publishers=6,
+    corpus_size=40, queries=16, community="design-patterns", ttl=6,
+    seed=23, concurrency=8, query_interarrival_ms=20.0,
+    live_membership=True, churn_session_ms=900.0, churn_absence_ms=500.0,
+    reliable_delivery=True, retry_timeout_ms=120.0,
+    faults=FaultPlan(seed=17, loss_rate=0.08, duplicate_rate=0.04)))
+counts = scenario.run_queries(max_results=100)
+stats = scenario.network.stats
+print(json.dumps({
+    "counts": counts,
+    "messages": stats.total_messages,
+    "bytes": stats.total_bytes,
+    "faults": stats.fault_summary(),
+}))
+"""
+
+    def run_with_hash_seed(self, protocol: str, hash_seed: str) -> dict:
+        import json
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(
+            os.environ,
+            PYTHONHASHSEED=hash_seed,
+            PYTHONPATH=str(pathlib.Path(repro.__file__).parents[1]),
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT, protocol],
+            capture_output=True, text=True, env=env, check=True, timeout=120,
+        )
+        return json.loads(completed.stdout)
+
+    @pytest.mark.parametrize("protocol", ("centralized", "super-peer"))
+    def test_fault_counters_identical_across_hash_salts(self, protocol):
+        first = self.run_with_hash_seed(protocol, "0")
+        second = self.run_with_hash_seed(protocol, "4")
+        assert first == second
+        assert first["faults"]["dropped"] > 0

@@ -1,0 +1,273 @@
+"""Tests for deterministic fault injection and the reliable-delivery
+envelope: plan validation, decision determinism, RNG-stream isolation
+(a zero-rate plan is bit-identical to ``faults=None``), retry/backoff
+recovery through partitions and loss, and crash-stop scheduling."""
+
+import pytest
+
+from repro.network.centralized import INDEX_SERVER_ID, CentralizedProtocol
+from repro.network.faults import (FaultModel, FaultPlan, PartitionWindow,
+                                  build_fault_model)
+from repro.network.gnutella import GnutellaProtocol
+from repro.network.rendezvous import RendezvousProtocol
+from repro.network.superpeer import SuperPeerProtocol
+from repro.storage.query import Query
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.xmlkit.parser import parse
+
+PROTOCOL_NAMES = ("centralized", "gnutella", "super-peer", "rendezvous")
+
+
+def publish_pattern(network, peer_id, name, intent="notify dependents"):
+    peer = network.peer(peer_id)
+    document = parse(f"<pattern><name>{name}</name><intent>{intent}</intent></pattern>").root
+    metadata = {"name": [name], "intent": [intent]}
+    result = peer.repository.publish("patterns", document, metadata, title=name)
+    network.publish(peer_id, "patterns", result.resource_id, metadata, title=name)
+    return result.resource_id
+
+
+def settle(network, ms):
+    network.simulator.run(until_ms=network.simulator.now + ms)
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        for field in ("loss_rate", "duplicate_rate", "extra_delay_rate"):
+            with pytest.raises(ValueError):
+                FaultPlan(**{field: 1.5})
+            with pytest.raises(ValueError):
+                FaultPlan(**{field: -0.1})
+
+    def test_delays_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            FaultPlan(extra_delay_ms=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_spread_ms=-1.0)
+
+    def test_link_loss_rate_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(link_loss=(("a", "b", 2.0),))
+
+    def test_partition_windows_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(partitions=(PartitionWindow(100.0, 50.0, ("a",), ("b",)),))
+        with pytest.raises(ValueError):
+            FaultPlan(partitions=(PartitionWindow(0.0, 50.0, (), ("b",)),))
+
+    def test_crash_times_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crashes=(("peer-1", -5.0),))
+
+    def test_build_fault_model_type_checked(self):
+        assert build_fault_model(None) is None
+        assert isinstance(build_fault_model(FaultPlan()), FaultModel)
+        with pytest.raises(TypeError):
+            build_fault_model({"loss_rate": 0.5})
+
+
+class TestFaultModelDecisions:
+    def decisions(self, plan, pairs, now_ms=0.0):
+        model = FaultModel(plan)
+        return [
+            (d.drop, d.partitioned, d.duplicate, d.extra_delay_ms, d.duplicate_lag_ms)
+            for d in (model.decide(a, b, now_ms) for a, b in pairs)
+        ]
+
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan(seed=3, loss_rate=0.3, duplicate_rate=0.2,
+                         extra_delay_rate=0.2, extra_delay_ms=15.0)
+        pairs = [(f"p{i}", f"p{i + 1}") for i in range(200)]
+        assert self.decisions(plan, pairs) == self.decisions(plan, pairs)
+
+    def test_seed_changes_decisions(self):
+        pairs = [(f"p{i}", f"p{i + 1}") for i in range(200)]
+        first = self.decisions(FaultPlan(seed=1, loss_rate=0.3), pairs)
+        second = self.decisions(FaultPlan(seed=2, loss_rate=0.3), pairs)
+        assert first != second
+
+    def test_changing_one_rate_does_not_shift_another_fault_kind(self):
+        """The four rolls are unconditional: turning duplication on must
+        not change *which* messages the same seed's loss pattern drops."""
+        pairs = [(f"p{i}", f"p{i + 1}") for i in range(300)]
+        loss_only = self.decisions(FaultPlan(seed=9, loss_rate=0.2), pairs)
+        loss_and_dup = self.decisions(
+            FaultPlan(seed=9, loss_rate=0.2, duplicate_rate=0.5), pairs)
+        assert [d[0] for d in loss_only] == [d[0] for d in loss_and_dup]
+        assert any(d[0] for d in loss_only)
+
+    def test_self_delivery_never_faulted(self):
+        model = FaultModel(FaultPlan(seed=1, loss_rate=1.0))
+        decision = model.decide("p1", "p1", 0.0)
+        assert not decision.drop and not decision.duplicate
+
+    def test_link_loss_overrides_default_rate_symmetrically(self):
+        plan = FaultPlan(seed=1, loss_rate=0.0, link_loss=(("a", "b", 1.0),))
+        model = FaultModel(plan)
+        assert model.decide("a", "b", 0.0).drop
+        assert model.decide("b", "a", 0.0).drop
+        assert not model.decide("a", "c", 0.0).drop
+
+    def test_partition_window_cuts_then_heals(self):
+        plan = FaultPlan(partitions=(
+            PartitionWindow(100.0, 200.0, ("a", "b"), ("c",)),))
+        model = FaultModel(plan)
+        assert not model.decide("a", "c", 50.0).drop
+        cut = model.decide("a", "c", 150.0)
+        assert cut.drop and cut.partitioned
+        assert model.decide("c", "b", 150.0).drop
+        assert not model.decide("a", "b", 150.0).drop  # same side
+        assert not model.decide("a", "c", 250.0).drop  # healed
+
+    def test_partition_times_are_relative_to_epoch(self):
+        plan = FaultPlan(partitions=(
+            PartitionWindow(0.0, 100.0, ("a",), ("b",)),))
+        model = FaultModel(plan, epoch_ms=5_000.0)
+        assert model.decide("a", "b", 5_050.0).drop
+        assert not model.decide("a", "b", 5_150.0).drop
+
+
+class TestRngStreamIsolation:
+    """Satellite regression: a FaultPlan with every rate at 0.0 must be
+    bit-identical to ``faults=None`` — the fault stream is drawn from
+    its own RNG and may never perturb latency jitter or workloads."""
+
+    CONFIG = dict(
+        peers=24, members=10, publishers=5, corpus_size=30, queries=12,
+        ttl=6, seed=23, concurrency=6, query_interarrival_ms=20.0,
+        live_membership=True, churn_session_ms=900.0, churn_absence_ms=500.0,
+    )
+
+    def signature(self, **overrides):
+        scenario = build_scenario(ScenarioConfig(**{**self.CONFIG, **overrides}))
+        counts = scenario.run_queries(max_results=100)
+        stats = scenario.network.stats
+        return {
+            "counts": counts,
+            "total_messages": stats.total_messages,
+            "total_bytes": stats.total_bytes,
+            "by_type": dict(stats.messages_by_type),
+            "latencies": [round(record.latency_ms, 6) for record in stats.queries],
+            "faults": stats.fault_summary(),
+        }
+
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_zero_rate_plan_is_bit_identical_to_none(self, protocol):
+        baseline = self.signature(protocol=protocol)
+        zeroed = self.signature(protocol=protocol, faults=FaultPlan(seed=99))
+        assert baseline["faults"] == zeroed["faults"]
+        assert all(value == 0.0 for value in zeroed["faults"].values())
+        assert baseline == zeroed
+
+
+class TestReliableEnvelope:
+    def build_live_centralized(self, **kwargs):
+        network = CentralizedProtocol(seed=7, **kwargs)
+        for index in range(6):
+            network.create_peer(f"peer-{index:03d}")
+        network.go_live()
+        return network
+
+    def test_register_retries_through_a_partition(self):
+        """A REGISTER sent while the sender is partitioned from the
+        index server is dropped, then retransmitted with backoff until
+        the partition heals — the registration lands instead of being
+        silently lost."""
+        partition = PartitionWindow(0.0, 150.0, ("peer-003",), (INDEX_SERVER_ID,))
+        network = self.build_live_centralized(
+            reliable_delivery=True, retry_timeout_ms=100.0,
+            faults=FaultPlan(partitions=(partition,)))
+        publish_pattern(network, "peer-003", "Observer")
+        settle(network, 1_000)
+        assert network.stats.partition_dropped >= 1
+        assert network.stats.retries >= 1
+        assert network.stats.timeouts == 0
+        response = network.search("peer-001", Query.keyword("patterns", "observer"))
+        assert response.result_count == 1
+
+    def test_register_lost_without_reliable_delivery(self):
+        """The same partition without the envelope loses the REGISTER
+        for good: the control case the retry machinery exists for."""
+        partition = PartitionWindow(0.0, 150.0, ("peer-003",), (INDEX_SERVER_ID,))
+        network = self.build_live_centralized(
+            reliable_delivery=False,
+            faults=FaultPlan(partitions=(partition,)))
+        publish_pattern(network, "peer-003", "Observer")
+        settle(network, 1_000)
+        assert network.stats.partition_dropped >= 1
+        assert network.stats.retries == 0
+        response = network.search("peer-001", Query.keyword("patterns", "observer"))
+        assert response.result_count == 0
+
+    def test_retries_give_up_after_max_attempts(self):
+        """A permanently dead link exhausts the attempt budget and is
+        recorded as a timeout instead of retrying forever."""
+        network = self.build_live_centralized(
+            reliable_delivery=True, retry_timeout_ms=50.0, retry_max_attempts=3,
+            faults=FaultPlan(link_loss=(("peer-003", INDEX_SERVER_ID, 1.0),)))
+        publish_pattern(network, "peer-003", "Observer")
+        settle(network, 5_000)
+        assert network.stats.retries == 2  # attempts 2 and 3
+        assert network.stats.timeouts == 1
+
+    def test_duplicated_registrations_are_harmless(self):
+        network = self.build_live_centralized(
+            reliable_delivery=True,
+            faults=FaultPlan(seed=2, duplicate_rate=1.0))
+        publish_pattern(network, "peer-003", "Observer")
+        settle(network, 1_000)
+        assert network.stats.duplicated >= 1
+        response = network.search("peer-001", Query.keyword("patterns", "observer"))
+        assert response.result_count == 1
+
+    def test_crash_plan_takes_peer_offline_at_its_time(self):
+        network = self.build_live_centralized(
+            faults=FaultPlan(crashes=(("peer-004", 500.0),)))
+        assert network.peer("peer-004").online
+        settle(network, 400)
+        assert network.peer("peer-004").online
+        settle(network, 200)
+        assert not network.peer("peer-004").online
+        settle(network, 1_000)
+        assert not network.peer("peer-004").online  # crash-stop: never returns
+
+    def test_extra_delay_slows_but_never_loses(self):
+        slow = self.build_live_centralized(
+            faults=FaultPlan(seed=3, extra_delay_rate=1.0, extra_delay_ms=40.0))
+        publish_pattern(slow, "peer-003", "Observer")
+        settle(slow, 2_000)
+        response = slow.search("peer-001", Query.keyword("patterns", "observer"))
+        assert response.result_count == 1
+        fast = self.build_live_centralized(faults=None)
+        publish_pattern(fast, "peer-003", "Observer")
+        settle(fast, 2_000)
+        baseline = fast.search("peer-001", Query.keyword("patterns", "observer"))
+        assert response.latency_ms > baseline.latency_ms
+
+
+class TestScenarioFaultKnobs:
+    def test_scenario_validates_fault_knobs(self):
+        with pytest.raises(TypeError):
+            ScenarioConfig(faults={"loss_rate": 0.5})
+        with pytest.raises(ValueError):
+            ScenarioConfig(retry_timeout_ms=0.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(retry_max_attempts=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(download_chunk_bytes=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(download_stall_timeout_ms=-1.0)
+
+    def test_bootstrap_is_fault_free(self):
+        """The plan arms at the start of the workload phase: even a
+        total-loss plan cannot break community building or publishing."""
+        scenario = build_scenario(ScenarioConfig(
+            protocol="centralized", peers=10, members=5, publishers=2,
+            corpus_size=10, queries=4, seed=3,
+            faults=FaultPlan(seed=1, loss_rate=1.0)))
+        assert scenario.network.faults is not None
+        assert scenario.network.faults.epoch_ms == scenario.network.simulator.now
+        # Queries themselves are then torn apart by the total loss.
+        counts = scenario.run_queries()
+        assert sum(counts) == 0
+        assert scenario.network.stats.dropped > 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.simulator import LatencyModel, NetworkSimulator
+from repro.network.simulator import LatencyModel, NetworkSimulator, SimulationTruncated
 
 
 class TestLatencyModel:
@@ -173,12 +173,39 @@ class TestSimulator:
         with pytest.raises(ValueError):
             NetworkSimulator().transfer_time("a", "b", 100, bandwidth_kbps=0)
 
-    def test_max_events_guard(self):
+    def test_max_events_guard_raises_on_truncation(self):
         simulator = NetworkSimulator()
 
         def reschedule():
             simulator.schedule(1, reschedule)
 
         simulator.schedule(1, reschedule)
-        processed = simulator.run(max_events=50)
-        assert processed == 50
+        with pytest.raises(SimulationTruncated) as excinfo:
+            simulator.run(max_events=50)
+        assert excinfo.value.processed == 50
+
+    def test_max_events_cap_without_leftover_work_returns_normally(self):
+        simulator = NetworkSimulator()
+        ran = []
+        for index in range(5):
+            simulator.schedule(index, ran.append, index)
+        assert simulator.run(max_events=5) == 5
+        assert ran == [0, 1, 2, 3, 4]
+
+    def test_max_events_cap_ignores_events_beyond_horizon(self):
+        # Leftover events past until_ms are not truncation: the run
+        # legitimately stops at the horizon.
+        simulator = NetworkSimulator()
+        for index in range(5):
+            simulator.schedule(index, lambda: None)
+        simulator.schedule(1_000, lambda: None)
+        assert simulator.run(until_ms=10, max_events=5) == 5
+        assert simulator.now == 10
+
+    def test_max_events_cap_ignores_cancelled_leftovers(self):
+        simulator = NetworkSimulator()
+        for index in range(3):
+            simulator.schedule(index, lambda: None)
+        handle = simulator.schedule(50, lambda: None)
+        handle.cancel()
+        assert simulator.run(max_events=3) == 3
