@@ -101,8 +101,24 @@ RECORD: dict = {
 }
 
 
-def run_loss_cell(protocol: str, loss_rate: float, hardened: bool) -> dict:
-    """One loss-sweep cell: mixed workload under uniform message loss."""
+def run_loss_cell(protocol: str, loss_rate: float, hardened: bool,
+                  *, repeats: int = 3) -> dict:
+    """One loss-sweep cell: mixed workload under uniform message loss.
+
+    The simulation is deterministic, so every repeat produces the same
+    counters; only the wall clock varies.  Best-of-``repeats`` keeps a
+    one-off slow (or fast) sample from landing in the committed record
+    as if it were the trajectory — these cells run in tens of
+    milliseconds, where a single scheduler stall reads as a 5x swing."""
+    best = None
+    for _ in range(repeats):
+        sample = _run_loss_cell_once(protocol, loss_rate, hardened)
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    return best
+
+
+def _run_loss_cell_once(protocol: str, loss_rate: float, hardened: bool) -> dict:
     knobs = dict(HARDENED) if hardened else {}
     plan = FaultPlan(seed=FAULT_SEED, loss_rate=loss_rate) if loss_rate else None
     scenario = build_scenario(ScenarioConfig(
@@ -128,10 +144,20 @@ def run_loss_cell(protocol: str, loss_rate: float, hardened: bool) -> dict:
     }
 
 
-def run_outage_cell(protocol: str, hardened: bool) -> dict:
+def run_outage_cell(protocol: str, hardened: bool, *, repeats: int = 3) -> dict:
     """One partition-outage cell: a deterministic mid-workload cut
     between the pure searchers and everyone else (providers, relays and
-    the organisations' virtual hubs), healing before the workload ends."""
+    the organisations' virtual hubs), healing before the workload ends.
+    Best-of-``repeats`` wall clock, same counters every repeat."""
+    best = None
+    for _ in range(repeats):
+        sample = _run_outage_cell_once(protocol, hardened)
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    return best
+
+
+def _run_outage_cell_once(protocol: str, hardened: bool) -> dict:
     knobs = dict(OUTAGE_HARDENED) if hardened else {}
     config = ScenarioConfig(protocol=protocol, **knobs, **BASE)
     scenario = build_scenario(config)
@@ -207,25 +233,34 @@ def run_failover_demo() -> dict:
     return {"control_no_replica": control, "treatment_with_replica": treatment}
 
 
-def sweep_protocol(protocol: str) -> dict:
+def sweep_protocol(protocol: str, *, repeats: int = 3) -> dict:
     cells = []
     for loss_rate in LOSS_RATES:
         for hardened in (False, True):
-            cells.append(run_loss_cell(protocol, loss_rate, hardened))
+            cells.append(run_loss_cell(protocol, loss_rate, hardened,
+                                       repeats=repeats))
     outage = {
-        "legacy": run_outage_cell(protocol, False),
-        "hardened": run_outage_cell(protocol, True),
+        "legacy": run_outage_cell(protocol, False, repeats=repeats),
+        "hardened": run_outage_cell(protocol, True, repeats=repeats),
     }
     return {"cells": cells, "outage": outage}
 
 
+def _timing_repeats(request) -> int:
+    """Best-of-3 when wall time lands in the record; a single run under
+    ``--benchmark-disable`` (tier-1/fast-CI mode), where the record is
+    never written and only the deterministic counters matter."""
+    return 1 if request.config.getoption("benchmark_disable", False) else 3
+
+
 @pytest.mark.parametrize("protocol", PROTOCOLS)
-def test_bench_e12_fault_grid(benchmark, protocol):
+def test_bench_e12_fault_grid(benchmark, protocol, request):
     """Loss sweep + partition outage for one protocol, timed as one."""
+    repeats = _timing_repeats(request)
     samples = {}
 
     def measure():
-        samples["sweep"] = sweep_protocol(protocol)
+        samples["sweep"] = sweep_protocol(protocol, repeats=repeats)
         return samples["sweep"]
 
     benchmark.pedantic(measure, rounds=1, iterations=1)
