@@ -47,6 +47,12 @@ def samples(record: dict):
     # from the current record warn instead of failing (see main()).
     for label, sample in sorted(record.get("scale", {}).get("grid", {}).items()):
         yield f"scale/{label}", sample
+    # P3 parallel grid: one connected topology, serial vs. worker-
+    # process cells.  Guarding both modes catches a barrier-protocol
+    # change that quietly doubles the handshake cost as well as a serial
+    # hot-path regression smuggled in through the instrumentation hooks.
+    for label, sample in sorted(record.get("parallel", {}).get("grid", {}).items()):
+        yield f"parallel/{label}", sample
     # E12 fault grid: the faulty cells pay for drops, retries and the
     # chunked-download pacing, so their throughput is guarded per
     # (protocol, loss rate, hardened/legacy stack) cell — a reliable-

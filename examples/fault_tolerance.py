@@ -49,7 +49,7 @@ HARDENED = dict(
 
 
 def run(loss_rate: float, hardened: bool):
-    plan = FaultPlan(seed=17, loss_rate=loss_rate) if loss_rate else None
+    plan = FaultPlan(seed=43, loss_rate=loss_rate) if loss_rate else None
     knobs = dict(HARDENED) if hardened else {}
     scenario = build_scenario(ScenarioConfig(faults=plan, **knobs, **BASE))
     outcome = scenario.run_mixed_workload(max_results=50)

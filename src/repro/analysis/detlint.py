@@ -210,6 +210,15 @@ def _in_benchmark_scope(path: str) -> bool:
     return "benchmarks" in _path_parts(path)
 
 
+def _in_process_management_scope(path: str) -> bool:
+    """The two module families sanctioned to create processes (KERN002):
+    the parallel-shard runtime and the island-model workload runner."""
+    parts = _path_parts(path)
+    if "workloads" in parts:
+        return True
+    return len(parts) >= 2 and parts[-2:] == ("engine", "parallel.py")
+
+
 # ----------------------------------------------------------------------
 # Pass 2: the checker
 # ----------------------------------------------------------------------
@@ -259,6 +268,12 @@ class _Checker(ast.NodeVisitor):
     @property
     def _det004_active(self) -> bool:
         return self.scope_all or not _in_benchmark_scope(self.path)
+
+    @property
+    def _kern002_active(self) -> bool:
+        # The exemption is the rule's semantics, not a scope default:
+        # engine/parallel.py and workloads/ stay exempt under scope_all.
+        return not _in_process_management_scope(self.path)
 
     # -- set-ish expression detection ---------------------------------
     def _is_set_expr(self, node: ast.expr) -> bool:
@@ -361,6 +376,40 @@ class _Checker(ast.NodeVisitor):
             return
         self._check_comprehension(node, "a generator expression")
 
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._kern002_active:
+            for alias in node.names:
+                if alias.name == "multiprocessing" or alias.name.startswith("multiprocessing."):
+                    self._add(
+                        node,
+                        "KERN002",
+                        "direct multiprocessing use outside engine/parallel.py and "
+                        "workloads/; route process fan-out through "
+                        "ParallelShardRunner or workloads.scale",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._kern002_active and node.module is not None:
+            if node.module == "multiprocessing" or node.module.startswith("multiprocessing."):
+                self._add(
+                    node,
+                    "KERN002",
+                    "direct multiprocessing use outside engine/parallel.py and "
+                    "workloads/; route process fan-out through "
+                    "ParallelShardRunner or workloads.scale",
+                )
+            elif node.module == "os" and any(
+                alias.name in ("fork", "forkpty") for alias in node.names
+            ):
+                self._add(
+                    node,
+                    "KERN002",
+                    "importing os.fork outside engine/parallel.py and workloads/; "
+                    "a forked child inherits live kernel state mid-flight",
+                )
+        self.generic_visit(node)
+
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if node.attr == "_queue" and self._kern001_schedule_active:
             self._add(
@@ -401,6 +450,20 @@ class _Checker(ast.NodeVisitor):
 
         if isinstance(func, ast.Attribute):
             owner = func.value
+            # KERN002: raw process creation outside the sanctioned modules
+            if (
+                self._kern002_active
+                and isinstance(owner, ast.Name)
+                and owner.id == "os"
+                and func.attr in ("fork", "forkpty")
+            ):
+                self._add(
+                    node,
+                    "KERN002",
+                    f"os.{func.attr}() outside engine/parallel.py and workloads/; "
+                    "a forked child inherits live kernel state (heaps, RNG "
+                    "positions, interning tables) mid-flight",
+                )
             # DET003: the ambient global random stream
             if isinstance(owner, ast.Name) and owner.id == "random":
                 if func.attr in _GLOBAL_RANDOM_FNS:

@@ -106,6 +106,26 @@ RULES: dict[str, Rule] = {
             ),
         ),
         Rule(
+            id="KERN002",
+            summary="direct multiprocessing / os.fork use outside the sanctioned "
+            "process-management modules",
+            rationale=(
+                "Exactly two modules may create processes: "
+                "engine/parallel.py (the coordinator/worker barrier runtime "
+                "for process-parallel shard execution) and workloads/ (the "
+                "island-model population runner).  Both pick a spawn-safe "
+                "start method deliberately, surface worker crashes loudly, "
+                "and keep the determinism story — full-replica bootstrap, "
+                "content-keyed fault streams — intact across process "
+                "boundaries.  An ad-hoc multiprocessing import or os.fork() "
+                "anywhere else dodges those guarantees: a forked child "
+                "inherits live kernel state (heaps, interning tables, RNG "
+                "positions) mid-flight, and an unmanaged pool can hang the "
+                "suite when a worker dies.  Route process fan-out through "
+                "ParallelShardRunner or workloads.scale instead."
+            ),
+        ),
+        Rule(
             id="DETLINT",
             summary="malformed suppression: # detlint: ignore[...] without a reason",
             rationale=(

@@ -128,13 +128,21 @@ class QueryDriver:
         # so the drive loop below is O(1) per processed event instead of
         # re-scanning every context of the batch after each event.
         settled = 0
+        # The latest completion (or failed-submission) time seen — the
+        # canonical batch exit clock.  A serial drive loop exits with
+        # ``simulator.now`` there already; a parallel worker may have run
+        # ahead of (or stopped short of) it inside its window, so the
+        # clock is re-pinned through ``align_exit_clock`` below.
+        settle_clock = 0.0
 
-        def note_done(_context: object) -> None:
-            nonlocal settled
+        def note_done(context: Any) -> None:
+            nonlocal settled, settle_clock
             settled += 1
+            if context.completed_at > settle_clock:
+                settle_clock = context.completed_at
 
         def submit(index: int, op: WorkloadOp) -> None:
-            nonlocal settled
+            nonlocal settled, settle_clock
             try:
                 if isinstance(op, SearchOp):
                     context = self.network.start_search(
@@ -146,6 +154,7 @@ class QueryDriver:
                     if provider_id is None:
                         failures.add(index)
                         settled += 1
+                        settle_clock = max(settle_clock, self.network.simulator.now)
                         return
                     context = self.network.start_retrieve(
                         op.requester_id, provider_id, op.resource_id,
@@ -153,12 +162,14 @@ class QueryDriver:
             except NetworkError:
                 failures.add(index)
                 settled += 1
+                settle_clock = max(settle_clock, self.network.simulator.now)
                 return
             contexts[index] = context
             if context.done:
                 # Answered purely locally, before a watcher could be
                 # attached — count it here instead.
                 settled += 1
+                settle_clock = max(settle_clock, context.completed_at)
             else:
                 context.watcher = note_done
 
@@ -167,6 +178,7 @@ class QueryDriver:
 
         expected = len(ops)
         processed = 0
+        drained = False
         step = self.network.simulator.step
         while settled < expected:
             if not step():
@@ -175,10 +187,13 @@ class QueryDriver:
                 # instead of leaving a bogus zero completion stamp.
                 self.network.kernel.mark_starved(
                     [context for context in contexts if context is not None])
+                drained = True
                 break
             processed += 1
             if processed > max_events:
                 raise RuntimeError(f"driver exceeded {max_events} events without quiescing")
+        if not drained and ops:
+            self.network.simulator.align_exit_clock(settle_clock)
 
         outcome = BatchOutcome()
         from repro.network.base import SearchResponse  # local import: cycle

@@ -375,6 +375,33 @@ class EventKernel:
         if context.watcher is not None:
             context.watcher(context)
 
+    def sync_context(self, context: ExchangeContext) -> None:
+        """Hook for process-parallel workers (see ``engine/parallel.py``).
+
+        Called at the top of ``finish_search`` / ``finish_retrieve``: a
+        parallel worker rendezvouses here to canonicalize the context's
+        counters and payloads across the fleet.  Serial execution
+        already holds the whole exchange, so this is a no-op."""
+
+    def note_document_completed(self, peer: "Peer", context: RetrieveContext,
+                                stored: "StoredObject") -> None:
+        """Hook for process-parallel workers (see ``engine/parallel.py``).
+
+        Called when a download's document finishes arriving: a parallel
+        worker queues a replication op so every replica's repository and
+        provider registry see the new copy.  Serial execution has one
+        repository, so this is a no-op."""
+
+    def note_result_claims(self, context: ExchangeContext,
+                           identities: "tuple[tuple[str, str], ...]") -> None:
+        """Hook for process-parallel workers (see ``engine/parallel.py``).
+
+        Called when a caching-mode answer path registered
+        ``(provider, resource)`` identities in the context's promised-
+        result set: a parallel worker queues a replication op so every
+        replica's registry filters the same claims.  Serial execution
+        has one registry, so this is a no-op."""
+
     def mark_starved(self, contexts: list[ExchangeContext]) -> int:
         """Complete every unfinished context at the current virtual time.
 
@@ -406,11 +433,19 @@ class EventKernel:
         they are marked ``starved`` and completed at the drain time.
         """
         processed = 0
+        drained = False
         while any(not context.done for context in contexts):
             if not self.simulator.step():
                 self.mark_starved(contexts)
+                drained = True
                 break
             processed += 1
             if processed > max_events:
                 raise RuntimeError(f"kernel exceeded {max_events} events without quiescing")
+        if not drained and contexts:
+            # Serial execution exits with the clock already at the last
+            # completion; a parallel worker pins its clock to it here so
+            # later submissions are stamped identically fleet-wide.
+            self.simulator.align_exit_clock(
+                max(context.completed_at for context in contexts))
         return processed

@@ -141,6 +141,7 @@ class PeerNetwork(ABC):
                  heartbeat_lease_intervals: int = 2,
                  result_caching: bool = False, cache_capacity: int = 128,
                  cache_ttl_ms: float = 2_000.0, shards: int = 1,
+                 parallel: bool = False,
                  faults: Optional[FaultPlan] = None,
                  reliable_delivery: bool = False,
                  retry_timeout_ms: float = 250.0,
@@ -172,13 +173,41 @@ class PeerNetwork(ABC):
         #: conservative time-window barrier reproduces the single-queue
         #: execution bit-for-bit (pinned by the cross-shard contract).
         self.shards = shards
-        if simulator is None and shards > 1:
-            from repro.engine.sharded import ShardedSimulator
-            simulator = ShardedSimulator(seed=seed, shards=shards)
-        self.simulator = simulator or NetworkSimulator(seed=seed)
-        self.stats = stats or NetworkStats()
-        self.peers: dict[str, Peer] = {}
-        self.kernel = EventKernel(simulator=self.simulator, peers=self.peers, stats=self.stats)
+        #: process-parallel execution (``engine/parallel.py``): each
+        #: worker process hosts its share of the shard heaps; the
+        #: in-process ``parallel=False`` default is pinned bit-identical.
+        #: Only meaningful inside a worker spawned by
+        #: ``run_parallel_scenario`` — the coordinator never builds a
+        #: network itself.
+        self.parallel = parallel
+        if parallel:
+            from repro.engine.parallel import (
+                WorkerKernel, WorkerSimulator, WorkerStats, current_runtime)
+            runtime = current_runtime()
+            if runtime is None:
+                raise ValueError(
+                    "parallel=True requires an active worker runtime; "
+                    "drive parallel execution through "
+                    "repro.engine.parallel.run_parallel_scenario")
+            if simulator is not None or stats is not None:
+                raise ValueError(
+                    "parallel=True builds its own worker simulator and "
+                    "stats; pass neither")
+            self.simulator = WorkerSimulator(runtime, seed=seed, shards=shards)
+            self.stats = WorkerStats(runtime)
+            self.peers: dict[str, Peer] = {}
+            self.kernel = WorkerKernel(runtime, simulator=self.simulator,
+                                       peers=self.peers, stats=self.stats)
+            self.kernel.bind_network(self)
+        else:
+            if simulator is None and shards > 1:
+                from repro.engine.sharded import ShardedSimulator
+                simulator = ShardedSimulator(seed=seed, shards=shards)
+            self.simulator = simulator or NetworkSimulator(seed=seed)
+            self.stats = stats or NetworkStats()
+            self.peers = {}
+            self.kernel = EventKernel(simulator=self.simulator, peers=self.peers,
+                                      stats=self.stats)
         self.replicas = ReplicaRegistry()
         #: compile each query once at search start (the fast path); the
         #: flag exists so the contract suite can pin that the compiled
@@ -469,6 +498,10 @@ class PeerNetwork(ABC):
 
     def finish_search(self, context: QueryContext) -> SearchResponse:
         """Turn a completed context into a response and record its cost."""
+        # Parallel workers canonicalize the context here (counters
+        # summed across the fleet, results shipped from the origin's
+        # owner); serial execution holds everything already (no-op).
+        self.kernel.sync_context(context)
         response = SearchResponse(
             query=context.query,
             results=list(context.results),
@@ -606,6 +639,7 @@ class PeerNetwork(ABC):
         transfer never completed (provider churned offline mid-request,
         requester churned before the response arrived, starvation).
         """
+        self.kernel.sync_context(context)
         if not context.finalized:
             context.finalized = True
             if context.succeeded:
@@ -732,6 +766,9 @@ class PeerNetwork(ABC):
             seen.add(identity)
             context.add_result(result)
             served.append(result)
+        self.kernel.note_result_claims(
+            context, tuple((result.provider_id, result.resource_id)
+                           for result in served))
         context.extra["cache_hit"] = True
         self.stats.record_cache_hit(stale_results=self._count_offline_providers(served))
 
@@ -763,6 +800,9 @@ class PeerNetwork(ABC):
         if not served and not reply_when_empty:
             return
         seen.update((result.provider_id, result.resource_id) for result in served)
+        self.kernel.note_result_claims(
+            context, tuple((result.provider_id, result.resource_id)
+                           for result in served))
         context.claim(len(served))
         metadata_bytes = (cached.metadata_bytes if len(served) == len(cached.results)
                           else sum(result.metadata_bytes() for result in served))
@@ -787,6 +827,24 @@ class PeerNetwork(ABC):
     def _cache_store(self, context: QueryContext, response: SearchResponse) -> None:
         """Subclass hook: store a finished response at this protocol's
         cache site (the base class caches nowhere)."""
+
+    def _parallel_serve_probe(self, message: Message,
+                              context: Optional[QueryContext],
+                              at_ms: float) -> bool:
+        """Would delivering this queued QUERY serve from a shard-plane
+        cache site?  (Process-parallel exactness hook — see
+        ``engine/parallel.py``.)
+
+        A cached serving filters against the context's promised-result
+        registry, which is instantaneous-global in a serial run but
+        replicates one barrier late across workers; the parallel runner
+        therefore isolates each predicted serving in its own window so
+        every prior claim has replicated before it executes.  The
+        prediction must never miss a real serving (caches only *lose*
+        validity mid-window — puts happen at replicated finish paths),
+        while over-predicting merely truncates a window, which is
+        always safe.  The base class has no shard-plane cache sites."""
+        return False
 
     def _iter_caches(self):
         """Every live cache site (subclasses add non-peer sites)."""
@@ -1233,6 +1291,9 @@ class PeerNetwork(ABC):
         self.publish(peer.peer_id, stored.community_id, replica.resource_id,
                      dict(stored.metadata), title=stored.title)
         self._release_watchdog(context)
+        # Parallel workers replicate this completion to the rest of the
+        # fleet at the next barrier (no-op in serial execution).
+        self.kernel.note_document_completed(peer, context, stored)
 
     def _on_query_hit(self, peer: Optional[Peer], message: Message,
                       context) -> None:

@@ -97,7 +97,7 @@ class CentralizedProtocol(PeerNetwork):
         message = register_message(peer_id, INDEX_SERVER_ID, community_id=community_id,
                                    resource_id=resource_id, metadata_bytes=metadata_bytes)
         self._account(message)
-        self.stats.registrations += 1
+        self.stats.record_registration()
         self._insert_catalog_entry(peer.peer_id, community_id, resource_id,
                                    metadata, title, metadata_bytes)
 
@@ -259,7 +259,7 @@ class CentralizedProtocol(PeerNetwork):
         if message.recipient != INDEX_SERVER_ID or message.payload_object is None:
             return
         metadata, title = message.payload_object
-        self.stats.registrations += 1
+        self.stats.record_registration()
         self._insert_catalog_entry(message.sender, message.community_id,
                                    message.resource_id, metadata, title,
                                    message.payload_bytes)

@@ -13,21 +13,21 @@ Every fault decision is drawn from a *dedicated* RNG stream, so the
 latency model's per-pair jitter streams are never perturbed: a
 :class:`FaultPlan` with all rates at ``0.0`` produces runs bit-identical
 to ``faults=None``.  Each decision seeds its own ``random.Random`` from
-``zlib.crc32`` over ``(plan seed, decision ordinal)``.  The ordinal is
-the message's position in the network's deterministic send order — a
-per-message identity *within the run* — rather than the global
-``msg-N`` token, because that counter never resets between runs in one
-process and keying on it would break run-twice reproducibility.  Send
-order is identical under ``shards=1`` and ``shards=N`` (the sharded
-kernel's conservative window barrier reproduces single-queue execution
-exactly), so fault decisions — and therefore the drop/duplicate/retry
-counters — are bit-identical across shard counts and across interpreter
-hash seeds.
+``zlib.crc32`` over the message's *content identity* — plan seed,
+sender, recipient and send instant, plus an occurrence index when the
+same link fires more than once at the same instant.  That identity is
+the same whichever execution order (or process) evaluates the send: a
+global ``msg-N`` token would break run-twice reproducibility (the
+counter never resets within one interpreter), and a send *ordinal*
+would break process-parallel execution, where each worker only executes
+the sends of its own shards and therefore counts a different ordinal
+sequence.  Content keying makes fault decisions — and therefore the
+drop/duplicate/retry counters — bit-identical across shard counts,
+across worker processes and across interpreter hash seeds.
 """
 
 from __future__ import annotations
 
-import itertools
 import random
 import zlib
 from dataclasses import dataclass
@@ -146,9 +146,11 @@ class FaultModel:
         self._random_faults = bool(
             plan.loss_rate or plan.duplicate_rate or plan.extra_delay_rate
             or self._link_loss)
-        # Decision ordinal: the per-message key of the dedicated fault
-        # stream (see the module docstring for why it is not ``msg-N``).
-        self._decisions = itertools.count(1)
+        # Occurrence index per (sender, recipient, instant) key: the
+        # rare repeat — one event sending twice over the same link at
+        # the same virtual instant — still gets distinct draws, keyed
+        # by content rather than send order (see the module docstring).
+        self._seen: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def partitioned(self, sender: str, recipient: str, now_ms: float) -> bool:
@@ -165,10 +167,13 @@ class FaultModel:
         override = self._link_loss.get((sender, recipient))
         return override if override is not None else self.plan.loss_rate
 
-    def _rng(self) -> random.Random:
-        ordinal = next(self._decisions)
-        key = zlib.crc32(f"{self.plan.seed}:{ordinal}".encode("utf-8"))
-        return random.Random(key)
+    def _rng(self, sender: str, recipient: str, now_ms: float) -> random.Random:
+        identity = f"{self.plan.seed}:{sender}:{recipient}:{now_ms:.6f}"
+        occurrence = self._seen.get(identity, 0)
+        self._seen[identity] = occurrence + 1
+        if occurrence:
+            identity = f"{identity}#{occurrence}"
+        return random.Random(zlib.crc32(identity.encode("utf-8")))
 
     def decide(self, sender: str, recipient: str, now_ms: float) -> FaultDecision:
         """One message's fate, decided at send time.
@@ -185,7 +190,7 @@ class FaultModel:
         if not self._random_faults:
             return _CLEAN
         plan = self.plan
-        rng = self._rng()
+        rng = self._rng(sender, recipient, now_ms)
         # The four rolls are drawn unconditionally, in a fixed order:
         # each fault kind's outcome then depends only on the plan seed,
         # the ordinal and its own rate — changing one rate never shifts

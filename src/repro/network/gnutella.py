@@ -349,6 +349,9 @@ class GnutellaProtocol(PeerNetwork):
                                                  plan=context.plan)
                      if (peer.peer_id, stored.resource_id) not in seen][:room]
             seen.update((peer.peer_id, stored.resource_id) for stored in taken)
+            self.kernel.note_result_claims(
+                context, tuple((peer.peer_id, stored.resource_id)
+                               for stored in taken))
         else:
             taken = local_matches(peer.repository, context.query, plan=context.plan,
                                   limit=room)
@@ -378,6 +381,21 @@ class GnutellaProtocol(PeerNetwork):
         """The origin caches its finished response, becoming a cache
         site for its own repeats and for floods passing through it."""
         self._store_response_at(self._peer_cache(context.origin_id), context, response)
+
+    def _parallel_serve_probe(self, message: Message, context, at_ms: float) -> bool:
+        """A queued QUERY serves from the recipient's path cache iff the
+        peer is fresh for this flood and holds a live entry (the same
+        branch ``_on_query`` takes, read side-effect free)."""
+        if not self.result_caching or context is None:
+            return False
+        if message.type is not MessageType.QUERY:
+            return False
+        if message.recipient in context.visited:
+            return False
+        cache = self._peer_caches.get(message.recipient)
+        if cache is None:
+            return False
+        return cache.peek(self._context_cache_key(context), at_ms) is not None
 
     def _flood_from(self, peer: Peer, *, ttl: int, hops: int, context: QueryContext) -> None:
         """Send one QUERY copy to every online neighbour of ``peer``.

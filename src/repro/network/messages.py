@@ -105,6 +105,28 @@ class Message:
     chunk_index: int = 0
     chunk_total: int = 0
 
+    # Pickle support: a slotted dataclass round-trips through the
+    # generic ``(None, slots_dict)`` protocol, which ships one dict and
+    # sixteen field-name strings per message.  Cross-process shard
+    # execution pickles whole outbox batches per barrier, so the state
+    # is a bare tuple in slot order instead — and because pickle
+    # memoizes *objects*, the shared ``query_xml`` wire form riding
+    # every hop of one flood is serialized once per batch, never
+    # re-rendered per message.
+    def __getstate__(self):
+        return (self.type, self.sender, self.recipient, self.message_id,
+                self.ttl, self.hops, self.payload_bytes, self.query_xml,
+                self.resource_id, self.community_id, self.attachment_uri,
+                self.carried_results, self.payload_object, self.ack_to,
+                self.chunk_index, self.chunk_total)
+
+    def __setstate__(self, state) -> None:
+        (self.type, self.sender, self.recipient, self.message_id,
+         self.ttl, self.hops, self.payload_bytes, self.query_xml,
+         self.resource_id, self.community_id, self.attachment_uri,
+         self.carried_results, self.payload_object, self.ack_to,
+         self.chunk_index, self.chunk_total) = state
+
     def forwarded(self, sender: str, recipient: str) -> "Message":
         """A copy of this message forwarded one hop further.
 

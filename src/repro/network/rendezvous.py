@@ -294,7 +294,7 @@ class RendezvousProtocol(PeerNetwork):
         if peer.peer_id not in self._states:
             return
         metadata, title = message.payload_object
-        self.stats.registrations += 1
+        self.stats.record_registration()
         self._insert_advertisement(peer.peer_id, message.sender,
                                    message.community_id, message.resource_id,
                                    metadata, title, message.payload_bytes)
@@ -346,7 +346,7 @@ class RendezvousProtocol(PeerNetwork):
             message = register_message(peer_id, target, community_id=community_id,
                                        resource_id=resource_id, metadata_bytes=metadata_bytes)
             self._account(message)
-            self.stats.registrations += 1
+            self.stats.record_registration()
         self._insert_advertisement(target, peer_id, community_id, resource_id,
                                    metadata, title, metadata_bytes)
 

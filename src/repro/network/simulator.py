@@ -218,6 +218,14 @@ class NetworkSimulator:
             raise ValueError("time cannot move backwards")
         self._now += delta_ms
 
+    def align_exit_clock(self, time_ms: float) -> None:
+        """Hook for process-parallel workers (see ``engine/parallel.py``).
+
+        A serial drive loop exits with ``now`` equal to the settling
+        event's time already, so this is a no-op here; a parallel worker
+        may have executed past (or stopped short of) that event inside
+        its window and pins its clock to the canonical exit time."""
+
     def pending_events(self) -> int:
         return sum(1 for entry in self._queue if entry[_CALLBACK] is not None)
 

@@ -121,6 +121,10 @@ class NetworkStats:
         if record is not None:
             self.download_records.append(record)
 
+    def record_registration(self) -> None:
+        """One resource registration accepted at an index point."""
+        self.registrations += 1
+
     def record_staleness(self, window_ms: float) -> None:
         """Note that stale state of a departed peer was just purged,
         ``window_ms`` of virtual time after the departure."""
@@ -295,6 +299,34 @@ class NetworkStats:
             "timeouts": float(self.timeouts),
             "failovers": float(self.failovers),
         }
+
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold another stats object into this one, additively.
+
+        Every counter, per-type breakdown, record list and staleness
+        window adds; merging the disjoint per-worker shares of one run
+        must reproduce the single-process whole exactly (the records
+        themselves carry no ordering constraint — consumers that care
+        sort by their own keys).
+        """
+        self.messages_by_type.update(other.messages_by_type)
+        self.bytes_by_type.update(other.bytes_by_type)
+        self.queries.extend(other.queries)
+        self.download_records.extend(other.download_records)
+        self.downloads += other.downloads
+        self.download_bytes += other.download_bytes
+        self.registrations += other.registrations
+        self.staleness_windows_ms.extend(other.staleness_windows_ms)
+        self.uptime_ms_total += other.uptime_ms_total
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_stale_served += other.cache_stale_served
+        self.dropped += other.dropped
+        self.partition_dropped += other.partition_dropped
+        self.duplicated += other.duplicated
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.failovers += other.failovers
 
     def reset(self) -> None:
         """Clear all counters (between experiment phases)."""

@@ -299,7 +299,7 @@ class SuperPeerProtocol(PeerNetwork):
         if state is None:
             return
         metadata, title = message.payload_object
-        self.stats.registrations += 1
+        self.stats.record_registration()
         self._insert_record(message.sender, peer.peer_id, message.community_id,
                             message.resource_id, metadata, title,
                             message.payload_bytes)
@@ -384,7 +384,7 @@ class SuperPeerProtocol(PeerNetwork):
             message = register_message(peer_id, super_id, community_id=community_id,
                                        resource_id=resource_id, metadata_bytes=metadata_bytes)
             self._account(message)
-            self.stats.registrations += 1
+            self.stats.record_registration()
         self._insert_record(peer_id, super_id, community_id, resource_id,
                             metadata, title, metadata_bytes)
 
@@ -571,6 +571,21 @@ class SuperPeerProtocol(PeerNetwork):
         if state is None or entry_peer is None or not entry_peer.online:
             return
         self._store_response_at(self._state_cache(state), context, response)
+
+    def _parallel_serve_probe(self, message: Message, context, at_ms: float) -> bool:
+        """A queued QUERY serves from the entry super-peer's cache iff
+        it targets the context's entry and the entry holds a live entry
+        (the branch ``_answer_at_super`` takes, read side-effect free)."""
+        if not self.result_caching or context is None:
+            return False
+        if message.type is not MessageType.QUERY:
+            return False
+        if message.recipient != context.extra.get("entry"):
+            return False
+        state = self._states.get(message.recipient)
+        if state is None or state.cache is None:
+            return False
+        return state.cache.peek(self._context_cache_key(context), at_ms) is not None
 
     # ------------------------------------------------------------------
     def _matches_at(

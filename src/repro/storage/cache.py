@@ -126,6 +126,18 @@ class QueryResultCache:
         self.hits += 1
         return entry
 
+    def peek(self, key: tuple, now: float) -> Optional[CacheEntry]:
+        """Like :meth:`get` but side-effect free: no LRU touch, no
+        counter movement, no lazy drops.  Exists so a parallel worker
+        can *predict* whether a queued query delivery will be served
+        from this cache (see ``repro.engine.parallel``) without
+        perturbing the cache state the real lookup will see."""
+        entry = self._entries.get(key)
+        if entry is None or entry.expires_at_ms <= now \
+                or entry.version != self.version:
+            return None
+        return entry
+
     def put(
         self,
         key: tuple,

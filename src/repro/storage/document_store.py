@@ -63,6 +63,20 @@ class StoredObject:
             self._metadata_view = intern_view(self.metadata)
         return self._metadata_view
 
+    def __getstate__(self):
+        """Drop the interned metadata view before pickling.
+
+        The view's value tuples are canonical *per-process* objects
+        (:mod:`repro.storage.interning`); shipping them to another
+        process would seed that process with unshared duplicates.
+        Nulling the cache makes the first ``metadata_view()`` call
+        after unpickling re-intern against the receiving process's
+        table, restoring the identity-sharing invariant there.
+        """
+        state = self.__dict__.copy()
+        state["_metadata_view"] = None
+        return state
+
     def metadata_wire_bytes(self) -> int:
         """Approximate wire size of the metadata, measured once."""
         if self._metadata_wire_bytes < 0:

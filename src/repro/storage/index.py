@@ -439,18 +439,23 @@ class AttributeIndex:
         """Actual memory held by the posting containers themselves.
 
         This is the number the lean layout shrinks: a numeric-id array
-        slot costs ``itemsize`` (4) bytes, a set layout pays the hashed
-        set plus a reference per member.  Resource-id strings and the
-        dictionary levels above the postings are shared by both layouts
-        and excluded.
+        slot costs ``itemsize`` (4) bytes past the container overhead, a
+        set layout pays the hashed set plus a reference per member.
+        Array buckets are costed by *content* (base + itemsize × length)
+        rather than ``getsizeof``'s live buffer, which reflects growth
+        history — two indexes holding identical postings (one built
+        incrementally, one unpickled in a worker process) must account
+        identically.  Resource-id strings and the dictionary levels
+        above the postings are shared by both layouts and excluded.
         """
+        array_base = sys.getsizeof(array("I"))
         total = 0
         for table in (self._values, self._tokens):
             for community in table.values():
                 for field_postings in community.values():
                     for bucket in field_postings.values():
                         if isinstance(bucket, array):
-                            total += sys.getsizeof(bucket)
+                            total += array_base + bucket.itemsize * len(bucket)
                         else:
                             total += sys.getsizeof(bucket) + 8 * len(bucket)
         return total

@@ -26,9 +26,12 @@ benchmark charts against population × shard count.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import resource
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -167,6 +170,10 @@ def _run_island(payload: dict) -> dict:
     """Worker entry: build and run one island, return plain counters."""
     island = payload.pop("island")
     max_results = payload.pop("max_results", 50)
+    if payload.pop("_hard_crash", False):
+        # Test hook: die the way a real worker does (OOM kill, segfault
+        # in an extension) — no exception, no result, just a dead pid.
+        os._exit(13)
     config = ScenarioConfig(**payload)
     started = time.perf_counter()
     scenario = build_scenario(config)
@@ -210,17 +217,34 @@ def run_population(population: int, *, shards: int = 1, protocol: str = "gnutell
     ]
     started = time.perf_counter()
     if parallel:
-        # Spawned (not forked) workers: each island's peak-RSS sample
-        # must reflect that island alone, and a forked child inherits
-        # the parent's resident pages as its ru_maxrss floor.  A
-        # single-island run still goes through the pool for the same
-        # reason — the parent's own high-water mark belongs to whoever
-        # ran before us.
+        # Clean-footprint workers: each island's peak-RSS sample must
+        # reflect that island alone, and a child forked from *this*
+        # process inherits its resident pages as a VmHWM floor.
+        # ``forkserver`` is preferred — children fork from a small,
+        # freshly-started server process (clean footprint, none of this
+        # process's high-water mark) without paying spawn's per-worker
+        # interpreter boot — with ``spawn`` as the fallback and plain
+        # ``fork`` only where nothing better exists.  A single-island
+        # run still goes through the pool for the same reason — the
+        # parent's own high-water mark belongs to whoever ran before us.
         methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "spawn" if "spawn" in methods else "fork")
-        with ctx.Pool(processes=processes or shards) as pool:
-            raw = pool.map(_run_island, payloads)
+        method = next(name for name in ("forkserver", "spawn", "fork")
+                      if name in methods)
+        ctx = multiprocessing.get_context(method)
+        # A futures pool, not multiprocessing.Pool: when a worker dies
+        # without reporting a result (OOM kill, segfault), Pool.map
+        # waits forever on the lost task while BrokenProcessPool fails
+        # the whole run loudly.
+        try:
+            with ProcessPoolExecutor(max_workers=processes or shards,
+                                     mp_context=ctx) as pool:
+                raw = list(pool.map(_run_island, payloads))
+        except BrokenProcessPool as error:
+            raise RuntimeError(
+                f"island worker crashed before reporting its results "
+                f"(population={population}, shards={shards}): the pool is "
+                f"broken, not hung — see the worker's stderr for the cause"
+            ) from error
     else:
         raw = [_run_island(dict(payload)) for payload in payloads]
     wall = time.perf_counter() - started

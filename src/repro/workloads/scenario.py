@@ -109,6 +109,11 @@ class ScenarioConfig:
     #: windowed barrier is pinned bit-identical to shards=1 by the
     #: cross-shard determinism contract
     shards: int = 1
+    #: host the shard queues in worker *processes* (see
+    #: ``repro.engine.parallel``).  Requires ``shards > 1`` and an active
+    #: worker runtime — drive through ``run_parallel_scenario``; the
+    #: default keeps the in-process simulators and is the contract anchor
+    parallel: bool = False
     #: deterministic fault plan (message loss, duplication, partitions,
     #: crash-stop failures) applied at delivery time; ``None`` (the
     #: default) keeps the fault-free path pinned bit-identical by the
@@ -143,6 +148,8 @@ class ScenarioConfig:
             self.peers = self.population
         if self.shards < 1:
             raise ValueError("need at least one shard")
+        if self.parallel and self.shards < 2:
+            raise ValueError("parallel execution needs shards > 1 to distribute")
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}; choose from {sorted(PROTOCOLS)}")
         if self.community not in ALL_COMMUNITIES:
@@ -320,6 +327,7 @@ def build_network(config: ScenarioConfig) -> PeerNetwork:
                   cache_capacity=config.cache_capacity,
                   cache_ttl_ms=config.cache_ttl_ms,
                   shards=config.shards,
+                  parallel=config.parallel,
                   reliable_delivery=config.reliable_delivery,
                   retry_timeout_ms=config.retry_timeout_ms,
                   retry_max_attempts=config.retry_max_attempts,

@@ -6,3 +6,9 @@ from datetime import datetime
 
 def stamp() -> tuple[float, float, str]:
     return time.time(), time.perf_counter(), datetime.now().isoformat()
+
+
+def drift() -> float:
+    # monotonic is still the *wall* clock for simulation purposes: it
+    # advances with host time, not with processed events.
+    return time.monotonic() - time.monotonic_ns() / 1e9

@@ -1,0 +1,11 @@
+"""KERN002 green: protocol code delegates process fan-out to the
+sanctioned runners instead of creating processes itself."""
+
+
+def fan_out(run_population, population):
+    # workloads.scale owns the pool: start method, crash surfacing.
+    return run_population(population, shards=4, parallel=True)
+
+
+def fork_free(os_module):
+    return os_module.getpid()

@@ -1,0 +1,16 @@
+"""KERN002 red: raw process creation in protocol code."""
+
+import multiprocessing
+import os
+from multiprocessing import Pool
+
+
+def fan_out(payloads):
+    ctx = multiprocessing.get_context("fork")
+    with Pool(4) as pool:
+        return pool.map(len, payloads)
+
+
+def fork_worker():
+    pid = os.fork()
+    return pid

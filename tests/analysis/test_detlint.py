@@ -23,8 +23,9 @@ RED_EXPECTATIONS = {
     "network/det001_red.py": {"DET001": 5},
     "det002_red.py": {"DET002": 1},
     "det003_red.py": {"DET003": 2},
-    "det004_red.py": {"DET004": 3},
+    "det004_red.py": {"DET004": 5},
     "network/kern001_red.py": {"KERN001": 4},
+    "network/kern002_red.py": {"KERN002": 3},
 }
 
 GREEN_FIXTURES = [
@@ -33,6 +34,7 @@ GREEN_FIXTURES = [
     "det003_green.py",
     "det004_green.py",
     "network/kern001_green.py",
+    "network/kern002_green.py",
 ]
 
 

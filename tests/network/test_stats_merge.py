@@ -1,0 +1,116 @@
+"""Property test for ``NetworkStats.merge``: recording a stream of
+events into one stats object must equal partitioning the same stream
+across several objects and merging them — every counter, per-type
+breakdown, record list and staleness window is additive.  This is the
+invariant process-parallel execution leans on when it folds per-worker
+stats into the run total."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.stats import DownloadRecord, NetworkStats, QueryRecord
+
+
+def apply_event(stats: NetworkStats, rng: random.Random) -> None:
+    """One randomly-chosen recording call with randomly-drawn arguments."""
+    choice = rng.randrange(12)
+    if choice == 0:
+        stats.record(rng.choice(("query", "query-hit", "ping", "register")),
+                     rng.randrange(1, 400), copies=rng.randrange(1, 4))
+    elif choice == 1:
+        stats.record_query(QueryRecord(
+            query_id=f"q{rng.randrange(1000)}", origin="peer", community_id="c",
+            results=rng.randrange(5), messages=rng.randrange(40),
+            bytes=rng.randrange(4000), peers_probed=rng.randrange(30),
+            latency_ms=rng.random() * 200))
+    elif choice == 2:
+        stats.record_download(rng.randrange(10_000), DownloadRecord(
+            resource_id="r", requester="a", provider="b",
+            bytes=rng.randrange(10_000), latency_ms=rng.random() * 500))
+    elif choice == 3:
+        stats.record_registration()
+    elif choice == 4:
+        stats.record_staleness(rng.random() * 3_000)
+    elif choice == 5:
+        stats.record_uptime(rng.random() * 10_000)
+    elif choice == 6:
+        stats.record_cache_hit(stale_results=rng.randrange(3))
+    elif choice == 7:
+        stats.record_cache_miss()
+    elif choice == 8:
+        stats.record_drop(partition=rng.random() < 0.5)
+    elif choice == 9:
+        stats.record_duplicate()
+    elif choice == 10:
+        stats.record_retry()
+    else:
+        stats.record_timeout() if rng.random() < 0.5 else stats.record_failover()
+
+
+def as_comparable(stats: NetworkStats) -> dict:
+    return {
+        "by_type": dict(stats.messages_by_type),
+        "bytes_by_type": dict(stats.bytes_by_type),
+        "queries": [vars(record) for record in stats.queries],
+        "downloads": [vars(record) for record in stats.download_records],
+        "staleness": stats.staleness_windows_ms,
+        "summary": stats.summary(),
+        "faults": stats.fault_summary(),
+        "breakdown": stats.traffic_breakdown(),
+    }
+
+
+class TestMergeOfPartsEqualsWhole:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("parts", (2, 4, 7))
+    def test_partitioned_recording_merges_to_the_whole(self, seed, parts):
+        rng = random.Random(seed)
+        assignment = [rng.randrange(parts) for _ in range(300)]
+
+        whole = NetworkStats()
+        replay = random.Random(f"events:{seed}")
+        for _ in assignment:
+            apply_event(whole, replay)
+
+        shares = [NetworkStats() for _ in range(parts)]
+        replay = random.Random(f"events:{seed}")
+        for owner in assignment:
+            apply_event(shares[owner], replay)
+
+        merged = NetworkStats()
+        for share in shares:
+            merged.merge(share)
+
+        # Record lists are order-sensitive only through the partition
+        # interleaving; compare them as multisets like every consumer
+        # (means, rates, sums) effectively does.  Float accumulators
+        # (uptime, means) sum in a different order part-by-part, so the
+        # summary compares to float tolerance, everything else exactly.
+        left, right = as_comparable(merged), as_comparable(whole)
+        for key in ("queries", "downloads", "staleness"):
+            left[key] = sorted(map(str, left[key]))
+            right[key] = sorted(map(str, right[key]))
+        assert left.pop("summary") == pytest.approx(right.pop("summary"), rel=1e-9)
+        assert left == right
+
+    def test_merge_into_empty_is_identity(self):
+        rng = random.Random(3)
+        source = NetworkStats()
+        for _ in range(50):
+            apply_event(source, rng)
+        target = NetworkStats()
+        target.merge(source)
+        assert as_comparable(target) == as_comparable(source)
+
+    def test_merge_is_additive_not_replacing(self):
+        first, second = NetworkStats(), NetworkStats()
+        first.record("query", 100)
+        second.record("query", 50, copies=2)
+        second.record_registration()
+        first.merge(second)
+        assert first.messages_by_type["query"] == 3
+        assert first.bytes_by_type["query"] == 200
+        assert first.registrations == 1

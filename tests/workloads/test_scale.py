@@ -56,6 +56,15 @@ class TestRunPopulation:
         assert counters["messages"] == report.messages
         assert any(key.startswith("type:") for key in counters)
 
+    def test_worker_crash_surfaces_as_an_error_not_a_hang(self):
+        """A worker dying without reporting (OOM kill, segfault) must
+        fail the run loudly: the futures pool raises instead of waiting
+        forever on the lost task the way ``Pool.map`` does."""
+        with pytest.raises(RuntimeError, match="island worker crashed"):
+            run_population(24, shards=2, protocol="centralized", seed=1,
+                           queries_per_island=2, parallel=True,
+                           _hard_crash=True)
+
     def test_config_overrides_reach_the_islands(self):
         report = run_population(40, shards=2, protocol="gnutella", seed=3,
                                 queries_per_island=4, parallel=False,
