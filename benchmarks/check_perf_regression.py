@@ -65,6 +65,12 @@ def samples(record: dict):
             yield label, cell
         for stack, cell in sorted(sweep.get("outage", {}).items()):
             yield f"faults/{protocol}/outage_{stack}", cell
+    # E11 informed-routing grid: blind baselines and filter cells are
+    # guarded per (filter geometry, churn) label — the filter rebuild
+    # and probe machinery sits on the flood hot path, so a change that
+    # quietly slows either the pruned or the blind spelling shows here.
+    for label, sample in sorted(record.get("routing", {}).get("grid", {}).items()):
+        yield f"routing/{label}", sample
 
 
 def write_step_summary(rows, hardware: float, tolerance: float, failures) -> None:

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Informed routing: pruning the blind flood without losing a result.
+
+Gnutella floods every query to every neighbour; most of those copies
+head into subtrees that hold nothing relevant.  With informed routing
+each peer keeps a depth-k *attenuated Bloom filter* per neighbour —
+level d summarizes the content exactly d overlay hops away — and a
+query copy is forwarded only where some level within the remaining TTL
+admits every probe key.  When no neighbour admits, the hop falls back
+to the blind fan-out, which is why pruning can only save messages,
+never cost a result.
+
+This script runs the same seeded workload three ways and checks the
+contract end to end:
+
+1. the blind flood (baseline);
+2. informed routing at the default filter geometry;
+3. informed routing with deeper, larger filters (more precise — but
+   watch the fallbacks: a filter precise enough to refuse a whole hop
+   re-floods it blindly, so bigger is not automatically better).
+
+Every variant must return bit-identical per-query result counts while
+the informed ones spend fewer messages.  The routing knobs ride the
+grouped :class:`~repro.workloads.config.RoutingConfig` spelling of the
+configuration API; the equivalent flat spelling is
+``informed_routing=True, routing_filter_bits=..., routing_depth=...``.
+
+Run with:  python examples/informed_routing.py
+"""
+
+from __future__ import annotations
+
+from repro.workloads.config import RoutingConfig
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+BASE = dict(
+    protocol="gnutella",
+    peers=30,
+    members=12,
+    publishers=6,
+    corpus_size=40,
+    queries=24,
+    community="design-patterns",
+    ttl=6,
+    seed=17,
+    concurrency=6,
+    query_interarrival_ms=20.0,
+)
+
+
+def run(routing: RoutingConfig):
+    scenario = build_scenario(ScenarioConfig(routing=routing, **BASE))
+    counts = scenario.run_queries(max_results=100)
+    return counts, scenario.network.stats
+
+
+def main() -> None:
+    variants = {
+        "blind flood": RoutingConfig(),
+        "informed (defaults)": RoutingConfig(informed=True),
+        "informed (2048b x 5)": RoutingConfig(informed=True,
+                                              filter_bits=2_048, depth=5),
+    }
+
+    results = {label: run(routing) for label, routing in variants.items()}
+    blind_counts, blind_stats = results["blind flood"]
+
+    print("--- one seeded workload, three routing configurations ------------")
+    print(f"{'variant':22s} {'messages':>9s} {'saved':>6s} {'pruned':>7s} "
+          f"{'fallbacks':>9s} {'results':>8s}")
+    for label, (counts, stats) in results.items():
+        saved = blind_stats.total_messages - stats.total_messages
+        print(f"{label:22s} {stats.total_messages:9d} {saved:6d} "
+              f"{stats.routing_pruned:7d} {stats.routing_fallbacks:9d} "
+              f"{sum(counts):8d}")
+
+    print()
+    print("--- the contract: identical recall, fewer messages ---------------")
+    for label, (counts, stats) in results.items():
+        if label == "blind flood":
+            continue
+        assert counts == blind_counts, (
+            f"{label}: informed routing changed a result count")
+        saved = blind_stats.total_messages - stats.total_messages
+        assert saved > 0, f"{label}: the filters saved no messages"
+        print(f"{label}: every query returned the blind flood's results "
+              f"with {saved} fewer messages "
+              f"({stats.routing_pruned} copies pruned, "
+              f"{stats.routing_fallbacks} hops fell back to the flood)")
+
+    print()
+    print("Deterministic: re-running this script reproduces every number.")
+
+
+if __name__ == "__main__":
+    main()

@@ -365,7 +365,9 @@ for _name in ("record_message", "record", "record_query", "record_download",
               "record_registration", "record_staleness", "record_uptime",
               "record_cache_hit", "record_cache_miss", "record_drop",
               "record_duplicate", "record_retry", "record_timeout",
-              "record_failover"):
+              "record_failover", "record_routing_pruned",
+              "record_routing_fallback", "record_routing_fp",
+              "record_filter_advert"):
     setattr(WorkerStats, _name, _gate(_name))
 del _name
 

@@ -49,6 +49,9 @@ _LAZY = {
     "ChurnModel": ("repro.network.churn", "ChurnModel"),
     "PopulationModel": ("repro.network.membership", "PopulationModel"),
     "MembershipEvent": ("repro.network.membership", "MembershipEvent"),
+    "BloomFilter": ("repro.network.routing", "BloomFilter"),
+    "AttenuatedFilter": ("repro.network.routing", "AttenuatedFilter"),
+    "RoutingIndex": ("repro.network.routing", "RoutingIndex"),
 }
 
 
@@ -82,6 +85,9 @@ __all__ = [
     "ChurnModel",
     "PopulationModel",
     "MembershipEvent",
+    "BloomFilter",
+    "AttenuatedFilter",
+    "RoutingIndex",
     "NetworkError",
     "UnknownPeerError",
     "PeerOfflineError",

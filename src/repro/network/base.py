@@ -129,43 +129,91 @@ class _PendingAck:
     attempt: int = 0
 
 
+#: distinguishes "flat kwarg not passed" from an explicit ``None`` for
+#: the knobs whose meaningful default *is* ``None`` (download_chunk_bytes)
+_UNSET: object = object()
+
+
 class PeerNetwork(ABC):
-    """Common behaviour of all network organisations."""
+    """Common behaviour of all network organisations.
+
+    Configuration is accepted in two interchangeable spellings: the
+    historical flat kwargs (``result_caching=True, cache_ttl_ms=400.0``)
+    and grouped config objects (``cache=CacheConfig(enabled=True,
+    ttl_ms=400.0)`` — see :mod:`repro.workloads.config`).  Both
+    normalize into the same flat attributes; passing a group together
+    with an explicit flat knob of that group raises ``ValueError``.
+    """
 
     protocol_name = "abstract"
 
     def __init__(self, *, simulator: Optional[NetworkSimulator] = None,
                  stats: Optional[NetworkStats] = None, seed: int = 0,
-                 compile_queries: bool = True, live_membership: bool = False,
-                 maintenance_interval_ms: float = 2_000.0,
-                 heartbeat_lease_intervals: int = 2,
-                 result_caching: bool = False, cache_capacity: int = 128,
-                 cache_ttl_ms: float = 2_000.0, shards: int = 1,
+                 compile_queries: bool = True,
+                 live_membership: Optional[bool] = None,
+                 maintenance_interval_ms: Optional[float] = None,
+                 heartbeat_lease_intervals: Optional[int] = None,
+                 result_caching: Optional[bool] = None,
+                 cache_capacity: Optional[int] = None,
+                 cache_ttl_ms: Optional[float] = None, shards: int = 1,
                  parallel: bool = False,
                  faults: Optional[FaultPlan] = None,
-                 reliable_delivery: bool = False,
-                 retry_timeout_ms: float = 250.0,
-                 retry_max_attempts: int = 4,
-                 download_chunk_bytes: Optional[int] = None,
-                 download_stall_timeout_ms: float = 500.0) -> None:
-        if maintenance_interval_ms <= 0:
-            raise ValueError("the maintenance interval must be positive")
-        if heartbeat_lease_intervals < 1:
-            raise ValueError("the heartbeat lease must cover at least one interval")
-        if cache_capacity < 1:
-            raise ValueError("the result cache needs room for at least one entry")
-        if cache_ttl_ms <= 0:
-            raise ValueError("the result cache TTL must be positive")
+                 reliable_delivery: Optional[bool] = None,
+                 retry_timeout_ms: Optional[float] = None,
+                 retry_max_attempts: Optional[int] = None,
+                 download_chunk_bytes: object = _UNSET,
+                 download_stall_timeout_ms: Optional[float] = None,
+                 informed_routing: Optional[bool] = None,
+                 routing_filter_bits: Optional[int] = None,
+                 routing_hash_count: Optional[int] = None,
+                 routing_depth: Optional[int] = None,
+                 cache: Optional[object] = None,
+                 membership: Optional[object] = None,
+                 reliability: Optional[object] = None,
+                 routing: Optional[object] = None) -> None:
+        # Imported lazily: repro.workloads eagerly imports the scenario
+        # builder, which imports this module — at call time the cycle
+        # has already resolved.
+        from repro.workloads.config import (
+            CacheConfig, MembershipConfig, ReliabilityConfig, RoutingConfig,
+            resolve_group)
+
+        def explicit(**pairs):
+            return {name: value for name, value in pairs.items() if value is not None}
+
+        cache = resolve_group(cache, "cache", CacheConfig, explicit(
+            enabled=result_caching, capacity=cache_capacity, ttl_ms=cache_ttl_ms))
+        membership = resolve_group(membership, "membership", MembershipConfig, explicit(
+            live=live_membership, maintenance_interval_ms=maintenance_interval_ms,
+            heartbeat_lease_intervals=heartbeat_lease_intervals))
+        reliability_flat = explicit(
+            reliable_delivery=reliable_delivery, retry_timeout_ms=retry_timeout_ms,
+            retry_max_attempts=retry_max_attempts,
+            download_stall_timeout_ms=download_stall_timeout_ms)
+        if download_chunk_bytes is not _UNSET:
+            reliability_flat["download_chunk_bytes"] = download_chunk_bytes
+        reliability = resolve_group(reliability, "reliability", ReliabilityConfig,
+                                    reliability_flat)
+        routing = resolve_group(routing, "routing", RoutingConfig, explicit(
+            informed=informed_routing, filter_bits=routing_filter_bits,
+            hash_count=routing_hash_count, depth=routing_depth))
         if shards < 1:
             raise ValueError("need at least one shard")
-        if retry_timeout_ms <= 0:
-            raise ValueError("the retry timeout must be positive")
-        if retry_max_attempts < 1:
-            raise ValueError("reliable delivery needs at least one attempt")
-        if download_chunk_bytes is not None and download_chunk_bytes < 1:
-            raise ValueError("download chunks must be at least one byte")
-        if download_stall_timeout_ms <= 0:
-            raise ValueError("the download stall timeout must be positive")
+        if routing.informed and cache.enabled:
+            # Refuse loudly rather than compose unsoundly: a pruned
+            # flood changes which path peers complete (and thus cache)
+            # a query, so cached repeats would become vantage-dependent
+            # and the "informed only saves messages" contract unprovable.
+            raise ValueError(
+                "informed_routing does not compose with result_caching: "
+                "pruning changes which peers fill their path caches; "
+                "run the knobs separately")
+        #: the canonical grouped spellings (flat attributes below are
+        #: derived from these and stay the API downstream code reads)
+        self.cache_config = cache
+        self.membership_config = membership
+        self.reliability_config = reliability
+        self.routing_config = routing
         #: event-queue shard count.  ``shards=1`` (the default) keeps
         #: the single-queue simulator and the existing hot path
         #: untouched; ``shards>1`` partitions the queue across a
@@ -218,25 +266,36 @@ class PeerNetwork(ABC):
         #: a departed peer's state decays only when repair traffic
         #: notices.  Off (the default) keeps today's instantaneous
         #: ``set_online`` semantics bit-identically.
-        self.live_membership = live_membership
+        self.live_membership = membership.live
         #: period of the recurring maintenance tick (heartbeats, lease
         #: sweeps); keep it larger than the worst link latency so a live
         #: counterpart is never mistaken for a dead one
-        self.maintenance_interval_ms = maintenance_interval_ms
+        self.maintenance_interval_ms = membership.maintenance_interval_ms
         #: a counterpart silent for this many intervals is presumed dead
-        self.heartbeat_lease_intervals = heartbeat_lease_intervals
+        self.heartbeat_lease_intervals = membership.heartbeat_lease_intervals
         #: when on, the protocol's natural traffic-concentration points
         #: (server / flooding peers / super-peers / rendezvous edges)
         #: cache finished result sets and answer repeats without paying
         #: the discovery cost again.  Off (the default) is pinned
         #: bit-identical to uncached behaviour by the contract suite.
-        self.result_caching = result_caching
+        self.result_caching = cache.enabled
         #: entries per cache site (LRU beyond this)
-        self.cache_capacity = cache_capacity
+        self.cache_capacity = cache.capacity
         #: cached-entry lifetime; keep it at or below the heartbeat
         #: lease so a stale cached hit never outlives the staleness
         #: window the membership layer reports
-        self.cache_ttl_ms = cache_ttl_ms
+        self.cache_ttl_ms = cache.ttl_ms
+        #: when on, gnutella's flood consults per-neighbour attenuated
+        #: Bloom filters and forwards only where the filter admits the
+        #: query, falling back to the blind flood when no neighbour
+        #: admits it (``repro.network.routing``).  Off (the default) is
+        #: pinned bit-identical to the blind flood; the other
+        #: organisations have no flood to prune and ignore the knob.
+        self.informed_routing = routing.informed
+        #: bits per Bloom-filter level / hashes per key / filter depth
+        self.routing_filter_bits = routing.filter_bits
+        self.routing_hash_count = routing.hash_count
+        self.routing_depth = routing.depth
         #: per-peer result caches (the sites that live *on* a peer:
         #: flooding peers, rendezvous edges).  A departing peer's cache
         #: dies with its RAM in both membership modes.
@@ -249,20 +308,20 @@ class PeerNetwork(ABC):
         #: DOWNLOAD-REQUEST) rides an ACK + capped-exponential-backoff
         #: envelope; gnutella's flood stays best-effort by design.  Off
         #: (the default) is pinned bit-identical by the fault contract.
-        self.reliable_delivery = reliable_delivery
+        self.reliable_delivery = reliability.reliable_delivery
         #: first retransmission fires this long after a reliable send;
         #: each further attempt doubles it, capped at 8x
-        self.retry_timeout_ms = retry_timeout_ms
+        self.retry_timeout_ms = reliability.retry_timeout_ms
         #: total attempts (the original send plus retransmissions) per
         #: reliable message, and re-requests per download provider
-        self.retry_max_attempts = retry_max_attempts
+        self.retry_max_attempts = reliability.retry_max_attempts
         #: ``None`` keeps the legacy single-response download; a byte
         #: count streams downloads as chunks with stall detection and
         #: deterministic failover to the next-ranked replica
-        self.download_chunk_bytes = download_chunk_bytes
+        self.download_chunk_bytes = reliability.download_chunk_bytes
         #: a chunked download making no progress for this long is
         #: stalled: re-request the provider, then fail over
-        self.download_stall_timeout_ms = download_stall_timeout_ms
+        self.download_stall_timeout_ms = reliability.download_stall_timeout_ms
         #: reliably-sent messages awaiting their ACK, keyed by message id
         self._pending_acks: dict[str, _PendingAck] = {}
         self._register_handlers(self.kernel)

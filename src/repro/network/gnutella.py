@@ -45,8 +45,14 @@ from repro.network.messages import (
     query_hit_message,
 )
 from repro.network.peers import Peer
+from repro.network.routing import RoutingIndex
 from repro.network.topology import Topology, build_topology
+from repro.storage.plan import compile_query
 from repro.storage.query import Query
+
+#: sentinel distinguishing "probe keys not computed yet" from the
+#: legitimate ``None`` of an unprobeable query
+_KEYS_UNSET = object()
 
 
 class GnutellaProtocol(PeerNetwork):
@@ -69,6 +75,13 @@ class GnutellaProtocol(PeerNetwork):
         # invalidated whenever the overlay changes (churn only toggles
         # the online flag, which is checked at send time).
         self._flood_order: dict[str, list[str]] = {}
+        #: per-neighbour attenuated Bloom filters (``informed_routing``
+        #: knob); ``None`` keeps the blind flood untouched on the hot path
+        self._routing: Optional[RoutingIndex] = None
+        if self.informed_routing:
+            self._routing = RoutingIndex(
+                self, filter_bits=self.routing_filter_bits,
+                hash_count=self.routing_hash_count, depth=self.routing_depth)
 
     # ------------------------------------------------------------------
     # Overlay maintenance
@@ -81,11 +94,15 @@ class GnutellaProtocol(PeerNetwork):
         self._flood_order.clear()
         for peer in self.peers.values():
             peer.neighbors = set(self.topology.neighbors(peer.peer_id))
+        if self._routing is not None:
+            self._routing.note_overlay_changed()
 
     def _on_peer_added(self, peer: Peer) -> None:
         # Attach the newcomer to a few random online peers; experiments
         # that want a specific topology call build_overlay() afterwards.
         self._flood_order.clear()
+        if self._routing is not None:
+            self._routing.note_overlay_changed()
         others = [candidate for candidate in self.online_peers() if candidate.peer_id != peer.peer_id]
         if not others:
             return
@@ -100,6 +117,8 @@ class GnutellaProtocol(PeerNetwork):
         self.topology.remove_peer(peer.peer_id)
         for other in self.peers.values():
             other.disconnect(peer.peer_id)
+        if self._routing is not None:
+            self._routing.forget_peer(peer.peer_id)
 
     # ------------------------------------------------------------------
     # Live membership: joins bootstrap links with a TTL-2 PING/PONG
@@ -158,9 +177,20 @@ class GnutellaProtocol(PeerNetwork):
                 forward.hops = message.hops + 1
                 self.kernel.send(forward, context=context)
             return
-        # Keepalive ping from a neighbour: acknowledge directly.
-        self.kernel.send(pong_message(peer.peer_id, message.sender,
-                                      message_id=message.message_id))
+        # Keepalive ping from a neighbour: acknowledge directly.  Under
+        # informed routing the PONG also piggybacks this peer's routing
+        # filter whenever the copy the neighbour holds went stale — the
+        # filters decay and refresh on exactly the lease cadence the
+        # membership layer already pays for.
+        pong = pong_message(peer.peer_id, message.sender,
+                            message_id=message.message_id)
+        if self._routing is not None and self.live_membership:
+            advert_bytes = self._routing.advertisement_bytes(
+                peer.peer_id, message.sender)
+            if advert_bytes:
+                pong.payload_bytes += advert_bytes
+                self.stats.record_filter_advert(advert_bytes)
+        self.kernel.send(pong)
 
     def _on_pong(self, peer: Optional[Peer], message: Message, context) -> None:
         if peer is None:
@@ -191,6 +221,8 @@ class GnutellaProtocol(PeerNetwork):
             peer.last_pong_ms[message.sender] = now
             other.last_pong_ms[peer.peer_id] = now
             self._flood_order.clear()
+            if self._routing is not None:
+                self._routing.note_overlay_changed()
             context.acquired += 1
             return
         peer.last_pong_ms[message.sender] = now
@@ -222,11 +254,20 @@ class GnutellaProtocol(PeerNetwork):
             other.last_pong_ms.pop(peer.peer_id, None)
         self._note_staleness(neighbor_id, now)
         self._flood_order.clear()
+        if self._routing is not None:
+            self._routing.note_overlay_changed()
+            self._routing.forget_link(peer.peer_id, neighbor_id)
 
     def _stamp_freshness(self, now: float) -> None:
         for peer in self.peers.values():
             for neighbor_id in sorted(peer.neighbors):
                 peer.last_pong_ms[neighbor_id] = now
+        if self._routing is not None:
+            # Going live is a structural hand-off, not protocol traffic:
+            # the filters every neighbour currently holds count as
+            # already advertised, so only *changes* from here on ride
+            # (and bill) the keepalive PONGs.
+            self._routing.mark_all_advertised()
 
     # ------------------------------------------------------------------
     # Primitives
@@ -237,6 +278,8 @@ class GnutellaProtocol(PeerNetwork):
         peer's repository waiting for queries to reach it."""
         self._require_peer(peer_id)
         self.replicas.note_original(resource_id, peer_id, at_ms=self.simulator.now)
+        if self._routing is not None:
+            self._routing.note_content_changed(peer_id)
         if self.result_caching:
             # The publisher's own cached answers predate the new object;
             # nobody else hears about a free publish, so remote caches
@@ -355,6 +398,14 @@ class GnutellaProtocol(PeerNetwork):
         else:
             taken = local_matches(peer.repository, context.query, plan=context.plan,
                                   limit=room)
+        if (self._routing is not None and message.ttl == 1 and room > 0
+                and not taken
+                and context.extra.get("routing_keys") is not None
+                and message.sender not in context.extra.get("fallback_hops", ())):
+            # Fringe copy that an attenuated filter admitted (this hop
+            # was pruned, not a blind fallback) yet the local index has
+            # nothing: a Bloom false positive paid for in one message.
+            self.stats.record_routing_fp()
         if taken:
             results = []
             metadata_bytes = 0
@@ -402,6 +453,15 @@ class GnutellaProtocol(PeerNetwork):
 
         Every copy shares the immutable wire form rendered at search
         start — no per-neighbour serialization or byte counting.
+
+        Under ``informed_routing`` the fan-out narrows once the
+        remaining TTL fits inside the filter depth: only neighbours
+        whose attenuated filter admits the query's probe keys within
+        the remaining horizon get a copy.  The filters have no false
+        negatives over the current overlay, so pruning drops only
+        copies that could not have produced a hit; if *no* neighbour
+        admits, the hop falls back to the full blind fan-out rather
+        than silently truncating the flood.
         """
         extra = context.extra
         query_xml = extra["query_xml"]
@@ -414,10 +474,35 @@ class GnutellaProtocol(PeerNetwork):
         if order is None:
             order = sorted(peer.neighbors)
             self._flood_order[peer_id] = order
+        targets = []
         for neighbor_id in order:
             neighbor = peers.get(neighbor_id)
-            if neighbor is None or not neighbor.online:
-                continue
+            if neighbor is not None and neighbor.online:
+                targets.append(neighbor_id)
+        routing = self._routing
+        if routing is not None and targets and ttl <= routing.depth:
+            hashed = extra.get("routing_keys", _KEYS_UNSET)
+            if hashed is _KEYS_UNSET:
+                # Hash the probe keys once per flood; every hop reuses
+                # the positions.  ``None`` marks an unprobeable query
+                # (no compilable criterion), which floods blind.
+                plan = context.plan or compile_query(context.query)
+                keys = plan.routing_keys
+                hashed = None if keys is None else routing.hash_keys(keys)
+                extra["routing_keys"] = hashed
+            if hashed is not None:
+                admitted = [neighbor_id for neighbor_id in targets
+                            if routing.admits(neighbor_id, hashed, ttl)]
+                if admitted:
+                    self.stats.record_routing_pruned(len(targets) - len(admitted))
+                    targets = admitted
+                else:
+                    # No filter admits the query from here: fall back to
+                    # the blind fan-out (the no-lost-results contract) and
+                    # exempt this hop's receivers from FP accounting.
+                    self.stats.record_routing_fallback()
+                    extra.setdefault("fallback_hops", set()).add(peer_id)
+        for neighbor_id in targets:
             message = Message(
                 type=MessageType.QUERY,
                 sender=peer_id,

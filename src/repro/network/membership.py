@@ -20,6 +20,15 @@ queries, downloads and maintenance traffic.  With the network's
 ``live_membership`` knob on, each transition turns into real protocol
 traffic (joins, heartbeats, re-registrations); with it off the model
 degrades to exactly the old free-toggle behaviour.
+
+Interplay with informed routing (``repro.network.routing``): the
+attenuated Bloom filters summarize the *topology* graph, offline
+peers' content included, precisely because this model toggles peers
+on and off mid-query — a churned-away peer that returns before the
+flood fringe arrives must still be admitted, so churn alone can never
+turn a filter decision into a lost result.  Only overlay *growth*
+(live-membership link repair) can race a flood, which is why the
+strict routing contract runs against the static overlay.
 """
 
 from __future__ import annotations

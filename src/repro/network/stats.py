@@ -96,6 +96,19 @@ class NetworkStats:
     timeouts: int = 0
     #: downloads re-pointed at the next-ranked replica mid-transfer
     failovers: int = 0
+    # Informed-routing axis (``informed_routing`` mode): what the
+    # attenuated Bloom filters saved and what they cost.
+    #: QUERY copies the routing filters pruned from the flood fan-out
+    routing_pruned: int = 0
+    #: hops where no neighbour's filter admitted the query and the
+    #: blind fan-out ran instead (the no-lost-results fallback)
+    routing_fallbacks: int = 0
+    #: fringe copies a filter admitted that found no local match — the
+    #: Bloom false positives actually paid for in messages
+    routing_fp_forwards: int = 0
+    #: filter-advertisement payload riding keepalive PONGs (bytes);
+    #: the PONGs themselves are already counted as control traffic
+    routing_filter_bytes: int = 0
 
     # ------------------------------------------------------------------
     def record_message(self, message: Message, copies: int = 1) -> None:
@@ -163,6 +176,31 @@ class NetworkStats:
     def record_failover(self) -> None:
         """One download re-pointed at the next-ranked replica."""
         self.failovers += 1
+
+    def record_routing_pruned(self, count: int = 1) -> None:
+        """``count`` QUERY copies pruned by routing filters at one hop."""
+        self.routing_pruned += count
+
+    def record_routing_fallback(self) -> None:
+        """One hop where no filter admitted and the blind fan-out ran."""
+        self.routing_fallbacks += 1
+
+    def record_routing_fp(self) -> None:
+        """One filter-admitted fringe copy that found no local match."""
+        self.routing_fp_forwards += 1
+
+    def record_filter_advert(self, size_bytes: int) -> None:
+        """One routing-filter advertisement piggybacked on a keepalive."""
+        self.routing_filter_bytes += size_bytes
+
+    def routing_summary(self) -> dict[str, int]:
+        """The informed-routing axis as one comparable dictionary."""
+        return {
+            "routing_pruned": self.routing_pruned,
+            "routing_fallbacks": self.routing_fallbacks,
+            "routing_fp_forwards": self.routing_fp_forwards,
+            "routing_filter_bytes": self.routing_filter_bytes,
+        }
 
     def fault_summary(self) -> dict[str, int]:
         """The fault/recovery axis as one comparable dictionary."""
@@ -298,6 +336,10 @@ class NetworkStats:
             "retries": float(self.retries),
             "timeouts": float(self.timeouts),
             "failovers": float(self.failovers),
+            "routing_pruned": float(self.routing_pruned),
+            "routing_fallbacks": float(self.routing_fallbacks),
+            "routing_fp_forwards": float(self.routing_fp_forwards),
+            "routing_filter_bytes": float(self.routing_filter_bytes),
         }
 
     def merge(self, other: "NetworkStats") -> None:
@@ -327,6 +369,10 @@ class NetworkStats:
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.failovers += other.failovers
+        self.routing_pruned += other.routing_pruned
+        self.routing_fallbacks += other.routing_fallbacks
+        self.routing_fp_forwards += other.routing_fp_forwards
+        self.routing_filter_bytes += other.routing_filter_bytes
 
     def reset(self) -> None:
         """Clear all counters (between experiment phases)."""
@@ -348,3 +394,7 @@ class NetworkStats:
         self.retries = 0
         self.timeouts = 0
         self.failovers = 0
+        self.routing_pruned = 0
+        self.routing_fallbacks = 0
+        self.routing_fp_forwards = 0
+        self.routing_filter_bytes = 0

@@ -462,3 +462,9 @@ class AttributeIndex:
 
     def entries_for(self, resource_id: str) -> Iterable[IndexEntry]:
         return tuple(self._entries.get(resource_id, ()))
+
+    def iter_entries(self) -> Iterable[IndexEntry]:
+        """Every indexed entry in deterministic (resource-id) order —
+        the routing layer derives per-peer Bloom filters from these."""
+        for resource_id in sorted(self._entries):
+            yield from self._entries[resource_id]

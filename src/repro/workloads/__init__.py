@@ -9,11 +9,21 @@
   servents, communities, corpora and query streams.
 """
 
+from repro.workloads.config import (
+    CacheConfig,
+    MembershipConfig,
+    ReliabilityConfig,
+    RoutingConfig,
+)
 from repro.workloads.popularity import ZipfDistribution
 from repro.workloads.queries import QueryWorkload, build_query_workload
 from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
 
 __all__ = [
+    "CacheConfig",
+    "MembershipConfig",
+    "ReliabilityConfig",
+    "RoutingConfig",
     "ZipfDistribution",
     "QueryWorkload",
     "build_query_workload",

@@ -1,0 +1,163 @@
+"""Grouped configuration objects for the scenario/network API.
+
+The knob surface grew one flat keyword at a time — ~30 fields on
+:class:`~repro.workloads.scenario.ScenarioConfig` and a long
+``PeerNetwork.__init__`` signature — so the related knobs are grouped
+into small frozen dataclasses: caching, membership, reliability and
+routing.  Both spellings are accepted everywhere and are documented as
+interchangeable:
+
+* **flat** — ``ScenarioConfig(result_caching=True, cache_ttl_ms=400.0)``
+  keeps working unchanged;
+* **grouped** — ``ScenarioConfig(cache=CacheConfig(enabled=True,
+  ttl_ms=400.0))`` normalizes into the same flat attributes.
+
+Normalization is strict: passing a group *and* an explicit flat knob of
+the same group is ambiguous and raises ``ValueError`` rather than
+silently preferring one.  After normalization both spellings are
+materialized — flat attributes for the downstream code that reads them,
+canonical group objects for callers that want to forward a bundle —
+and all value validation lives here, in the groups' ``__post_init__``,
+so the flat and grouped paths cannot drift apart.
+
+Fault injection stays a top-level ``faults=FaultPlan(...)`` knob: a
+fault plan is a *workload* description (what the environment does to
+the run), not a configuration of the network stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Optional
+
+__all__ = [
+    "CacheConfig",
+    "MembershipConfig",
+    "ReliabilityConfig",
+    "RoutingConfig",
+    "resolve_group",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Query-result caching (the ``result_caching`` knob family)."""
+
+    #: cache finished result sets at the protocol's traffic-concentration
+    #: points; off is pinned bit-identical to uncached behaviour
+    enabled: bool = False
+    #: entries per cache site (LRU beyond this)
+    capacity: int = 128
+    #: cached-entry lifetime; keep at or below the heartbeat lease
+    ttl_ms: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("the result cache needs room for at least one entry")
+        if self.ttl_ms <= 0:
+            raise ValueError("the result cache TTL must be positive")
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Live-membership maintenance (the ``live_membership`` knob family)."""
+
+    #: make peer lifecycle real protocol traffic; off keeps the
+    #: instantaneous ``set_online`` semantics bit-identically
+    live: bool = False
+    #: period of the maintenance tick (heartbeats, lease sweeps)
+    maintenance_interval_ms: float = 2_000.0
+    #: a counterpart silent for this many intervals is presumed dead
+    heartbeat_lease_intervals: int = 2
+    #: advertisement lease of the rendezvous organisation (lease-driven
+    #: rather than heartbeat-driven decay); consumed by the scenario
+    #: builder, not by ``PeerNetwork`` itself
+    rendezvous_lease_ms: float = 30 * 60 * 1000.0
+
+    def __post_init__(self) -> None:
+        if self.maintenance_interval_ms <= 0:
+            raise ValueError("the maintenance interval must be positive")
+        if self.heartbeat_lease_intervals < 1:
+            raise ValueError("the heartbeat lease must cover at least one interval")
+        if self.rendezvous_lease_ms <= 0:
+            raise ValueError("the rendezvous lease must be positive")
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Reliable delivery and chunked downloads (the recovery stack)."""
+
+    #: ACK + capped-exponential-backoff envelope around registration-
+    #: style control traffic and download requests
+    reliable_delivery: bool = False
+    #: base ack timeout (doubles per attempt, capped at 8x)
+    retry_timeout_ms: float = 250.0
+    #: total send attempts per reliable message / download provider
+    retry_max_attempts: int = 4
+    #: ``None`` keeps the legacy single-response download; a byte count
+    #: streams downloads as chunks with stall detection and failover
+    download_chunk_bytes: Optional[int] = None
+    #: how long a download may stall before re-request / failover
+    download_stall_timeout_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.retry_timeout_ms <= 0:
+            raise ValueError("the retry timeout must be positive")
+        if self.retry_max_attempts < 1:
+            raise ValueError("reliable delivery needs at least one attempt")
+        if self.download_chunk_bytes is not None and self.download_chunk_bytes < 1:
+            raise ValueError("download chunks must be at least one byte")
+        if self.download_stall_timeout_ms <= 0:
+            raise ValueError("the download stall timeout must be positive")
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Informed routing via attenuated Bloom filters (gnutella only)."""
+
+    #: prune the flood with per-neighbour routing filters; off is
+    #: pinned bit-identical to the blind flood by the contract suite
+    informed: bool = False
+    #: bits per Bloom-filter level (a multiple of 8: filters are
+    #: advertised on the wire and sized in whole bytes)
+    filter_bits: int = 512
+    #: hash functions per key (crc32 double hashing)
+    hash_count: int = 4
+    #: filter levels: level ``d`` summarizes content at overlay
+    #: distance ``d``, so pruning bites at hops with remaining
+    #: TTL <= depth (the flood fringe, where the messages are)
+    depth: int = 3
+
+    def __post_init__(self) -> None:
+        if self.filter_bits < 8 or self.filter_bits % 8:
+            raise ValueError("filter_bits must be a positive multiple of 8")
+        if self.hash_count < 1:
+            raise ValueError("need at least one hash function")
+        if self.depth < 1:
+            raise ValueError("the filter needs at least one level")
+
+
+def resolve_group(group: Optional[Any], group_name: str, cls: type,
+                  flat_values: dict[str, Any]) -> Any:
+    """Normalize one group: either the given ``group`` object (every
+    corresponding flat kwarg must then be unset) or a fresh ``cls``
+    built from the flat values, defaults filling the gaps.
+
+    ``flat_values`` maps group field names to the *explicitly passed*
+    flat values only — unset flat kwargs must not appear (callers use
+    ``None``/sentinel defaults to tell the difference).
+    """
+    if group is not None:
+        if not isinstance(group, cls):
+            raise TypeError(f"{group_name} must be a {cls.__name__} or None")
+        if flat_values:
+            clashing = ", ".join(sorted(flat_values))
+            raise ValueError(
+                f"pass either {group_name}={cls.__name__}(...) or the flat "
+                f"kwargs ({clashing}), not both")
+        return group
+    known = {field.name for field in fields(cls)}
+    unknown = set(flat_values) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    return cls(**flat_values)

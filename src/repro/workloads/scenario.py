@@ -16,7 +16,7 @@ experiments can compare warm- against cold-index query phases.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.communities import ALL_COMMUNITIES
@@ -31,6 +31,13 @@ from repro.network.gnutella import GnutellaProtocol
 from repro.network.membership import PopulationModel
 from repro.network.rendezvous import RendezvousProtocol
 from repro.network.superpeer import SuperPeerProtocol
+from repro.workloads.config import (
+    CacheConfig,
+    MembershipConfig,
+    ReliabilityConfig,
+    RoutingConfig,
+    resolve_group,
+)
 from repro.workloads.popularity import ZipfDistribution
 from repro.workloads.queries import QueryWorkload, build_query_workload
 
@@ -40,6 +47,27 @@ PROTOCOLS = {
     "super-peer": SuperPeerProtocol,
     "rendezvous": RendezvousProtocol,
 }
+
+#: group field -> (flat ScenarioConfig attribute, its default); the
+#: normalization in ``ScenarioConfig.__post_init__`` treats a flat
+#: value still at its default as "not passed", so groups and untouched
+#: flat kwargs coexist while a genuine clash raises.
+_CACHE_FLAT = {"enabled": ("result_caching", False),
+               "capacity": ("cache_capacity", 128),
+               "ttl_ms": ("cache_ttl_ms", 2_000.0)}
+_MEMBERSHIP_FLAT = {"live": ("live_membership", False),
+                    "maintenance_interval_ms": ("maintenance_interval_ms", 2_000.0),
+                    "heartbeat_lease_intervals": ("heartbeat_lease_intervals", 2),
+                    "rendezvous_lease_ms": ("rendezvous_lease_ms", 30 * 60 * 1000.0)}
+_RELIABILITY_FLAT = {"reliable_delivery": ("reliable_delivery", False),
+                     "retry_timeout_ms": ("retry_timeout_ms", 250.0),
+                     "retry_max_attempts": ("retry_max_attempts", 4),
+                     "download_chunk_bytes": ("download_chunk_bytes", None),
+                     "download_stall_timeout_ms": ("download_stall_timeout_ms", 500.0)}
+_ROUTING_FLAT = {"informed": ("informed_routing", False),
+                 "filter_bits": ("routing_filter_bits", 512),
+                 "hash_count": ("routing_hash_count", 4),
+                 "depth": ("routing_depth", 3)}
 
 
 @dataclass
@@ -87,6 +115,9 @@ class ScenarioConfig:
     #: period of the live-mode maintenance tick (heartbeats, lease
     #: sweeps); must exceed the worst link latency
     maintenance_interval_ms: float = 2_000.0
+    #: a counterpart silent for this many maintenance intervals is
+    #: presumed dead (heartbeat lease = interval x this)
+    heartbeat_lease_intervals: int = 2
     #: advertisement lease of the rendezvous organisation (its staleness
     #: and repair behaviour is lease-driven rather than heartbeat-driven)
     rendezvous_lease_ms: float = 30 * 60 * 1000.0
@@ -137,9 +168,30 @@ class ScenarioConfig:
     #: requester-side watchdog period: how long a download may make no
     #: progress before the requester re-requests or fails over
     download_stall_timeout_ms: float = 500.0
+    #: prune gnutella's flood with per-neighbour attenuated Bloom
+    #: filters (``repro.network.routing``); off (the default) is pinned
+    #: bit-identical to the blind flood, and the non-flooding
+    #: organisations ignore the knob
+    informed_routing: bool = False
+    #: bits per Bloom-filter level (a multiple of 8)
+    routing_filter_bits: int = 512
+    #: hash functions per key (crc32 double hashing)
+    routing_hash_count: int = 4
+    #: filter levels (level ``d`` summarizes content ``d`` hops out)
+    routing_depth: int = 3
     #: convenience alias for big runs: when set, overrides ``peers``
     #: (the scale benchmark and examples speak in populations)
     population: Optional[int] = None
+    # ------------------------------------------------------------------
+    # Grouped spellings: each bundle may be passed as one config object
+    # instead of (never alongside) its flat kwargs above.  After
+    # __post_init__ both spellings are materialized: the canonical
+    # group objects live here, the flat attributes mirror them.
+    # ------------------------------------------------------------------
+    cache: Optional[CacheConfig] = None
+    membership: Optional[MembershipConfig] = None
+    reliability: Optional[ReliabilityConfig] = None
+    routing: Optional[RoutingConfig] = None
 
     def __post_init__(self) -> None:
         if self.population is not None:
@@ -170,26 +222,35 @@ class ScenarioConfig:
             raise ValueError("retrieve_fraction must be within [0, 1]")
         if self.popularity_skew < 0:
             raise ValueError("popularity_skew must be non-negative")
-        if self.maintenance_interval_ms <= 0:
-            raise ValueError("the maintenance interval must be positive")
-        if self.rendezvous_lease_ms <= 0:
-            raise ValueError("the rendezvous lease must be positive")
-        if self.cache_capacity < 1:
-            raise ValueError("the result cache needs room for at least one entry")
-        if self.cache_ttl_ms <= 0:
-            raise ValueError("the result cache TTL must be positive")
         if not 0.0 <= self.query_repeat_alpha <= 1.0:
             raise ValueError("query_repeat_alpha must be within [0, 1]")
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise TypeError("faults must be a FaultPlan or None")
-        if self.retry_timeout_ms <= 0:
-            raise ValueError("the retry timeout must be positive")
-        if self.retry_max_attempts < 1:
-            raise ValueError("need at least one delivery attempt")
-        if self.download_chunk_bytes is not None and self.download_chunk_bytes < 1:
-            raise ValueError("download chunks need at least one byte")
-        if self.download_stall_timeout_ms <= 0:
-            raise ValueError("the download stall timeout must be positive")
+        # Normalize the grouped spellings.  Value validation (positive
+        # intervals, cache capacity, retry budgets, ...) lives in the
+        # group constructors, so both spellings fail identically.
+        self.cache = resolve_group(
+            self.cache, "cache", CacheConfig, self._explicit_flat(_CACHE_FLAT))
+        self.membership = resolve_group(
+            self.membership, "membership", MembershipConfig,
+            self._explicit_flat(_MEMBERSHIP_FLAT))
+        self.reliability = resolve_group(
+            self.reliability, "reliability", ReliabilityConfig,
+            self._explicit_flat(_RELIABILITY_FLAT))
+        self.routing = resolve_group(
+            self.routing, "routing", RoutingConfig,
+            self._explicit_flat(_ROUTING_FLAT))
+        for mapping, group in ((_CACHE_FLAT, self.cache),
+                               (_MEMBERSHIP_FLAT, self.membership),
+                               (_RELIABILITY_FLAT, self.reliability),
+                               (_ROUTING_FLAT, self.routing)):
+            for field_name, (attribute, _default) in mapping.items():
+                setattr(self, attribute, getattr(group, field_name))
+        if self.informed_routing and self.result_caching:
+            raise ValueError(
+                "informed_routing does not compose with result_caching: "
+                "pruning changes which peers fill their path caches; "
+                "run the knobs separately")
         if self.live_membership and self.protocol == "rendezvous" \
                 and self.rendezvous_lease_ms < 2 * self.maintenance_interval_ms:
             # Renewals fire at lease/2 but only when a maintenance tick
@@ -197,6 +258,15 @@ class ScenarioConfig:
             # ad before its renewal could ever be sent.
             raise ValueError("the rendezvous lease must cover at least two "
                              "maintenance intervals under live membership")
+
+    def _explicit_flat(self, mapping: dict) -> dict:
+        """The explicitly-passed flat values of one group: a flat kwarg
+        still sitting at its default is indistinguishable from unset,
+        which is exactly the contract — defaults never clash with a
+        group, a deliberate flat override does."""
+        return {field_name: getattr(self, attribute)
+                for field_name, (attribute, default) in mapping.items()
+                if getattr(self, attribute) != default}
 
 
 @dataclass
@@ -322,17 +392,12 @@ def build_network(config: ScenarioConfig) -> PeerNetwork:
     right before the workload when the knob is set.
     """
     common = dict(seed=config.seed, compile_queries=config.compile_queries,
-                  maintenance_interval_ms=config.maintenance_interval_ms,
-                  result_caching=config.result_caching,
-                  cache_capacity=config.cache_capacity,
-                  cache_ttl_ms=config.cache_ttl_ms,
+                  cache=config.cache,
+                  membership=replace(config.membership, live=False),
+                  reliability=config.reliability,
+                  routing=config.routing,
                   shards=config.shards,
-                  parallel=config.parallel,
-                  reliable_delivery=config.reliable_delivery,
-                  retry_timeout_ms=config.retry_timeout_ms,
-                  retry_max_attempts=config.retry_max_attempts,
-                  download_chunk_bytes=config.download_chunk_bytes,
-                  download_stall_timeout_ms=config.download_stall_timeout_ms)
+                  parallel=config.parallel)
     if config.protocol == "gnutella":
         return GnutellaProtocol(default_ttl=config.ttl, degree=config.degree, **common)
     if config.protocol == "super-peer":
